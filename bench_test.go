@@ -1,0 +1,418 @@
+package flexrpc
+
+// One benchmark per figure of the paper's evaluation (§4). These are
+// per-operation testing.B benchmarks; the full figure workloads with
+// paper-style output live in cmd/experiments (go run ./cmd/experiments).
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"flexrpc/internal/experiments"
+	"flexrpc/internal/kernbuf"
+	"flexrpc/internal/mach"
+	"flexrpc/internal/netsim"
+	"flexrpc/internal/nfs"
+	"flexrpc/internal/pipeserver"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
+	"flexrpc/internal/transport/inproc"
+)
+
+// BenchmarkFig2NFSRead measures one 8 KB NFS read through each of
+// the four client stub variants of Figure 2 (unshaped link; the
+// network-dominated version is in cmd/experiments).
+func BenchmarkFig2NFSRead(b *testing.B) {
+	variants := []struct {
+		name    string
+		special bool
+		hand    bool
+	}{
+		{"conventional/hand", false, true},
+		{"conventional/generated", false, false},
+		{"userbuf/hand", true, true},
+		{"userbuf/generated", true, false},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			srv := nfs.NewServer(64 << 10)
+			cc, sc := netsim.BufferedPipe(netsim.LinkParams{}, 64)
+			srv.Start(sc)
+			defer cc.Close()
+			var client nfs.ReadClient
+			if v.hand {
+				client = nfs.NewHandClient(cc, v.special)
+			} else {
+				gc, err := nfs.NewGenClient(cc, v.special)
+				if err != nil {
+					b.Fatal(err)
+				}
+				client = gc
+			}
+			ub := kernbuf.NewUserBuffer(nfs.MaxData)
+			b.SetBytes(nfs.MaxData)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.ReadAt(ub, 0, 0, nfs.MaxData); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchMachPipe assembles a pipe server over the streamlined IPC
+// transport and returns writer and reader clients.
+func benchMachPipe(b *testing.B, pipeSize int, serverPDL string) (*pipeserver.Client, *pipeserver.Client) {
+	b.Helper()
+	compiled, err := pipeserver.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	serverPres := compiled.Pres
+	if serverPDL != "" {
+		sc, err := compiled.WithPDL("server.pdl", serverPDL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serverPres = sc.Pres
+	}
+	srv, err := pipeserver.NewServer(pipeSize, serverPres)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := mach.NewKernel()
+	serverTask := k.NewTask("pipe-server")
+	_, port := serverTask.AllocatePort()
+	srv.ServeMach(serverTask, port, 2)
+	b.Cleanup(port.Destroy)
+
+	writerTask := k.NewTask("writer")
+	readerTask := k.NewTask("reader")
+	w, err := pipeserver.NewMachClient(writerTask, writerTask.InsertRight(port), compiled.DefaultPres(pres.StyleCORBA))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := pipeserver.NewMachClient(readerTask, readerTask.InsertRight(port), compiled.DefaultPres(pres.StyleCORBA))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w, r
+}
+
+// BenchmarkFig6Pipe measures one chunk through the pipe server for
+// both presentations and both pipe sizes of Figure 6.
+func BenchmarkFig6Pipe(b *testing.B) {
+	const chunk = 2048
+	for _, size := range []int{4096, 8192} {
+		for _, mode := range []struct {
+			name string
+			pdl  string
+		}{
+			{"default", ""},
+			{"deallocnever", pipeserver.Figure5PDL},
+		} {
+			b.Run(fmt.Sprintf("%dK/%s", size/1024, mode.name), func(b *testing.B) {
+				w, r := benchMachPipe(b, size, mode.pdl)
+				data := make([]byte, chunk)
+				b.SetBytes(chunk)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := w.Write(data); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := r.Read(chunk); err != nil && err != io.EOF {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig7Fbuf measures one chunk through the fbuf pipe in its
+// [special] presentation (Figure 7's optimized configuration); the
+// standard-presentation baseline and BSD reference are in
+// cmd/experiments.
+func BenchmarkFig7Fbuf(b *testing.B) {
+	const chunk = 2048
+	fp, err := pipeserver.StartFbufPipe(pipeserver.FbufPipeConfig{
+		Kernel:   mach.NewKernel(),
+		PipeSize: 8192,
+		BufSize:  chunk,
+		PoolSize: 24,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { fp.Port.Destroy() })
+	data := make([]byte, chunk)
+	readBuf := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fp.Writer.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fp.Reader.Read(readBuf); err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Mutability measures a same-domain RPC with a 1 KB in
+// parameter under the three systems of Figure 10, in the
+// all-requirements-relaxed group (client trashable, server
+// modifies) where flexible presentation wins outright.
+func BenchmarkFig10Mutability(b *testing.B) {
+	compiled, err := Compile(Options{
+		Frontend: FrontendCORBA,
+		Filename: "mut.idl",
+		Source:   `interface Mut { void put(in sequence<octet> data); };`,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	systems := []struct {
+		name              string
+		trashable, borrow bool
+	}{
+		{"fixedcopy", false, false},
+		{"fixedborrow", false, true},
+		{"flexible", true, false},
+	}
+	for _, sys := range systems {
+		b.Run(sys.name, func(b *testing.B) {
+			cp := compiled.DefaultPres(StyleCORBA)
+			sp := compiled.DefaultPres(StyleCORBA)
+			if sys.trashable {
+				cp.Ops["put"].Param("data").Trashable = true
+			}
+			if sys.borrow {
+				sp.Ops["put"].Param("data").Preserved = true
+			}
+			disp := NewDispatcher(sp)
+			scratch := make([]byte, experiments.ParamSize)
+			disp.Handle("put", func(c *Call) error {
+				buf := c.ArgBytes(0)
+				if !c.ArgPrivate(0) {
+					copy(scratch, buf) // forced server-side glue copy
+					buf = scratch
+				}
+				buf[0] ^= 0xFF
+				return nil
+			})
+			conn, err := inproc.Connect(cp, disp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			args := []Value{make([]byte, experiments.ParamSize)}
+			b.SetBytes(experiments.ParamSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := conn.Invoke("put", args, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Alloc measures a same-domain RPC with a 1 KB out
+// parameter in Figure 11's "server provides the buffer" group,
+// where flexible presentation passes the server's retained buffer by
+// reference while both fixed systems copy.
+func BenchmarkFig11Alloc(b *testing.B) {
+	compiled, err := Compile(Options{
+		Frontend: FrontendCORBA,
+		Filename: "alloc.idl",
+		Source:   `interface Alloc { sequence<octet> fetch(in unsigned long n); };`,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	retained := make([]byte, experiments.ParamSize)
+	for _, sys := range []string{"fixedcorba", "fixedmig", "flexible"} {
+		b.Run(sys, func(b *testing.B) {
+			var cp, sp *Presentation
+			switch sys {
+			case "fixedcorba":
+				cp, sp = compiled.DefaultPres(StyleCORBA), compiled.DefaultPres(StyleCORBA)
+			case "fixedmig":
+				cp, sp = compiled.DefaultPres(StyleMIG), compiled.DefaultPres(StyleMIG)
+			case "flexible":
+				cp, sp = compiled.DefaultPres(StyleCORBA), compiled.DefaultPres(StyleCORBA)
+				sa := sp.Ops["fetch"].Result()
+				sa.Alloc = pres.AllocCallee
+				sa.Dealloc = pres.DeallocNever
+				cp.Ops["fetch"].Result().Alloc = pres.AllocAuto
+			}
+			disp := NewDispatcher(sp)
+			disp.Handle("fetch", func(c *Call) error {
+				n := int(c.Arg(0).(uint32))
+				if buf := c.ResultBuffer(); buf != nil {
+					copy(buf, retained[:n]) // MIG: copy into caller buffer
+					c.SetResult(buf[:n])
+					return nil
+				}
+				if c.ResultMoved() {
+					out := make([]byte, n) // CORBA: donate a fresh copy
+					copy(out, retained[:n])
+					c.SetResult(out)
+					return nil
+				}
+				c.SetResult(retained[:n]) // flexible: reference
+				return nil
+			})
+			conn, err := inproc.Connect(cp, disp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clientBuf := make([]byte, experiments.ParamSize)
+			args := []Value{uint32(experiments.ParamSize)}
+			b.SetBytes(experiments.ParamSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var retBuf []byte
+				if sys == "fixedmig" {
+					retBuf = clientBuf
+				}
+				if _, _, err := conn.Invoke("fetch", args, nil, retBuf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// startNullServer runs a null-RPC mach server for the §4.5
+// benchmarks.
+func startNullServer(b *testing.B, serverSig mach.EndpointSig) (*mach.Kernel, *mach.Port, *mach.Task) {
+	b.Helper()
+	k := mach.NewKernel()
+	srv := k.NewTask("server")
+	_, port := srv.AllocatePort()
+	port.RegisterServer(serverSig)
+	go func() {
+		for {
+			in, err := srv.Receive(port, nil)
+			if err != nil {
+				return
+			}
+			for _, n := range in.PortNames {
+				_ = srv.DeallocateRight(n)
+			}
+			in.Reply(&mach.Message{})
+		}
+	}()
+	b.Cleanup(port.Destroy)
+	return k, port, srv
+}
+
+// BenchmarkPortTransfer is the §4.5 unique-name experiment: one port
+// right transferred per call (paper: 32.4us -> 24.7us, -24%).
+func BenchmarkPortTransfer(b *testing.B) {
+	for _, nonunique := range []bool{false, true} {
+		name := "unique"
+		if nonunique {
+			name = "nonunique"
+		}
+		b.Run(name, func(b *testing.B) {
+			k, port, _ := startNullServer(b, mach.EndpointSig{
+				Contract: "xfer", Trust: mach.TrustFullLevel, NonUniquePorts: nonunique,
+			})
+			cli := k.NewTask("client")
+			bind, err := mach.Bind(cli, cli.InsertRight(port),
+				mach.EndpointSig{Contract: "xfer", Trust: mach.TrustFullLevel})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, carried := cli.AllocatePort()
+			req := &mach.Message{Ports: []*mach.Port{carried}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bind.Call(req, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Trust is the Figure 12 matrix: null RPC for every
+// client-trust x server-trust combination over the bind-time
+// specialized transport.
+func BenchmarkFig12Trust(b *testing.B) {
+	for _, ct := range experiments.TrustLevels {
+		for _, st := range experiments.TrustLevels {
+			b.Run(fmt.Sprintf("client=%v/server=%v", ct, st), func(b *testing.B) {
+				k, port, _ := startNullServer(b, mach.EndpointSig{Contract: "null", Trust: st})
+				cli := k.NewTask("client")
+				bind, err := mach.Bind(cli, cli.InsertRight(port),
+					mach.EndpointSig{Contract: "null", Trust: ct})
+				if err != nil {
+					b.Fatal(err)
+				}
+				req := &mach.Message{}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := bind.Call(req, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCompile measures the compiler front half itself: parse,
+// default presentation, PDL application.
+func BenchmarkCompile(b *testing.B) {
+	src := pipeserver.IDL
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := Compile(Options{Frontend: FrontendCORBA, Filename: "fileio.idl", Source: src})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.WithPDL("f5.pdl", pipeserver.Figure5PDL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarshal measures the interpreted marshal plans on a 1 KB
+// buffer round trip for both codecs.
+func BenchmarkMarshal(b *testing.B) {
+	compiled, err := Compile(Options{
+		Frontend: FrontendCORBA,
+		Filename: "m.idl",
+		Source:   `interface M { void put(in sequence<octet> data); };`,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, codec := range []Codec{XDRCodec, CDRCodec} {
+		b.Run(codec.Name(), func(b *testing.B) {
+			plan, err := runtime.NewPlan(compiled.Pres, codec, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			op := plan.Ops[0]
+			enc := codec.NewEncoder()
+			args := []Value{make([]byte, 1024)}
+			b.SetBytes(1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.Reset()
+				if err := op.EncodeRequest(enc, args); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := op.DecodeRequest(codec.NewDecoder(enc.Bytes())); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

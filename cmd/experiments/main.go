@@ -1,0 +1,133 @@
+// Command experiments regenerates every figure of the paper's
+// evaluation (§4) and prints rows shaped like the original, with the
+// paper's reported numbers quoted for comparison.
+//
+//	go run ./cmd/experiments            # all figures
+//	go run ./cmd/experiments -fig 6     # one figure (2, 6, 7, 10, 11, 12, ports)
+//	go run ./cmd/experiments -quick     # smaller workloads, noisier
+//	go run ./cmd/experiments -csv       # machine-readable rows
+//
+// Absolute numbers are modern-Go numbers; the reproduction target is
+// the shape of each comparison — which presentation wins and by
+// roughly what factor. See EXPERIMENTS.md for recorded results and
+// the paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flexrpc/internal/experiments"
+	"flexrpc/internal/netsim"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure to run: 2, 6, 7, 10, 11, 12, ports or all")
+		quick = flag.Bool("quick", false, "smaller workloads (faster, noisier)")
+		csv   = flag.Bool("csv", false, "emit comma-separated rows instead of aligned tables")
+	)
+	flag.Parse()
+	if err := run(*fig, *quick, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, quick, csv bool) error {
+	emit := func(t *experiments.Table) {
+		if csv {
+			fmt.Print(t.CSV(), "\n")
+		} else {
+			fmt.Print(t.Format(), "\n")
+		}
+	}
+	iters := 20000
+	fileSize := 8 << 20
+	pipeCfg := experiments.DefaultPipeConfig()
+	if quick {
+		iters = 3000
+		fileSize = 1 << 20
+		pipeCfg.Total = 512 << 10
+	}
+
+	want := func(name string) bool { return fig == "all" || fig == name }
+	ran := false
+
+	if want("2") {
+		ran = true
+		rows, err := experiments.Fig2(experiments.Fig2Config{
+			FileSize: fileSize,
+			Link:     netsim.Ethernet10,
+		})
+		if err != nil {
+			return err
+		}
+		emit(experiments.Fig2Table(rows))
+	}
+	if want("6") {
+		ran = true
+		rows, err := experiments.Fig6(pipeCfg)
+		if err != nil {
+			return err
+		}
+		emit(experiments.PipeTable(
+			"Figure 6: basic pipe server over streamlined IPC (paper §4.2)",
+			"paper: [dealloc(never)] improves total run time 21% (4K) and 24% (8K)",
+			rows))
+	}
+	if want("7") {
+		ran = true
+		rows, err := experiments.Fig7(pipeCfg)
+		if err != nil {
+			return err
+		}
+		emit(experiments.PipeTable(
+			"Figure 7: pipe server over fbufs (paper §4.3)",
+			"paper: [special] improves throughput 92% (4K) and 160% (8K); BSD pipe shown for reference",
+			rows))
+	}
+	if want("10") {
+		ran = true
+		rows, err := experiments.Fig10(iters)
+		if err != nil {
+			return err
+		}
+		emit(experiments.SemTable(
+			"Figure 10: copy vs borrow semantics, same-domain 1KB in param (paper §4.4.1)",
+			"paper: flexible matches the best fixed system in every group and needs no glue",
+			rows))
+	}
+	if want("11") {
+		ran = true
+		rows, err := experiments.Fig11(iters)
+		if err != nil {
+			return err
+		}
+		emit(experiments.SemTable(
+			"Figure 11: allocation semantics, same-domain 1KB out param (paper §4.4.2)",
+			"paper: flexible minimizes copying and eliminates glue; fixed systems are terrible when mismatched",
+			rows))
+	}
+	if want("ports") {
+		ran = true
+		rows, err := experiments.PortTransfer(iters)
+		if err != nil {
+			return err
+		}
+		emit(experiments.PortTable(rows))
+	}
+	if want("12") {
+		ran = true
+		m, err := experiments.Fig12(iters)
+		if err != nil {
+			return err
+		}
+		emit(experiments.Fig12Table(m))
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want 2, 6, 7, 10, 11, 12, ports or all)", fig)
+	}
+	return nil
+}

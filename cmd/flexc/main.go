@@ -1,0 +1,191 @@
+// Command flexc is the flexrpc stub compiler: the three-stage
+// pipeline of the paper's §3 behind a CLI.
+//
+//	flexc -frontend corba -backend go -package fileio -o fileio.go fileio.idl
+//	flexc -frontend sun -pdl client.pdl -backend pres nfs.x
+//	flexc -backend sig fileio.idl
+//
+// Front-ends: corba (CORBA IDL), sun (Sun RPC .x files).
+// Back-ends:  go   — generate a typed Go client stub and server skeleton
+//
+//	pres — print the computed presentation (after any PDL)
+//	sig  — print the canonical network contract
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"flexrpc/internal/codegen"
+	"flexrpc/internal/core"
+	"flexrpc/internal/pres"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flexc:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flexc", flag.ContinueOnError)
+	var (
+		frontend  = fs.String("frontend", "corba", "IDL front-end: corba, sun or mig")
+		ifaceName = fs.String("interface", "", "interface to compile (required when the file has several)")
+		pdlFile   = fs.String("pdl", "", "PDL file modifying the presentation")
+		style     = fs.String("style", "", "default presentation style: corba, sun or mig")
+		backend   = fs.String("backend", "go", "back-end: go, pres or sig")
+		pkg       = fs.String("package", "", "package name for the go back-end")
+		out       = fs.String("o", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: flexc [flags] <idl-file>")
+	}
+	idlPath := fs.Arg(0)
+	src, err := os.ReadFile(idlPath)
+	if err != nil {
+		return err
+	}
+	fe, err := core.FrontendByName(*frontend)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Frontend:  fe,
+		Filename:  idlPath,
+		Source:    string(src),
+		Interface: *ifaceName,
+	}
+	switch *style {
+	case "":
+	case "corba":
+		opts.Style = pres.StyleCORBA
+	case "sun":
+		opts.Style = pres.StyleSun
+	case "mig":
+		opts.Style = pres.StyleMIG
+	default:
+		return fmt.Errorf("unknown style %q", *style)
+	}
+	if *pdlFile != "" {
+		pdlSrc, err := os.ReadFile(*pdlFile)
+		if err != nil {
+			return err
+		}
+		opts.PDL = string(pdlSrc)
+		opts.PDLFilename = *pdlFile
+	}
+	compiled, err := core.Compile(opts)
+	if err != nil {
+		return err
+	}
+
+	var output []byte
+	switch *backend {
+	case "go":
+		output, err = codegen.Generate(compiled, codegen.Options{Package: *pkg})
+		if err != nil {
+			return err
+		}
+	case "sig":
+		output = []byte(compiled.Iface.Signature() + "\n")
+	case "pres":
+		output = []byte(describePresentation(compiled.Pres))
+	default:
+		return fmt.Errorf("unknown back-end %q (want go, pres or sig)", *backend)
+	}
+
+	if *out == "" {
+		_, err = stdout.Write(output)
+		return err
+	}
+	return os.WriteFile(*out, output, 0o644)
+}
+
+// describePresentation renders a presentation in PDL-like syntax.
+func describePresentation(p *pres.Presentation) string {
+	s := fmt.Sprintf("// presentation of %s (style %s, trust %s)\ninterface %s {\n",
+		p.Interface.Name, p.Style, p.Trust, p.Interface.Name)
+	names := make([]string, 0, len(p.Ops))
+	for name := range p.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		op := p.Ops[name]
+		s += "    "
+		if op.CommStatus {
+			s += "[comm_status] "
+		}
+		s += name + "("
+		first := true
+		pnames := make([]string, 0, len(op.Params))
+		for pn := range op.Params {
+			pnames = append(pnames, pn)
+		}
+		sort.Strings(pnames)
+		for _, pn := range pnames {
+			if !first {
+				s += ", "
+			}
+			first = false
+			a := op.Params[pn]
+			attrs := attrList(a)
+			if attrs != "" {
+				s += attrs + " "
+			}
+			s += pn
+		}
+		s += ");\n"
+	}
+	return s + "};\n"
+}
+
+func attrList(a *pres.ParamAttrs) string {
+	var parts []string
+	if a.Special {
+		parts = append(parts, "special")
+	}
+	if a.Trashable {
+		parts = append(parts, "trashable")
+	}
+	if a.Preserved {
+		parts = append(parts, "preserved")
+	}
+	if a.NonUnique {
+		parts = append(parts, "nonunique")
+	}
+	if a.LengthIs != "" {
+		parts = append(parts, "length_is("+a.LengthIs+")")
+	}
+	switch a.Alloc {
+	case pres.AllocCaller:
+		parts = append(parts, "alloc(caller)")
+	case pres.AllocCallee:
+		parts = append(parts, "alloc(callee)")
+	}
+	switch a.Dealloc {
+	case pres.DeallocAlways:
+		parts = append(parts, "dealloc(always)")
+	case pres.DeallocNever:
+		parts = append(parts, "dealloc(never)")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	out := "["
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out + "]"
+}

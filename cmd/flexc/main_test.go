@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSigBackend(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { void op(in long x); };`)
+	var out bytes.Buffer
+	if err := run([]string{"-backend", "sig", idl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "F{op(in:i32)->void}") {
+		t.Fatalf("sig = %q", out.String())
+	}
+}
+
+func TestPresBackendWithPDL(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { sequence<octet> get(in unsigned long n); };`)
+	pdl := write(t, dir, "f.pdl", `[leaky] interface F { get([dealloc(never)] return); };`)
+	var out bytes.Buffer
+	if err := run([]string{"-backend", "pres", "-pdl", pdl, idl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"trust leaky", "dealloc(never)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("pres output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestGoBackendToFile(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { long add(in long a, in long b); };`)
+	outPath := filepath.Join(dir, "f.go")
+	if err := run([]string{"-backend", "go", "-package", "f", "-o", outPath, idl}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "func (c *FClient) Add(a int32, b int32) (int32, error)") {
+		t.Fatalf("generated:\n%s", src)
+	}
+}
+
+func TestMIGFrontendFlag(t *testing.T) {
+	dir := t.TempDir()
+	defs := write(t, dir, "s.defs", `
+		subsystem s 700;
+		routine ping(server : mach_port_t; in x : int);`)
+	var out bytes.Buffer
+	if err := run([]string{"-frontend", "mig", "-backend", "sig", defs}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ping(in:i32)") {
+		t.Fatalf("sig = %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { void op(); };`)
+	cases := [][]string{
+		{idl, "extra"},                      // arg count
+		{"-frontend", "cobol", idl},         // unknown frontend
+		{"-style", "baroque", idl},          // unknown style
+		{"-backend", "fortran", idl},        // unknown backend
+		{filepath.Join(dir, "missing.idl")}, // unreadable input
+		{"-pdl", filepath.Join(dir, "missing.pdl"), idl},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package flexrpc_test
+
+import (
+	"fmt"
+	"log"
+
+	"flexrpc"
+)
+
+// Compile an interface, attach work functions, and call it in the
+// same domain — the smallest complete flexrpc program.
+func Example() {
+	compiled, err := flexrpc.Compile(flexrpc.Options{
+		Frontend: flexrpc.FrontendCORBA,
+		Filename: "greeter.idl",
+		Source:   `interface Greeter { string greet(in string name); };`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	disp := flexrpc.NewDispatcher(compiled.Pres)
+	disp.Handle("greet", func(c *flexrpc.Call) error {
+		c.SetResult("hello, " + c.Arg(0).(string))
+		return nil
+	})
+	conn, err := flexrpc.ConnectInProc(compiled.Pres, disp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, ret, err := conn.Invoke("greet", []flexrpc.Value{"presentation"}, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ret)
+	// Output: hello, presentation
+}
+
+// Each endpoint derives its own presentation from the shared
+// contract; a PDL file declares only the deviations.
+func ExampleCompiled_WithPDL() {
+	compiled, err := flexrpc.Compile(flexrpc.Options{
+		Frontend: flexrpc.FrontendCORBA,
+		Filename: "fileio.idl",
+		Source: `interface FileIO {
+			sequence<octet> read(in unsigned long count);
+		};`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := compiled.WithPDL("server.pdl", `
+		interface FileIO { read([dealloc(never)] return); };`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The contract is untouched; only the server's local contract
+	// changed.
+	fmt.Println(compiled.Iface.Signature() == server.Iface.Signature())
+	fmt.Println(server.Pres.Op("read").Result().Dealloc)
+	// Output:
+	// true
+	// never
+}
+
+// The same-domain engine derives invocation semantics from both
+// endpoints' attributes: with a [trashable] client buffer the server
+// receives the caller's storage by reference.
+func ExampleConnectInProc() {
+	compiled, err := flexrpc.Compile(flexrpc.Options{
+		Frontend: flexrpc.FrontendCORBA,
+		Filename: "sink.idl",
+		Source:   `interface Sink { void put(in sequence<octet> data); };`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := compiled.WithPDL("client.pdl", `
+		interface Sink { put([trashable] data); };`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := []byte("payload")
+	disp := flexrpc.NewDispatcher(compiled.Pres)
+	disp.Handle("put", func(c *flexrpc.Call) error {
+		fmt.Println("borrowed:", &c.ArgBytes(0)[0] == &buf[0])
+		return nil
+	})
+	conn, err := flexrpc.ConnectInProc(client.Pres, disp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := conn.Invoke("put", []flexrpc.Value{buf}, nil, nil); err != nil {
+		log.Fatal(err)
+	}
+	// Output: borrowed: true
+}

@@ -1,0 +1,182 @@
+package fileio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"flexrpc"
+	"flexrpc/internal/mach"
+	"flexrpc/internal/runtime"
+	"flexrpc/internal/transport/machipc"
+)
+
+// startServer runs a FileIO implementation over machipc and returns
+// a dialer for fresh client connections.
+func startServer(t testing.TB, srv FileIOServer) func() *machipc.Conn {
+	t.Helper()
+	c := compileFixture(t)
+	disp := flexrpc.NewDispatcher(c.Pres)
+	RegisterFileIO(disp, srv)
+	plan, err := runtime.NewPlan(c.Pres, runtime.XDRCodec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mach.NewKernel()
+	srvTask := k.NewTask("server")
+	_, port := srvTask.AllocatePort()
+	machipc.Announce(port, c.Pres)
+	go func() { _ = machipc.Serve(srvTask, port, disp, plan) }()
+	t.Cleanup(port.Destroy)
+
+	n := 0
+	return func() *machipc.Conn {
+		n++
+		task := k.NewTask(fmt.Sprintf("client%d", n))
+		conn, err := machipc.Dial(task, task.InsertRight(port), c.Pres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+}
+
+// compileFixture compiles the committed IDL (shared with fileio_test).
+func compileFixture(t testing.TB) *flexrpc.Compiled {
+	t.Helper()
+	if tt, ok := t.(*testing.T); ok {
+		return compileIDL(tt)
+	}
+	c, err := flexrpc.Compile(flexrpc.Options{
+		Frontend: flexrpc.FrontendCORBA,
+		Filename: "fileio.idl",
+		Source: `interface FileIO {
+			sequence<octet> read(in unsigned long count);
+			void write(in sequence<octet> data);
+			void close_write();
+			void close_read();
+		};`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The compiled-stub client must interoperate with a server built
+// from the interpreted stubs: same wire, different back-end.
+func TestCompiledClientInteroperates(t *testing.T) {
+	dial := startServer(t, &impl{})
+	cc := NewFileIOCompiledClient(dial(), flexrpc.XDRCodec)
+
+	payload := bytes.Repeat([]byte("compiled"), 32)
+	if err := cc.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cc.Read(uint32(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read = %d bytes", len(got))
+	}
+	if err := cc.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Compiled and interpreted clients produce identical observable
+// behavior against one server.
+func TestCompiledMatchesInterpreted(t *testing.T) {
+	dial := startServer(t, &impl{})
+	c := compileFixture(t)
+	rc, err := flexrpc.NewClient(c.Pres, flexrpc.XDRCodec, dial(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := NewFileIOClient(rc)
+	comp := NewFileIOCompiledClient(dial(), flexrpc.XDRCodec)
+
+	if err := interp.Write([]byte("shared state")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := interp.Read(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := comp.Read(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != "shared" || string(b) != " state" {
+		t.Fatalf("reads = %q, %q", a, b)
+	}
+}
+
+// discardImpl is the benchmark server: writes vanish, reads return a
+// fixed buffer, so the server does constant work per call.
+type discardImpl struct{}
+
+var discardData = bytes.Repeat([]byte{0xA5}, 4096)
+
+func (discardImpl) Read(call *flexrpc.Call, count uint32) ([]byte, error) {
+	if int(count) > len(discardData) {
+		count = uint32(len(discardData))
+	}
+	return discardData[:count], nil
+}
+func (discardImpl) Write(call *flexrpc.Call, data []byte) error { return nil }
+func (discardImpl) CloseWrite(call *flexrpc.Call) error         { return nil }
+func (discardImpl) CloseRead(call *flexrpc.Call) error          { return nil }
+
+// BenchmarkMarshalModes compares the three stub back-ends the system
+// offers for the same operation over the same transport: interpreted
+// plans, compiled (generated) marshal code, and hand-written marshal
+// code. The paper's claim — generated stubs match hand-coded ones —
+// holds for the compiled back-end; interpretation pays a visible
+// premium.
+func BenchmarkMarshalModes(b *testing.B) {
+	dial := startServer(b, discardImpl{})
+	c := compileFixture(b)
+	payload := make([]byte, 2048)
+
+	b.Run("interpreted", func(b *testing.B) {
+		rc, err := flexrpc.NewClient(c.Pres, flexrpc.XDRCodec, dial(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := NewFileIOClient(rc)
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			if err := client.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		client := NewFileIOCompiledClient(dial(), flexrpc.XDRCodec)
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			if err := client.Write(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hand", func(b *testing.B) {
+		conn := dial()
+		enc := flexrpc.XDRCodec.NewEncoder()
+		var replyBuf []byte
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			enc.Reset()
+			enc.PutBytes(payload)
+			_, reply, err := flexrpc.RawCall(conn, flexrpc.XDRCodec, 1, enc.Bytes(), replyBuf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cap(reply) > cap(replyBuf) {
+				replyBuf = reply[:cap(reply)]
+			}
+		}
+	})
+}

@@ -1,0 +1,102 @@
+// Quickstart: compile an interface, attach a server, call it — first
+// in the same domain, then with each endpoint holding a different
+// presentation of the same contract.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexrpc"
+)
+
+const idl = `
+interface KVStore {
+    sequence<octet> get(in string key);
+    void put(in string key, in sequence<octet> value);
+};`
+
+// The server's own PDL: its get result is served out of storage the
+// server keeps, so the stub must not deallocate it.
+const serverPDL = `
+interface KVStore {
+    get([dealloc(never)] return);
+};`
+
+func main() {
+	// Stage 1+2: front-end and presentation. The interface is the
+	// network contract; the presentation is private to an endpoint.
+	compiled, err := flexrpc.Compile(flexrpc.Options{
+		Frontend: flexrpc.FrontendCORBA,
+		Filename: "kvstore.idl",
+		Source:   idl,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("network contract:", compiled.Iface.Signature())
+
+	// The server derives its own presentation from the default.
+	serverSide, err := compiled.WithPDL("server.pdl", serverPDL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A server is a dispatcher plus work functions.
+	store := map[string][]byte{}
+	disp := flexrpc.NewDispatcher(serverSide.Pres)
+	disp.Handle("put", func(c *flexrpc.Call) error {
+		key := c.Arg(0).(string)
+		// In parameters are valid for the call; retain via copy.
+		store[key] = append([]byte(nil), c.ArgBytes(1)...)
+		return nil
+	})
+	disp.Handle("get", func(c *flexrpc.Call) error {
+		// Under [dealloc(never)] the server may return its own
+		// storage by reference — no copy.
+		if c.ResultMoved() {
+			log.Fatal("presentation should have disabled move semantics")
+		}
+		c.SetResult(store[c.Arg(0).(string)])
+		return nil
+	})
+
+	// The client keeps the plain default presentation; different
+	// presentations of one contract always interoperate.
+	conn, err := flexrpc.ConnectInProc(compiled.Pres, disp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, _, err := conn.Invoke("put",
+		[]flexrpc.Value{"greeting", []byte("hello, flexible presentation")}, nil, nil); err != nil {
+		log.Fatal(err)
+	}
+	_, ret, err := conn.Invoke("get", []flexrpc.Value{"greeting"}, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get(greeting) = %q\n", ret.([]byte))
+
+	// A second client that knows the value size can ask the stub to
+	// unmarshal straight into its own buffer ([alloc(caller)]).
+	clientSide, err := compiled.WithPDL("client.pdl", `
+		interface KVStore { get([alloc(caller)] return); };`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn2, err := flexrpc.ConnectInProc(clientSide.Pres, disp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	_, ret, err = conn2.Invoke("get", []flexrpc.Value{"greeting"}, nil, buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := ret.([]byte)
+	fmt.Printf("get into caller buffer = %q (landed in caller storage: %v)\n",
+		got, len(got) > 0 && &got[0] == &buf[0])
+}

@@ -1,0 +1,150 @@
+// Package flexrpc is an RPC stub compiler and runtime with flexible
+// presentation support, a reproduction of Ford, Hibler and Lepreau,
+// "Using Annotated Interface Definitions to Optimize RPC" (University
+// of Utah, UUCS-95-014, 1995).
+//
+// The central idea: an RPC *interface* — the network contract between
+// client and server — is distinct from its *presentation* — the
+// programmer's contract between the stubs and local code. The
+// compiler is split into three stages: an IDL front-end (CORBA
+// IDL, Sun RPC .x, or MIG .defs) produces the neutral contract; the presentation
+// stage computes a default presentation by fixed rules and applies an
+// optional Presentation Definition Language (PDL) file; back-ends
+// (the interpreted runtime stubs, or the Go source generator) consume
+// the pair. Each endpoint of a connection may hold an arbitrarily
+// different presentation of the same contract, and transports exploit
+// the relaxed semantics presentations declare — buffer
+// ownership ([dealloc], [alloc]), mutability ([trashable],
+// [preserved]), custom marshal paths ([special]), naming
+// ([nonunique]), and trust ([leaky], [unprotected]).
+//
+// Quick start:
+//
+//	c, err := flexrpc.Compile(flexrpc.Options{
+//	    Frontend: flexrpc.FrontendCORBA,
+//	    Filename: "fileio.idl",
+//	    Source:   src,
+//	})
+//	disp := flexrpc.NewDispatcher(c.Pres)
+//	disp.Handle("read", func(call *flexrpc.Call) error { ... })
+//	conn, err := flexrpc.ConnectInProc(c.Pres, disp) // same-domain
+//	outs, ret, err := conn.Invoke("read", []flexrpc.Value{uint32(64)}, nil, nil)
+//
+// See the examples directory for transport-crossing uses (simulated
+// Mach IPC, fbufs, Sun RPC over TCP) and DESIGN.md for the map from
+// the paper's experiments to this repository.
+package flexrpc
+
+import (
+	"flexrpc/internal/core"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
+	"flexrpc/internal/transport/inproc"
+)
+
+// Re-exported compiler types.
+type (
+	// Options configure one compilation; see Compile.
+	Options = core.Options
+	// Compiled is a parsed interface plus one endpoint's presentation.
+	Compiled = core.Compiled
+	// Frontend selects the IDL dialect.
+	Frontend = core.Frontend
+)
+
+// Front-end selectors.
+const (
+	FrontendCORBA  = core.FrontendCORBA
+	FrontendSunXDR = core.FrontendSunXDR
+	FrontendMIG    = core.FrontendMIG
+)
+
+// Presentation styles (default-rule sets).
+const (
+	StyleCORBA = pres.StyleCORBA
+	StyleSun   = pres.StyleSun
+	StyleMIG   = pres.StyleMIG
+)
+
+// Re-exported presentation types.
+type (
+	// Presentation is one endpoint's programmer's contract.
+	Presentation = pres.Presentation
+	// ParamAttrs are the presentation attributes of one parameter.
+	ParamAttrs = pres.ParamAttrs
+	// Trust is an endpoint's trust in its peer.
+	Trust = pres.Trust
+)
+
+// Trust levels.
+const (
+	TrustNone  = pres.TrustNone
+	TrustLeaky = pres.TrustLeaky
+	TrustFull  = pres.TrustFull
+)
+
+// Re-exported runtime types.
+type (
+	// Value is the runtime representation of one IR-typed value.
+	Value = runtime.Value
+	// PortName is a transferred capability reference.
+	PortName = runtime.PortName
+	// Invoker is anything operations can be called through.
+	Invoker = runtime.Invoker
+	// Call carries one invocation to a server work function.
+	Call = runtime.Call
+	// Handler is a server work function.
+	Handler = runtime.Handler
+	// Dispatcher is the server half of the stubs.
+	Dispatcher = runtime.Dispatcher
+	// Client executes calls by marshaling onto a transport.
+	Client = runtime.Client
+	// Codec is a wire encoding (XDR or CDR).
+	Codec = runtime.Codec
+	// SpecialHooks are programmer-supplied marshal routines for
+	// [special] parameters.
+	SpecialHooks = runtime.SpecialHooks
+	// Conn is a client-side message transport connection.
+	Conn = runtime.Conn
+	// Encoder appends wire-format primitives (used by compiled stubs).
+	Encoder = runtime.Encoder
+	// Decoder reads wire-format primitives (used by compiled stubs).
+	Decoder = runtime.Decoder
+)
+
+// Wire codecs.
+var (
+	// XDRCodec marshals in Sun XDR.
+	XDRCodec = runtime.XDRCodec
+	// CDRCodec marshals in CORBA CDR (big-endian).
+	CDRCodec = runtime.CDRCodec
+	// CDRCodecLE marshals in CORBA CDR, little-endian.
+	CDRCodecLE = runtime.CDRCodecLE
+)
+
+// Compile runs the front-end and presentation stages.
+func Compile(o Options) (*Compiled, error) { return core.Compile(o) }
+
+// NewDispatcher creates a server dispatcher for the presentation.
+func NewDispatcher(p *Presentation) *Dispatcher { return runtime.NewDispatcher(p) }
+
+// NewClient builds a marshal-based client over a transport
+// connection.
+func NewClient(p *Presentation, codec Codec, conn runtime.Conn, hooks SpecialHooks) (*Client, error) {
+	return runtime.NewClient(p, codec, conn, hooks)
+}
+
+// ConnectInProc binds a client presentation to a dispatcher in the
+// same protection domain; calls short-circuit to negotiated direct
+// invocations (paper §4.4).
+func ConnectInProc(clientPres *Presentation, disp *Dispatcher) (Invoker, error) {
+	return inproc.Connect(clientPres, disp)
+}
+
+// RawCall round-trips a pre-marshaled request for compiled stubs,
+// returning a decoder positioned at the reply body. Generated
+// *CompiledClient types call this; application code normally uses
+// Invoke or the typed stub methods instead.
+func RawCall(conn Conn, codec Codec, opIdx int, req, replyBuf []byte) (Decoder, []byte, error) {
+	return runtime.RawCall(conn, codec, opIdx, req, replyBuf)
+}

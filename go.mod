@@ -1,0 +1,3 @@
+module flexrpc
+
+go 1.22

@@ -1,0 +1,345 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"flexrpc/internal/ir"
+	"flexrpc/internal/pres"
+)
+
+// The compiled-stub emitter: instead of boxing arguments into the
+// interpreted marshal engine, it emits straight-line Put/Get calls
+// per operation — what the paper's (and later Flick's) generated C
+// stubs were. Compiled stubs close the gap between generated and
+// hand-written marshal code that interpretation leaves open; the
+// BenchmarkMarshalModes benchmark quantifies it.
+//
+// An operation is compiled when its types are statically mappable
+// and no parameter is [special] (special marshaling is inherently a
+// runtime callback). Ops that don't qualify are listed in a comment
+// and remain available through the interpreted client.
+
+// compilable reports whether the op can get a compiled method.
+func (g *gen) compilable(op *ir.Operation) bool {
+	if opp := g.pres.Op(op.Name); opp != nil {
+		for _, a := range opp.Params {
+			if a.Special {
+				return false
+			}
+		}
+	}
+	check := func(t *ir.Type) bool {
+		switch t.Kind {
+		case ir.Void, ir.Bool, ir.Int32, ir.Uint32, ir.Int64, ir.Uint64,
+			ir.Float32, ir.Float64, ir.String, ir.Bytes, ir.FixedBytes,
+			ir.Enum, ir.Port:
+			return true
+		case ir.Seq, ir.Array:
+			return isScalar(t.Elem) || t.Elem.Kind == ir.Struct
+		case ir.Struct:
+			return true
+		}
+		return false
+	}
+	var deep func(t *ir.Type) bool
+	deep = func(t *ir.Type) bool {
+		if !check(t) {
+			return false
+		}
+		switch t.Kind {
+		case ir.Seq, ir.Array:
+			return deep(t.Elem)
+		case ir.Struct:
+			for _, f := range t.Fields {
+				if !deep(f.Type) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, p := range op.Params {
+		if !deep(p.Type) {
+			return false
+		}
+	}
+	if op.HasResult() && !deep(op.Result) {
+		return false
+	}
+	return true
+}
+
+// emitCompiledClient generates the direct-marshal client.
+func (g *gen) emitCompiledClient() error {
+	iface := g.compiled.Iface
+	var ops []*ir.Operation
+	var skipped []string
+	for i := range iface.Ops {
+		op := &iface.Ops[i]
+		if g.compilable(op) {
+			ops = append(ops, op)
+		} else {
+			skipped = append(skipped, op.Name)
+		}
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	cname := goName(iface.Name) + "CompiledClient"
+	g.pf("// %s is the compiled-stub client: marshal code is\n", cname)
+	g.pf("// generated inline per operation instead of interpreted, matching\n")
+	g.pf("// hand-written stub performance. It binds directly to a transport\n")
+	g.pf("// connection (machipc, fbufrpc, suntcp).\n")
+	if len(skipped) > 0 {
+		g.pf("// Not compiled (available via the interpreted client): %s.\n", strings.Join(skipped, ", "))
+	}
+	g.pf("type %s struct {\n\tconn  flexrpc.Conn\n\tcodec flexrpc.Codec\n\tmu    sync.Mutex\n\tenc   flexrpc.Encoder\n\treplyBuf []byte\n}\n\n", cname)
+	g.pf("// New%s binds compiled stubs to a transport connection.\n", cname)
+	g.pf("func New%s(conn flexrpc.Conn, codec flexrpc.Codec) *%s {\n", cname, cname)
+	g.pf("\treturn &%s{conn: conn, codec: codec, enc: codec.NewEncoder()}\n}\n\n", cname)
+
+	for _, op := range ops {
+		if err := g.emitCompiledMethod(cname, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) emitCompiledMethod(cname string, op *ir.Operation) error {
+	idx := -1
+	for i := range g.compiled.Iface.Ops {
+		if g.compiled.Iface.Ops[i].Name == op.Name {
+			idx = i
+		}
+	}
+	mname := goName(op.Name)
+	retAttrs := g.attrsFor(op, pres.ResultParam)
+	retCallerAlloc := op.HasResult() && isBufferKind(op.Result) && retAttrs.Alloc == pres.AllocCaller
+
+	var params, rets, zeros []string
+	for _, p := range op.Params {
+		gt, err := g.goType(p.Type)
+		if err != nil {
+			return err
+		}
+		if p.Dir == ir.In || p.Dir == ir.InOut {
+			params = append(params, lowerFirst(goName(p.Name))+" "+gt)
+		}
+		if p.Dir == ir.Out || p.Dir == ir.InOut {
+			a := g.attrsFor(op, p.Name)
+			if isBufferKind(p.Type) && a.Alloc == pres.AllocCaller {
+				params = append(params, lowerFirst(goName(p.Name))+"Buf []byte")
+			}
+			rets = append(rets, gt)
+			zeros = append(zeros, g.zeroExpr(p.Type))
+		}
+	}
+	if retCallerAlloc {
+		params = append(params, "resultBuf []byte")
+	}
+	if op.HasResult() {
+		gt, err := g.goType(op.Result)
+		if err != nil {
+			return err
+		}
+		rets = append(rets, gt)
+		zeros = append(zeros, g.zeroExpr(op.Result))
+	}
+	rets = append(rets, "error")
+	retSig := strings.Join(rets, ", ")
+	if len(rets) > 1 {
+		retSig = "(" + retSig + ")"
+	}
+	zeroRets := strings.Join(append(append([]string(nil), zeros...), "err"), ", ")
+
+	g.pf("// %s invokes %q through compiled marshal code.\n", mname, op.Name)
+	g.pf("func (c *%s) %s(%s) %s {\n", cname, mname, strings.Join(params, ", "), retSig)
+	g.pf("\tc.mu.Lock()\n\tdefer c.mu.Unlock()\n")
+	g.pf("\tvar err error\n\t_ = err\n")
+	g.pf("\tc.enc.Reset()\n")
+	// Encode in/inout parameters inline.
+	for _, p := range op.Params {
+		if p.Dir == ir.Out {
+			continue
+		}
+		g.emitEncode("c.enc", lowerFirst(goName(p.Name)), p.Type, "\t", 0)
+	}
+	if op.Oneway {
+		g.pf("\t_, _, err = flexrpc.RawCall(c.conn, c.codec, %d, c.enc.Bytes(), c.replyBuf)\n", idx)
+		g.pf("\treturn err\n}\n\n")
+		return nil
+	}
+	hasDecodes := op.HasResult()
+	for _, p := range op.Params {
+		if p.Dir != ir.In {
+			hasDecodes = true
+		}
+	}
+	decVar := "dec"
+	if !hasDecodes {
+		decVar = "_"
+	}
+	g.pf("\t%s, reply, err := flexrpc.RawCall(c.conn, c.codec, %d, c.enc.Bytes(), c.replyBuf)\n", decVar, idx)
+	g.pf("\tif err != nil {\n\t\treturn %s\n\t}\n", zeroRets)
+	g.pf("\tif cap(reply) > cap(c.replyBuf) {\n\t\tc.replyBuf = reply[:cap(reply)]\n\t}\n")
+
+	// Decode out/inout values and the result inline.
+	var retExprs []string
+	vn := 0
+	for _, p := range op.Params {
+		if p.Dir == ir.In {
+			continue
+		}
+		v := fmt.Sprintf("out%d", vn)
+		vn++
+		a := g.attrsFor(op, p.Name)
+		into := ""
+		if isBufferKind(p.Type) && a.Alloc == pres.AllocCaller {
+			into = lowerFirst(goName(p.Name)) + "Buf"
+		}
+		g.emitDecode(v, p.Type, into, zeroRets)
+		retExprs = append(retExprs, v)
+	}
+	if op.HasResult() {
+		into := ""
+		if retCallerAlloc {
+			into = "resultBuf"
+		}
+		g.emitDecode("res", op.Result, into, zeroRets)
+		retExprs = append(retExprs, "res")
+	}
+	retExprs = append(retExprs, "nil")
+	g.pf("\treturn %s\n}\n\n", strings.Join(retExprs, ", "))
+	return nil
+}
+
+// emitEncode writes straight-line encode statements for expr of wire
+// type t. depth disambiguates nested loop variables.
+func (g *gen) emitEncode(enc, expr string, t *ir.Type, indent string, depth int) {
+	switch t.Kind {
+	case ir.Bool:
+		g.pf("%s%s.PutBool(%s)\n", indent, enc, expr)
+	case ir.Int32:
+		g.pf("%s%s.PutInt32(%s)\n", indent, enc, expr)
+	case ir.Enum:
+		g.pf("%s%s.PutInt32(int32(%s))\n", indent, enc, expr)
+	case ir.Uint32:
+		g.pf("%s%s.PutUint32(%s)\n", indent, enc, expr)
+	case ir.Int64:
+		g.pf("%s%s.PutInt64(%s)\n", indent, enc, expr)
+	case ir.Uint64:
+		g.pf("%s%s.PutUint64(%s)\n", indent, enc, expr)
+	case ir.Float32:
+		g.pf("%s%s.PutFloat32(%s)\n", indent, enc, expr)
+	case ir.Float64:
+		g.pf("%s%s.PutFloat64(%s)\n", indent, enc, expr)
+	case ir.String:
+		g.pf("%s%s.PutString(%s)\n", indent, enc, expr)
+	case ir.Bytes:
+		g.pf("%s%s.PutBytes(%s)\n", indent, enc, expr)
+	case ir.FixedBytes:
+		g.pf("%s%s.PutFixedBytes(%s)\n", indent, enc, expr)
+	case ir.Port:
+		g.pf("%s%s.PutUint32(uint32(%s))\n", indent, enc, expr)
+	case ir.Seq, ir.Array:
+		iv := g.nextTmp("i")
+		if t.Kind == ir.Seq {
+			g.pf("%s%s.PutLen(len(%s))\n", indent, enc, expr)
+		}
+		g.pf("%sfor %s := range %s {\n", indent, iv, expr)
+		g.emitEncode(enc, expr+"["+iv+"]", t.Elem, indent+"\t", depth+1)
+		g.pf("%s}\n", indent)
+	case ir.Struct:
+		for _, f := range t.Fields {
+			g.emitEncode(enc, expr+"."+goName(f.Name), f.Type, indent, depth)
+		}
+	}
+}
+
+// emitDecode writes statements declaring target and decoding into it;
+// into names an optional caller-provided landing buffer for byte
+// kinds. zeroRets is the error-return expression list.
+func (g *gen) emitDecode(target string, t *ir.Type, into, zeroRets string) {
+	gt, _ := g.goType(t)
+	g.pf("\tvar %s %s\n", target, gt)
+	g.emitDecodeInto(target, t, into, zeroRets, "\t", 0)
+}
+
+func (g *gen) emitDecodeInto(target string, t *ir.Type, into, zeroRets, indent string, depth int) {
+	fail := func() string {
+		return fmt.Sprintf("%sif err != nil {\n%s\treturn %s\n%s}\n", indent, indent, zeroRets, indent)
+	}
+	prim := func(call string) {
+		g.pf("%s%s, err = dec.%s\n", indent, target, call)
+		g.pf("%s", fail())
+	}
+	switch t.Kind {
+	case ir.Bool:
+		prim("Bool()")
+	case ir.Int32:
+		prim("Int32()")
+	case ir.Uint32:
+		prim("Uint32()")
+	case ir.Int64:
+		prim("Int64()")
+	case ir.Uint64:
+		prim("Uint64()")
+	case ir.Float32:
+		prim("Float32()")
+	case ir.Float64:
+		prim("Float64()")
+	case ir.String:
+		prim("String()")
+	case ir.Enum:
+		tv := g.nextTmp("e")
+		g.pf("%s%s, err := dec.Int32()\n%s", indent, tv, fail())
+		gt, _ := g.goType(t)
+		g.pf("%s%s = %s(%s)\n", indent, target, gt, tv)
+	case ir.Port:
+		tv := g.nextTmp("p")
+		g.pf("%s%s, err := dec.Uint32()\n%s", indent, tv, fail())
+		g.pf("%s%s = flexrpc.PortName(%s)\n", indent, target, tv)
+	case ir.Bytes:
+		if into != "" {
+			nv := g.nextTmp("n")
+			g.pf("%svar %s int\n", indent, nv)
+			g.pf("%s%s, err = dec.BytesInto(%s)\n%s", indent, nv, into, fail())
+			g.pf("%s%s = %s[:%s]\n", indent, target, into, nv)
+		} else {
+			// Move semantics: the consumer owns the result.
+			wv := g.nextTmp("w")
+			g.pf("%s%s, err := dec.Bytes()\n%s", indent, wv, fail())
+			g.pf("%s%s = append([]byte(nil), %s...)\n", indent, target, wv)
+		}
+	case ir.FixedBytes:
+		if into != "" {
+			g.pf("%serr = dec.FixedBytesInto(%s[:%d])\n%s", indent, into, t.Size, fail())
+			g.pf("%s%s = %s[:%d]\n", indent, target, into, t.Size)
+		} else {
+			g.pf("%s%s = make([]byte, %d)\n", indent, target, t.Size)
+			g.pf("%serr = dec.FixedBytesInto(%s)\n%s", indent, target, fail())
+		}
+	case ir.Seq, ir.Array:
+		gt, _ := g.goType(t)
+		nv := g.nextTmp("n")
+		if t.Kind == ir.Seq {
+			g.pf("%svar %s int\n", indent, nv)
+			g.pf("%s%s, err = dec.Len()\n%s", indent, nv, fail())
+			g.pf("%sif %s > dec.Remaining() {\n%s\terr = fmt.Errorf(\"corrupt sequence length\")\n%s\treturn %s\n%s}\n",
+				indent, nv, indent, indent, zeroRets, indent)
+		} else {
+			g.pf("%s%s := %d\n", indent, nv, t.Size)
+		}
+		g.pf("%s%s = make(%s, %s)\n", indent, target, gt, nv)
+		iv := g.nextTmp("i")
+		g.pf("%sfor %s := range %s {\n", indent, iv, target)
+		g.emitDecodeInto(target+"["+iv+"]", t.Elem, "", zeroRets, indent+"\t", depth+1)
+		g.pf("%s}\n", indent)
+	case ir.Struct:
+		for _, f := range t.Fields {
+			g.emitDecodeInto(target+"."+goName(f.Name), f.Type, "", zeroRets, indent, depth)
+		}
+	}
+}

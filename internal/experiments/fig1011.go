@@ -1,0 +1,335 @@
+package experiments
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"flexrpc/internal/core"
+	"flexrpc/internal/pres"
+	frt "flexrpc/internal/runtime"
+	"flexrpc/internal/transport/inproc"
+)
+
+// The same-domain experiments of §4.4: a 1 KB parameter crosses a
+// same-domain RPC under three RPC systems — two fixed presentations
+// and the flexible one — for every combination of endpoint
+// requirements.
+
+// ParamSize is the paper's 1 KB parameter.
+const ParamSize = 1024
+
+// SemRow is one bar of Figures 10 and 11.
+type SemRow struct {
+	Group  string
+	System string
+	NsCall float64 // total ns per call (stub + glue)
+	NsGlue float64 // portion spent in manual glue code
+}
+
+const mutIDL = `interface Mut { void put(in sequence<octet> data); };`
+
+// glueTimer accumulates time spent in manually written adaptation
+// code — the lined segments of the paper's bars.
+type glueTimer struct {
+	nanos atomic.Int64
+}
+
+func (g *glueTimer) time(fn func()) {
+	t0 := time.Now()
+	fn()
+	g.nanos.Add(time.Since(t0).Nanoseconds())
+}
+
+// Fig10 measures copy-vs-borrow semantics for in parameters
+// (§4.4.1). Groups are endpoint requirements: does the client permit
+// trashing, does the server modify in place. Systems: fixed copy
+// semantics, fixed borrow semantics, flexible presentation.
+func Fig10(iters int) ([]SemRow, error) {
+	defer uniprocessor()()
+	compiled, err := core.Compile(core.Options{
+		Frontend: core.FrontendCORBA, Filename: "mut.idl", Source: mutIDL,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type group struct {
+		name           string
+		clientTrashOK  bool
+		serverModifies bool
+	}
+	groups := []group{
+		{"client normal / server reads", false, false},
+		{"client trashable-ok / server reads", true, false},
+		{"client normal / server modifies", false, true},
+		{"client trashable-ok / server modifies", true, true},
+	}
+	type system struct {
+		name string
+		// presentations given the group's requirements
+		build func(g group) (cp, sp *pres.Presentation)
+	}
+	systems := []system{
+		{"fixed copy semantics", func(g group) (*pres.Presentation, *pres.Presentation) {
+			// Neither side can express anything: stub always copies.
+			return compiled.DefaultPres(pres.StyleCORBA), compiled.DefaultPres(pres.StyleCORBA)
+		}},
+		{"fixed borrow semantics", func(g group) (*pres.Presentation, *pres.Presentation) {
+			// The system forbids servers from modifying in params:
+			// the stub behaves as if every server declared
+			// [preserved]; a modifying server must copy manually.
+			sp := compiled.DefaultPres(pres.StyleCORBA)
+			sp.Op("put").Param("data").Preserved = true
+			return compiled.DefaultPres(pres.StyleCORBA), sp
+		}},
+		{"flexible presentation", func(g group) (*pres.Presentation, *pres.Presentation) {
+			cp := compiled.DefaultPres(pres.StyleCORBA)
+			if g.clientTrashOK {
+				cp.Op("put").Param("data").Trashable = true
+			}
+			sp := compiled.DefaultPres(pres.StyleCORBA)
+			if !g.serverModifies {
+				sp.Op("put").Param("data").Preserved = true
+			}
+			return cp, sp
+		}},
+	}
+
+	var rows []SemRow
+	for _, g := range groups {
+		for _, sys := range systems {
+			cp, sp := sys.build(g)
+			glue := &glueTimer{}
+			disp := frt.NewDispatcher(sp)
+			scratch := make([]byte, ParamSize)
+			disp.Handle("put", func(c *frt.Call) error {
+				buf := c.ArgBytes(0)
+				if g.serverModifies {
+					if !c.ArgPrivate(0) {
+						// Fixed borrow semantics force the server to
+						// make its own copy before modifying — the
+						// paper's manual glue.
+						glue.time(func() {
+							copy(scratch, buf)
+							buf = scratch
+						})
+					}
+					buf[0] ^= 0xFF // modify in place
+				} else {
+					_ = buf[len(buf)-1] // read it
+				}
+				return nil
+			})
+			conn, err := inproc.Connect(cp, disp)
+			if err != nil {
+				return nil, err
+			}
+			data := make([]byte, ParamSize)
+			args := []frt.Value{data}
+			d := bestOf(Trials, func() time.Duration {
+				glue.nanos.Store(0)
+				runtime.GC() // settle allocator debt from earlier cells
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					if _, _, err := conn.Invoke("put", args, nil, nil); err != nil {
+						panic(err)
+					}
+				}
+				return time.Since(start)
+			})
+			rows = append(rows, SemRow{
+				Group:  g.name,
+				System: sys.name,
+				NsCall: float64(d.Nanoseconds()) / float64(iters),
+				NsGlue: float64(glue.nanos.Load()) / float64(iters),
+			})
+		}
+	}
+	return rows, nil
+}
+
+const allocIDL = `interface Alloc { sequence<octet> fetch(in unsigned long n); };`
+
+// Fig11 measures allocation semantics for out parameters (§4.4.2).
+// Groups: which side insists on providing the buffer. Systems: fixed
+// callee-allocates (CORBA/COM), fixed caller-allocates (MIG),
+// flexible presentation.
+func Fig11(iters int) ([]SemRow, error) {
+	defer uniprocessor()()
+	compiled, err := core.Compile(core.Options{
+		Frontend: core.FrontendCORBA, Filename: "alloc.idl", Source: allocIDL,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type group struct {
+		name           string
+		clientProvides bool // client wants the data in its own buffer
+		serverProvides bool // server has the data pre-allocated
+	}
+	groups := []group{
+		{"neither side cares", false, false},
+		{"server provides the buffer", false, true},
+		{"client provides the buffer", true, false},
+		{"both insist on their own buffer", true, true},
+	}
+
+	// The server's pre-existing data (for server-provides groups).
+	retained := make([]byte, ParamSize)
+	for i := range retained {
+		retained[i] = byte(i * 3)
+	}
+
+	type system struct {
+		name  string
+		style pres.Style // fixed style, or flexible when flex is set
+		flex  bool
+	}
+	systems := []system{
+		{"fixed callee-alloc (CORBA/COM)", pres.StyleCORBA, false},
+		{"fixed caller-alloc (MIG)", pres.StyleMIG, false},
+		{"flexible presentation", pres.StyleCORBA, true},
+	}
+
+	var rows []SemRow
+	for _, g := range groups {
+		for _, sys := range systems {
+			glue := &glueTimer{}
+			var cp, sp *pres.Presentation
+			if sys.flex {
+				cp = compiled.DefaultPres(pres.StyleCORBA)
+				sp = compiled.DefaultPres(pres.StyleCORBA)
+				ca := cp.Op("fetch").Result()
+				sa := sp.Op("fetch").Result()
+				if g.clientProvides {
+					ca.Alloc = pres.AllocCaller
+				} else {
+					ca.Alloc = pres.AllocAuto
+				}
+				if g.serverProvides {
+					sa.Alloc = pres.AllocCallee
+					sa.Dealloc = pres.DeallocNever
+				} else {
+					sa.Alloc = pres.AllocCaller // defer: fill what's given
+					sa.Dealloc = pres.DeallocDefault
+				}
+			} else {
+				cp = compiled.DefaultPres(sys.style)
+				sp = compiled.DefaultPres(sys.style)
+			}
+
+			disp := frt.NewDispatcher(sp)
+			serverProvides := g.serverProvides
+			disp.Handle("fetch", func(c *frt.Call) error {
+				n := int(c.Arg(0).(uint32))
+				if buf := c.ResultBuffer(); buf != nil {
+					// Caller-provided buffer reached the server.
+					if serverProvides {
+						// MIG-style mismatch: the pre-existing data
+						// must be copied into the provided buffer.
+						glue.time(func() { copy(buf, retained[:n]) })
+					} else {
+						produce(buf[:n]) // natural: fill in place
+					}
+					c.SetOut(0, nil)
+					c.SetResult(buf[:n])
+					return nil
+				}
+				if serverProvides {
+					if c.ResultMoved() {
+						// CORBA-style mismatch: the stub will take the
+						// buffer, so donate a fresh copy.
+						out := make([]byte, n)
+						glue.time(func() { copy(out, retained[:n]) })
+						c.SetResult(out)
+						return nil
+					}
+					// Flexible: hand over the retained buffer itself.
+					c.SetResult(retained[:n])
+					return nil
+				}
+				// No constraints: produce into a fresh buffer.
+				out := make([]byte, n)
+				produce(out)
+				c.SetResult(out)
+				return nil
+			})
+			conn, err := inproc.Connect(cp, disp)
+			if err != nil {
+				return nil, err
+			}
+
+			clientBuf := make([]byte, ParamSize)
+			args := []frt.Value{uint32(ParamSize)}
+			wantOwn := g.clientProvides
+			corbaFixed := !sys.flex && sys.style == pres.StyleCORBA
+			migFixed := !sys.flex && sys.style == pres.StyleMIG
+
+			d := bestOf(Trials, func() time.Duration {
+				glue.nanos.Store(0)
+				runtime.GC() // settle allocator debt from earlier cells
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					var retBuf []byte
+					switch {
+					case g.clientProvides:
+						// The client's requirement implies it owns a
+						// long-lived buffer; every system reuses it.
+						retBuf = clientBuf
+					case migFixed:
+						// MIG demands a caller buffer the client has
+						// no further use for: conjure one per call.
+						retBuf = make([]byte, ParamSize)
+					}
+					_, ret, err := conn.Invoke("fetch", args, nil, retBuf)
+					if err != nil {
+						panic(err)
+					}
+					got := ret.([]byte)
+					if corbaFixed && wantOwn {
+						// CORBA returned a donated buffer but the
+						// client wants the data in its own: manual
+						// copy (and conceptual free of the donation).
+						glue.time(func() { copy(clientBuf, got) })
+					}
+				}
+				return time.Since(start)
+			})
+			rows = append(rows, SemRow{
+				Group:  g.name,
+				System: sys.name,
+				NsCall: float64(d.Nanoseconds()) / float64(iters),
+				NsGlue: float64(glue.nanos.Load()) / float64(iters),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// produce fills buf, standing in for the server generating the data.
+func produce(buf []byte) {
+	for i := 0; i < len(buf); i += 64 {
+		buf[i] = byte(i)
+	}
+}
+
+// SemTable renders Figure 10/11 rows grouped like the paper's bar
+// groups.
+func SemTable(title, note string, rows []SemRow) *Table {
+	t := &Table{Title: title, Note: note, Headers: []string{"ns/call", "glue ns", "stub ns"}}
+	lastGroup := ""
+	for _, r := range rows {
+		label := "    " + r.System
+		if r.Group != lastGroup {
+			t.Rows = append(t.Rows, Row{Label: r.Group + ":", Values: []string{"", "", ""}})
+			lastGroup = r.Group
+		}
+		t.Rows = append(t.Rows, Row{
+			Label:  label,
+			Values: []string{f1(r.NsCall), f1(r.NsGlue), f1(r.NsCall - r.NsGlue)},
+		})
+	}
+	return t
+}

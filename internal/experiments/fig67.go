@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"flexrpc/internal/bsdpipe"
+	"flexrpc/internal/fbuf"
+	"flexrpc/internal/mach"
+	"flexrpc/internal/pipeserver"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
+	"flexrpc/internal/transport/fbufrpc"
+	"flexrpc/internal/transport/machipc"
+)
+
+// PipeRow is one bar of Figures 6 and 7: throughput of one pipe
+// configuration.
+type PipeRow struct {
+	Config   string
+	PipeSize int
+	MBps     float64
+}
+
+// PipeConfig parameterizes the pipe throughput experiments.
+type PipeConfig struct {
+	// Total bytes pushed through the pipe per measurement.
+	Total int
+	// Chunk is the per-call read/write size; zero means half the
+	// pipe buffer, so larger pipes carry proportionally larger
+	// transfers as a real pipe workload would.
+	Chunk int
+	// PipeSizes are the buffer sizes to test (the paper's 4K/8K).
+	PipeSizes []int
+}
+
+// DefaultPipeConfig mirrors the paper's workload.
+func DefaultPipeConfig() PipeConfig {
+	return PipeConfig{Total: 4 << 20, PipeSizes: []int{4096, 8192}}
+}
+
+// chunkFor resolves the per-call transfer size for a pipe size.
+func (c PipeConfig) chunkFor(pipeSize int) int {
+	if c.Chunk > 0 {
+		return c.Chunk
+	}
+	return pipeSize / 2
+}
+
+// runMachPipe pushes cfg.Total bytes through a freshly assembled
+// mach pipe server and returns the elapsed time.
+func runMachPipe(cfg PipeConfig, pipeSize int, serverPDL string) (time.Duration, error) {
+	cfg.Chunk = cfg.chunkFor(pipeSize)
+	compiled, err := pipeserver.Compile()
+	if err != nil {
+		return 0, err
+	}
+	serverPres := compiled.Pres
+	if serverPDL != "" {
+		sc, err := compiled.WithPDL("server.pdl", serverPDL)
+		if err != nil {
+			return 0, err
+		}
+		serverPres = sc.Pres
+	}
+	srv, err := pipeserver.NewServer(pipeSize, serverPres)
+	if err != nil {
+		return 0, err
+	}
+	k := mach.NewKernel()
+	serverTask := k.NewTask("pipe-server")
+	_, port := serverTask.AllocatePort()
+	srv.ServeMach(serverTask, port, 2)
+	defer port.Destroy()
+
+	writerTask := k.NewTask("writer")
+	readerTask := k.NewTask("reader")
+	w, err := pipeserver.NewMachClient(writerTask, writerTask.InsertRight(port), compiled.DefaultPres(pres.StyleCORBA))
+	if err != nil {
+		return 0, err
+	}
+	r, err := pipeserver.NewMachClient(readerTask, readerTask.InsertRight(port), compiled.DefaultPres(pres.StyleCORBA))
+	if err != nil {
+		return 0, err
+	}
+	return pumpPipe(cfg, w.Write, func(max int) (int, error) {
+		b, err := r.Read(max)
+		return len(b), err
+	}, w.CloseWrite)
+}
+
+// pumpPipe runs the writer and reader programs concurrently.
+func pumpPipe(cfg PipeConfig, write func([]byte) error, read func(int) (int, error), closeWrite func() error) (time.Duration, error) {
+	chunk := make([]byte, cfg.Chunk)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	var werr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for off := 0; off < cfg.Total; off += cfg.Chunk {
+			if err := write(chunk); err != nil {
+				werr = err
+				return
+			}
+		}
+		werr = closeWrite()
+	}()
+	got := 0
+	for {
+		n, err := read(cfg.Chunk)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		got += n
+	}
+	wg.Wait()
+	if werr != nil {
+		return 0, werr
+	}
+	if got != cfg.Total {
+		return 0, fmt.Errorf("pipe delivered %d bytes, want %d", got, cfg.Total)
+	}
+	return time.Since(start), nil
+}
+
+// Fig6 measures the basic pipe server over the streamlined IPC path
+// with the default presentation versus the Figure 5 [dealloc(never)]
+// presentation.
+func Fig6(cfg PipeConfig) ([]PipeRow, error) {
+	var rows []PipeRow
+	for _, size := range cfg.PipeSizes {
+		for _, mode := range []struct {
+			name string
+			pdl  string
+		}{
+			{"default presentation", ""},
+			{"[dealloc(never)] presentation", pipeserver.Figure5PDL},
+		} {
+			var runErr error
+			d := bestOf(Trials, func() time.Duration {
+				t, err := runMachPipe(cfg, size, mode.pdl)
+				if err != nil {
+					runErr = err
+				}
+				return t
+			})
+			if runErr != nil {
+				return nil, runErr
+			}
+			rows = append(rows, PipeRow{Config: mode.name, PipeSize: size, MBps: mbps(cfg.Total, d)})
+		}
+	}
+	return rows, nil
+}
+
+// runFbufStandard runs the pipe server with a standard presentation
+// over the transparent fbuf transport: two pairwise LRPC-like
+// channels (writer-server and reader-server).
+func runFbufStandard(cfg PipeConfig, pipeSize int) (time.Duration, error) {
+	cfg.Chunk = cfg.chunkFor(pipeSize)
+	compiled, err := pipeserver.Compile()
+	if err != nil {
+		return 0, err
+	}
+	srv, err := pipeserver.NewServer(pipeSize, compiled.Pres)
+	if err != nil {
+		return 0, err
+	}
+	k := mach.NewKernel()
+	serverTask := k.NewTask("pipe-server")
+	serverDom := fbuf.NewDomain("pipe-server")
+
+	mkChannel := func(name string) (*fbufrpc.Channel, *mach.Port, *runtime.Client, error) {
+		task := k.NewTask(name)
+		ch := fbufrpc.NewChannel(
+			fbufrpc.Endpoint{Task: task, Domain: fbuf.NewDomain(name)},
+			fbufrpc.Endpoint{Task: serverTask, Domain: serverDom},
+			64<<10, 8)
+		_, port := serverTask.AllocatePort()
+		// Register the server signature before any client can dial.
+		machipc.Announce(port, srv.Disp.Pres)
+		// Two workers per channel: a blocked write handler must not
+		// stall the channel.
+		for i := 0; i < 2; i++ {
+			go func() { _ = fbufrpc.Serve(ch, port, srv.Disp, srv.Plan) }()
+		}
+		conn, err := fbufrpc.Dial(ch, task.InsertRight(port), compiled.DefaultPres(pres.StyleCORBA))
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		client, err := runtime.NewClient(compiled.DefaultPres(pres.StyleCORBA), runtime.XDRCodec, conn, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ch, port, client, nil
+	}
+	_, wPort, wClient, err := mkChannel("writer")
+	if err != nil {
+		return 0, err
+	}
+	defer wPort.Destroy()
+	_, rPort, rClient, err := mkChannel("reader")
+	if err != nil {
+		return 0, err
+	}
+	defer rPort.Destroy()
+
+	w := pipeserver.NewClientOver(wClient)
+	r := pipeserver.NewClientOver(rClient)
+	return pumpPipe(cfg, w.Write, func(max int) (int, error) {
+		b, err := r.Read(max)
+		return len(b), err
+	}, w.CloseWrite)
+}
+
+// runFbufSpecial runs the [special]-presentation pipe server: one
+// three-domain path, data staying in fbufs through the server.
+func runFbufSpecial(cfg PipeConfig, pipeSize int) (time.Duration, error) {
+	cfg.Chunk = cfg.chunkFor(pipeSize)
+	fp, err := pipeserver.StartFbufPipe(pipeserver.FbufPipeConfig{
+		Kernel:   mach.NewKernel(),
+		PipeSize: pipeSize,
+		BufSize:  cfg.Chunk,
+		PoolSize: pipeSize/cfg.Chunk*2 + 16,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer fp.Port.Destroy()
+	readBuf := make([]byte, cfg.Chunk)
+	return pumpPipe(cfg, fp.Writer.Write, func(max int) (int, error) {
+		return fp.Reader.Read(readBuf[:max])
+	}, fp.Writer.CloseWrite)
+}
+
+// runBSDPipe runs the monolithic reference pipe.
+func runBSDPipe(cfg PipeConfig) (time.Duration, error) {
+	cfg.Chunk = cfg.chunkFor(bsdpipe.BufferSize)
+	p := bsdpipe.New()
+	readBuf := make([]byte, cfg.Chunk)
+	return pumpPipe(cfg, func(b []byte) error {
+		_, err := p.Write(b)
+		return err
+	}, func(max int) (int, error) {
+		return p.Read(readBuf[:max])
+	}, func() error {
+		p.CloseWrite()
+		return nil
+	})
+}
+
+// Fig7 measures the pipe server over fbufs: standard presentation
+// (pairwise transparent channels) versus the [special] presentation
+// (data stays in fbufs through the server), plus the monolithic
+// 4.3BSD pipe reference.
+func Fig7(cfg PipeConfig) ([]PipeRow, error) {
+	var rows []PipeRow
+	for _, size := range cfg.PipeSizes {
+		var runErr error
+		d := bestOf(Trials, func() time.Duration {
+			t, err := runFbufStandard(cfg, size)
+			if err != nil {
+				runErr = err
+			}
+			return t
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		rows = append(rows, PipeRow{Config: "standard presentation over fbufs", PipeSize: size, MBps: mbps(cfg.Total, d)})
+
+		d = bestOf(Trials, func() time.Duration {
+			t, err := runFbufSpecial(cfg, size)
+			if err != nil {
+				runErr = err
+			}
+			return t
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		rows = append(rows, PipeRow{Config: "[special] presentation over fbufs", PipeSize: size, MBps: mbps(cfg.Total, d)})
+	}
+	var runErr error
+	d := bestOf(Trials, func() time.Duration {
+		t, err := runBSDPipe(cfg)
+		if err != nil {
+			runErr = err
+		}
+		return t
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	rows = append(rows, PipeRow{Config: "monolithic 4.3BSD pipe (reference)", PipeSize: bsdpipe.BufferSize, MBps: mbps(cfg.Total, d)})
+	return rows, nil
+}
+
+// PipeTable renders Figure 6/7 rows.
+func PipeTable(title, note string, rows []PipeRow) *Table {
+	t := &Table{Title: title, Note: note, Headers: []string{"pipe buf", "MB/s"}}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, Row{
+			Label:  r.Config,
+			Values: []string{fmt.Sprintf("%dK", r.PipeSize/1024), f1(r.MBps)},
+		})
+	}
+	return t
+}

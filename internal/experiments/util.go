@@ -1,0 +1,128 @@
+// Package experiments contains the drivers that regenerate every
+// figure of the paper's evaluation (§4). Each driver assembles the
+// systems under test from the same public building blocks the
+// examples use, runs the paper's workload, and returns rows shaped
+// like the original figure. The cmd/experiments binary prints them;
+// the top-level benchmarks wrap them in testing.B.
+//
+// Absolute numbers are 2026-Go numbers; the experiments reproduce the
+// paper's *shapes*: which presentation wins, roughly by what factor,
+// and where flexible presentation matches the best fixed choice.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Trials is how many times each measurement is repeated; the best
+// (minimum) value is reported, the standard technique for scheduling
+// noise on a time-shared machine.
+const Trials = 5
+
+// bestOf runs fn Trials times and returns the minimum duration.
+func bestOf(trials int, fn func() time.Duration) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < trials; i++ {
+		if d := fn(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// mbps converts (bytes, duration) to MB/s.
+func mbps(bytes int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds() / 1e6
+}
+
+// Row is one printable result line.
+type Row struct {
+	Label  string
+	Values []string
+}
+
+// Table is a titled set of rows with column headers.
+type Table struct {
+	Title   string
+	Note    string
+	Headers []string
+	Rows    []Row
+}
+
+// CSV renders the table as comma-separated rows (header first),
+// for machine consumption via cmd/experiments -csv.
+func (t *Table) CSV() string {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	out := esc("config")
+	for _, h := range t.Headers {
+		out += "," + esc(h)
+	}
+	out += "\n"
+	for _, r := range t.Rows {
+		out += esc(strings.TrimSpace(r.Label))
+		for _, v := range r.Values {
+			out += "," + esc(v)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	out := "== " + t.Title + " ==\n"
+	if t.Note != "" {
+		out += t.Note + "\n"
+	}
+	widths := make([]int, len(t.Headers)+1)
+	update := func(col int, s string) {
+		if len(s) > widths[col] {
+			widths[col] = len(s)
+		}
+	}
+	for i, h := range t.Headers {
+		update(i+1, h)
+	}
+	for _, r := range t.Rows {
+		update(0, r.Label)
+		for i, v := range r.Values {
+			update(i+1, v)
+		}
+	}
+	line := func(label string, vals []string) string {
+		s := fmt.Sprintf("  %-*s", widths[0], label)
+		for i, v := range vals {
+			s += fmt.Sprintf("  %*s", widths[i+1], v)
+		}
+		return s + "\n"
+	}
+	out += line("", t.Headers)
+	for _, r := range t.Rows {
+		out += line(r.Label, r.Values)
+	}
+	return out
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// pct formats a ratio as a percentage delta versus a baseline.
+func pct(base, v float64) string {
+	if base == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.0f%%", (v/base-1)*100)
+}

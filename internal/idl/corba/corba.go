@@ -1,0 +1,477 @@
+// Package corba implements a CORBA IDL front-end for the stub
+// compiler. It covers the subset the paper's examples use — modules,
+// interfaces with in/out/inout operations, the basic types, string,
+// sequence<T>, struct, enum, typedef, and const — and lowers them to
+// the front-end-neutral ir representation.
+package corba
+
+import (
+	"fmt"
+
+	"flexrpc/internal/idl"
+	"flexrpc/internal/ir"
+)
+
+// Parse parses CORBA IDL source into an ir.File with all typedefs
+// resolved.
+func Parse(filename, src string) (*ir.File, error) {
+	p := &parser{Parser: idl.NewParser(filename, src), file: ir.NewFile(filename)}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	if err := p.file.Resolve(); err != nil {
+		return nil, fmt.Errorf("%s: %w", filename, err)
+	}
+	return p.file, nil
+}
+
+type parser struct {
+	*idl.Parser
+	file *ir.File
+}
+
+func (p *parser) parseFile() error {
+	for {
+		eof, err := p.AtEOF()
+		if err != nil {
+			return err
+		}
+		if eof {
+			return nil
+		}
+		tok, err := p.Next()
+		if err != nil {
+			return err
+		}
+		if tok.Kind != idl.Ident {
+			return idl.Errorf(tok.Pos, "expected declaration, found %s", tok)
+		}
+		switch tok.Text {
+		case "module":
+			if err := p.parseModule(); err != nil {
+				return err
+			}
+		case "interface":
+			if err := p.parseInterface(); err != nil {
+				return err
+			}
+		case "typedef":
+			if err := p.parseTypedef(); err != nil {
+				return err
+			}
+		case "struct":
+			if err := p.parseStruct(); err != nil {
+				return err
+			}
+		case "enum":
+			if err := p.parseEnum(); err != nil {
+				return err
+			}
+		case "const":
+			if err := p.parseConst(); err != nil {
+				return err
+			}
+		default:
+			return idl.Errorf(tok.Pos, "unknown declaration %q", tok.Text)
+		}
+	}
+}
+
+// parseModule flattens module contents into the file; qualified
+// names are not needed by any of the paper's interfaces.
+func (p *parser) parseModule() error {
+	if _, _, err := p.ExpectIdent(); err != nil {
+		return err
+	}
+	if err := p.Expect("{"); err != nil {
+		return err
+	}
+	for {
+		ok, err := p.Accept("}")
+		if err != nil {
+			return err
+		}
+		if ok {
+			break
+		}
+		tok, err := p.Next()
+		if err != nil {
+			return err
+		}
+		if tok.Kind != idl.Ident {
+			return idl.Errorf(tok.Pos, "expected declaration in module, found %s", tok)
+		}
+		switch tok.Text {
+		case "interface":
+			err = p.parseInterface()
+		case "typedef":
+			err = p.parseTypedef()
+		case "struct":
+			err = p.parseStruct()
+		case "enum":
+			err = p.parseEnum()
+		case "const":
+			err = p.parseConst()
+		default:
+			return idl.Errorf(tok.Pos, "unknown declaration %q in module", tok.Text)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := p.Accept(";")
+	return err
+}
+
+func (p *parser) parseInterface() error {
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if p.file.Interface(name) != nil {
+		return idl.Errorf(pos, "duplicate interface %q", name)
+	}
+	iface := &ir.Interface{Name: name}
+	if err := p.Expect("{"); err != nil {
+		return err
+	}
+	for {
+		done, err := p.Accept("}")
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		op, err := p.parseOperation()
+		if err != nil {
+			return err
+		}
+		if iface.Op(op.Name) != nil {
+			return idl.Errorf(pos, "duplicate operation %q in interface %q", op.Name, name)
+		}
+		iface.Ops = append(iface.Ops, *op)
+	}
+	if _, err := p.Accept(";"); err != nil {
+		return err
+	}
+	p.file.Interfaces = append(p.file.Interfaces, iface)
+	return nil
+}
+
+func (p *parser) parseOperation() (*ir.Operation, error) {
+	op := &ir.Operation{}
+	oneway, err := p.AcceptKeyword("oneway")
+	if err != nil {
+		return nil, err
+	}
+	op.Oneway = oneway
+	op.Result, err = p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	op.Name, _, err = p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		done, err := p.Accept(")")
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+		if len(op.Params) > 0 {
+			if err := p.Expect(","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		op.Params = append(op.Params, *param)
+	}
+	if op.Oneway && (op.HasResult() || hasOutParam(op)) {
+		return nil, fmt.Errorf("corba: oneway operation %q must not return data", op.Name)
+	}
+	return op, p.Expect(";")
+}
+
+func hasOutParam(op *ir.Operation) bool {
+	for _, param := range op.Params {
+		if param.Dir != ir.In {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *parser) parseParam() (*ir.Param, error) {
+	tok, err := p.Next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind != idl.Ident {
+		return nil, idl.Errorf(tok.Pos, "expected parameter direction, found %s", tok)
+	}
+	var dir ir.Direction
+	switch tok.Text {
+	case "in":
+		dir = ir.In
+	case "out":
+		dir = ir.Out
+	case "inout":
+		dir = ir.InOut
+	default:
+		return nil, idl.Errorf(tok.Pos, "expected in/out/inout, found %q", tok.Text)
+	}
+	t, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, _, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Param{Name: name, Type: t, Dir: dir}, nil
+}
+
+// parseType parses a CORBA type specifier.
+func (p *parser) parseType() (*ir.Type, error) {
+	tok, err := p.Next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind != idl.Ident {
+		return nil, idl.Errorf(tok.Pos, "expected type, found %s", tok)
+	}
+	switch tok.Text {
+	case "void":
+		return ir.VoidType, nil
+	case "boolean":
+		return ir.BoolType, nil
+	case "octet", "char":
+		return ir.OctetType, nil
+	case "short":
+		return ir.Int32Type, nil
+	case "long":
+		long2, err := p.AcceptKeyword("long")
+		if err != nil {
+			return nil, err
+		}
+		if long2 {
+			return ir.Int64Type, nil
+		}
+		return ir.Int32Type, nil
+	case "unsigned":
+		t2, err := p.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch t2.Text {
+		case "short":
+			return ir.Uint32Type, nil
+		case "long":
+			long2, err := p.AcceptKeyword("long")
+			if err != nil {
+				return nil, err
+			}
+			if long2 {
+				return ir.Uint64Type, nil
+			}
+			return ir.Uint32Type, nil
+		}
+		return nil, idl.Errorf(t2.Pos, "expected short/long after unsigned, found %s", t2)
+	case "float":
+		return ir.Float32Type, nil
+	case "double":
+		return ir.Float64Type, nil
+	case "string":
+		return ir.StringType, nil
+	case "Object":
+		return ir.PortType, nil
+	case "sequence":
+		if err := p.Expect("<"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		// An optional bound (sequence<octet, 512>) is parsed and
+		// recorded nowhere: bounds affect neither presentation nor
+		// our wire forms.
+		if ok, err := p.Accept(","); err != nil {
+			return nil, err
+		} else if ok {
+			if _, err := p.constValue(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.Expect(">"); err != nil {
+			return nil, err
+		}
+		return ir.SeqOf(elem), nil
+	default:
+		return &ir.Type{Kind: ir.Named, Name: tok.Text}, nil
+	}
+}
+
+// constValue parses an integer literal or a previously declared
+// const identifier.
+func (p *parser) constValue() (int64, error) {
+	tok, err := p.Next()
+	if err != nil {
+		return 0, err
+	}
+	switch tok.Kind {
+	case idl.Int:
+		return tok.Int, nil
+	case idl.Ident:
+		if v, ok := p.file.Consts[tok.Text]; ok {
+			return v, nil
+		}
+		return 0, idl.Errorf(tok.Pos, "unknown constant %q", tok.Text)
+	}
+	return 0, idl.Errorf(tok.Pos, "expected constant, found %s", tok)
+}
+
+func (p *parser) parseTypedef() error {
+	t, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	// Array suffix: typedef octet buf[512];
+	if ok, err := p.Accept("["); err != nil {
+		return err
+	} else if ok {
+		n, err := p.constValue()
+		if err != nil {
+			return err
+		}
+		if err := p.Expect("]"); err != nil {
+			return err
+		}
+		t = ir.ArrayOf(t, int(n))
+	}
+	if _, dup := p.file.Typedefs[name]; dup {
+		return idl.Errorf(pos, "duplicate typedef %q", name)
+	}
+	p.file.Typedefs[name] = t
+	return p.Expect(";")
+}
+
+func (p *parser) parseStruct() error {
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.Expect("{"); err != nil {
+		return err
+	}
+	st := &ir.Type{Kind: ir.Struct, Name: name}
+	for {
+		done, err := p.Accept("}")
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		ft, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		fname, _, err := p.ExpectIdent()
+		if err != nil {
+			return err
+		}
+		st.Fields = append(st.Fields, ir.Field{Name: fname, Type: ft})
+		if err := p.Expect(";"); err != nil {
+			return err
+		}
+	}
+	if err := p.Expect(";"); err != nil {
+		return err
+	}
+	if _, dup := p.file.Typedefs[name]; dup {
+		return idl.Errorf(pos, "duplicate type %q", name)
+	}
+	p.file.Typedefs[name] = st
+	return nil
+}
+
+func (p *parser) parseEnum() error {
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.Expect("{"); err != nil {
+		return err
+	}
+	et := &ir.Type{Kind: ir.Enum, Name: name}
+	for {
+		id, _, err := p.ExpectIdent()
+		if err != nil {
+			return err
+		}
+		p.file.Consts[id] = int64(len(et.Enumerators))
+		et.Enumerators = append(et.Enumerators, id)
+		more, err := p.Accept(",")
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+	}
+	if err := p.Expect("}"); err != nil {
+		return err
+	}
+	if err := p.Expect(";"); err != nil {
+		return err
+	}
+	if _, dup := p.file.Typedefs[name]; dup {
+		return idl.Errorf(pos, "duplicate type %q", name)
+	}
+	p.file.Typedefs[name] = et
+	return nil
+}
+
+func (p *parser) parseConst() error {
+	if _, err := p.parseType(); err != nil {
+		return err
+	}
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.Expect("="); err != nil {
+		return err
+	}
+	neg, err := p.Accept("-")
+	if err != nil {
+		return err
+	}
+	v, err := p.constValue()
+	if err != nil {
+		return err
+	}
+	if neg {
+		v = -v
+	}
+	if _, dup := p.file.Consts[name]; dup {
+		return idl.Errorf(pos, "duplicate const %q", name)
+	}
+	p.file.Consts[name] = v
+	return p.Expect(";")
+}

@@ -1,0 +1,32 @@
+package corba
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: arbitrary input never panics the parser; it either
+// parses or returns a positioned error.
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse("fuzz.idl", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mutations of a valid file must never panic either (they exercise
+// deeper parser states than random bytes reach).
+func TestMutatedValidSource(t *testing.T) {
+	valid := `
+		typedef sequence<octet> buf;
+		enum e { a, b };
+		struct s { long x; buf d; e m; };
+		interface I { s op(in s v, out buf o); oneway void p(in long n); };`
+	for i := 0; i < len(valid); i++ {
+		_, _ = Parse("m.idl", valid[:i])               // truncations
+		_, _ = Parse("m.idl", valid[:i]+"#"+valid[i:]) // injections
+	}
+}

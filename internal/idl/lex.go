@@ -1,0 +1,372 @@
+// Package idl provides the lexical machinery shared by the IDL and
+// PDL front-ends: a C-family tokenizer with source positions, plus a
+// parser base with peek/expect helpers and positioned errors.
+package idl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TokKind classifies a token.
+type TokKind int
+
+// Token kinds.
+const (
+	EOF TokKind = iota
+	Ident
+	Int
+	StrLit
+	Punct
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Int:
+		return "integer"
+	case StrLit:
+		return "string literal"
+	case Punct:
+		return "punctuation"
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// A Token is one lexical unit.
+type Token struct {
+	Kind TokKind
+	Text string // identifier name, punctuation text, or string body
+	Int  int64  // value for Int tokens
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case EOF:
+		return "end of input"
+	case Int:
+		return fmt.Sprintf("%d", t.Int)
+	case StrLit:
+		return strconv.Quote(t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// An Error is a lexing or parsing error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Errorf builds a positioned Error.
+func Errorf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// multiPunct lists multi-character punctuation, longest first.
+var multiPunct = []string{"::", "<<", ">>"}
+
+// A Lexer tokenizes IDL/PDL source.
+type Lexer struct {
+	src  string
+	off  int
+	pos  Pos
+	peek *Token
+}
+
+// NewLexer returns a Lexer over src; file is used in positions.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, pos: Pos{File: file, Line: 1, Col: 1}}
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.off] == '\n' {
+			l.pos.Line++
+			l.pos.Col = 1
+		} else {
+			l.pos.Col++
+		}
+		l.off++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			start := l.pos
+			l.advance(2)
+			for {
+				if l.off+1 >= len(l.src) {
+					return Errorf(start, "unterminated block comment")
+				}
+				if l.src[l.off] == '*' && l.src[l.off+1] == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		case c == '%':
+			// XDR pass-through lines (%#include ...) are ignored.
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token, consuming it.
+func (l *Lexer) Next() (Token, error) {
+	if l.peek != nil {
+		t := *l.peek
+		l.peek = nil
+		return t, nil
+	}
+	return l.lex()
+}
+
+// Peek returns the next token without consuming it.
+func (l *Lexer) Peek() (Token, error) {
+	if l.peek == nil {
+		t, err := l.lex()
+		if err != nil {
+			return t, err
+		}
+		l.peek = &t
+	}
+	return *l.peek, nil
+}
+
+func (l *Lexer) lex() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.off]
+	switch {
+	case isIdentStart(c):
+		begin := l.off
+		for l.off < len(l.src) && isIdentCont(l.src[l.off]) {
+			l.advance(1)
+		}
+		return Token{Kind: Ident, Text: l.src[begin:l.off], Pos: start}, nil
+	case isDigit(c):
+		begin := l.off
+		base := 10
+		if c == '0' && l.off+1 < len(l.src) && (l.src[l.off+1] == 'x' || l.src[l.off+1] == 'X') {
+			base = 16
+			l.advance(2)
+			begin = l.off
+			for l.off < len(l.src) && isHexDigit(l.src[l.off]) {
+				l.advance(1)
+			}
+		} else {
+			for l.off < len(l.src) && isDigit(l.src[l.off]) {
+				l.advance(1)
+			}
+		}
+		text := l.src[begin:l.off]
+		v, err := strconv.ParseInt(text, base, 64)
+		if err != nil {
+			return Token{}, Errorf(start, "bad integer literal %q", text)
+		}
+		return Token{Kind: Int, Int: v, Text: text, Pos: start}, nil
+	case c == '"':
+		l.advance(1)
+		var b strings.Builder
+		for {
+			if l.off >= len(l.src) {
+				return Token{}, Errorf(start, "unterminated string literal")
+			}
+			ch := l.src[l.off]
+			if ch == '"' {
+				l.advance(1)
+				break
+			}
+			if ch == '\\' && l.off+1 < len(l.src) {
+				l.advance(1)
+				esc := l.src[l.off]
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteByte(esc)
+				default:
+					return Token{}, Errorf(l.pos, "unknown escape \\%c", esc)
+				}
+				l.advance(1)
+				continue
+			}
+			b.WriteByte(ch)
+			l.advance(1)
+		}
+		return Token{Kind: StrLit, Text: b.String(), Pos: start}, nil
+	default:
+		for _, mp := range multiPunct {
+			if strings.HasPrefix(l.src[l.off:], mp) {
+				l.advance(len(mp))
+				return Token{Kind: Punct, Text: mp, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(){}[]<>;,:=*-+/.", rune(c)) {
+			l.advance(1)
+			return Token{Kind: Punct, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, Errorf(start, "unexpected character %q", c)
+	}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// A Parser wraps a Lexer with the expect/accept helpers every
+// front-end shares.
+type Parser struct {
+	Lex *Lexer
+}
+
+// NewParser returns a Parser over the given source.
+func NewParser(file, src string) *Parser {
+	return &Parser{Lex: NewLexer(file, src)}
+}
+
+// Next consumes and returns the next token.
+func (p *Parser) Next() (Token, error) { return p.Lex.Next() }
+
+// Peek returns the next token without consuming it.
+func (p *Parser) Peek() (Token, error) { return p.Lex.Peek() }
+
+// AtEOF reports whether the input is exhausted.
+func (p *Parser) AtEOF() (bool, error) {
+	t, err := p.Peek()
+	return t.Kind == EOF, err
+}
+
+// Expect consumes the next token and fails unless it is the given
+// punctuation.
+func (p *Parser) Expect(punct string) error {
+	t, err := p.Next()
+	if err != nil {
+		return err
+	}
+	if t.Kind != Punct || t.Text != punct {
+		return Errorf(t.Pos, "expected %q, found %s", punct, t)
+	}
+	return nil
+}
+
+// ExpectIdent consumes the next token and fails unless it is an
+// identifier, returning its text.
+func (p *Parser) ExpectIdent() (string, Pos, error) {
+	t, err := p.Next()
+	if err != nil {
+		return "", Pos{}, err
+	}
+	if t.Kind != Ident {
+		return "", t.Pos, Errorf(t.Pos, "expected identifier, found %s", t)
+	}
+	return t.Text, t.Pos, nil
+}
+
+// ExpectKeyword consumes the next token and fails unless it is the
+// given identifier.
+func (p *Parser) ExpectKeyword(kw string) error {
+	t, err := p.Next()
+	if err != nil {
+		return err
+	}
+	if t.Kind != Ident || t.Text != kw {
+		return Errorf(t.Pos, "expected %q, found %s", kw, t)
+	}
+	return nil
+}
+
+// ExpectInt consumes the next token and fails unless it is an
+// integer literal, returning its value.
+func (p *Parser) ExpectInt() (int64, error) {
+	t, err := p.Next()
+	if err != nil {
+		return 0, err
+	}
+	if t.Kind != Int {
+		return 0, Errorf(t.Pos, "expected integer, found %s", t)
+	}
+	return t.Int, nil
+}
+
+// Accept consumes the next token iff it is the given punctuation,
+// reporting whether it did.
+func (p *Parser) Accept(punct string) (bool, error) {
+	t, err := p.Peek()
+	if err != nil {
+		return false, err
+	}
+	if t.Kind == Punct && t.Text == punct {
+		_, err = p.Next()
+		return true, err
+	}
+	return false, nil
+}
+
+// AcceptKeyword consumes the next token iff it is the given
+// identifier, reporting whether it did.
+func (p *Parser) AcceptKeyword(kw string) (bool, error) {
+	t, err := p.Peek()
+	if err != nil {
+		return false, err
+	}
+	if t.Kind == Ident && t.Text == kw {
+		_, err = p.Next()
+		return true, err
+	}
+	return false, nil
+}

@@ -1,0 +1,150 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	l := NewLexer("test.idl", src)
+	var toks []Token
+	for {
+		tok, err := l.Next()
+		if err != nil {
+			t.Fatalf("lex error: %v", err)
+		}
+		if tok.Kind == EOF {
+			return toks
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexAll(t, `interface SysLog { void write_msg(in string msg); };`)
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	want := []string{"interface", "SysLog", "{", "void", "write_msg",
+		"(", "in", "string", "msg", ")", ";", "}", ";"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+a /* block
+comment */ b
+% xdr passthrough line is skipped
+c`
+	toks := lexAll(t, src)
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "c" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  bb")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+}
+
+func TestLexIntegers(t *testing.T) {
+	toks := lexAll(t, "42 0x1F 0")
+	if toks[0].Int != 42 || toks[1].Int != 31 || toks[2].Int != 0 {
+		t.Fatalf("ints = %d %d %d", toks[0].Int, toks[1].Int, toks[2].Int)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexAll(t, `"hello \"there\"\n"`)
+	if toks[0].Kind != StrLit || toks[0].Text != "hello \"there\"\n" {
+		t.Fatalf("string = %q", toks[0].Text)
+	}
+}
+
+func TestLexMultiPunct(t *testing.T) {
+	toks := lexAll(t, "a::b < >> <<")
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	want := "a :: b < >> <<"
+	if strings.Join(texts, " ") != want {
+		t.Fatalf("tokens = %v", texts)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"/* unterminated", `"unterminated`, "#", `"\q"`} {
+		l := NewLexer("t", src)
+		var err error
+		for err == nil {
+			var tok Token
+			tok, err = l.Next()
+			if err == nil && tok.Kind == EOF {
+				t.Errorf("src %q: expected error, got clean EOF", src)
+				break
+			}
+		}
+	}
+}
+
+func TestParserHelpers(t *testing.T) {
+	p := NewParser("t", "foo ( 7 ) bar")
+	name, _, err := p.ExpectIdent()
+	if err != nil || name != "foo" {
+		t.Fatalf("ExpectIdent = %q, %v", name, err)
+	}
+	if err := p.Expect("("); err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.ExpectInt()
+	if err != nil || n != 7 {
+		t.Fatalf("ExpectInt = %d, %v", n, err)
+	}
+	ok, err := p.Accept(")")
+	if err != nil || !ok {
+		t.Fatalf("Accept = %v, %v", ok, err)
+	}
+	ok, err = p.AcceptKeyword("baz")
+	if err != nil || ok {
+		t.Fatalf("AcceptKeyword(baz) = %v, %v", ok, err)
+	}
+	if err := p.ExpectKeyword("bar"); err != nil {
+		t.Fatal(err)
+	}
+	eof, err := p.AtEOF()
+	if err != nil || !eof {
+		t.Fatalf("AtEOF = %v, %v", eof, err)
+	}
+}
+
+func TestParserErrorsHavePositions(t *testing.T) {
+	p := NewParser("f.idl", "\n\n  oops")
+	err := p.Expect(";")
+	if err == nil || !strings.Contains(err.Error(), "f.idl:3:3") {
+		t.Fatalf("err = %v, want position f.idl:3:3", err)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	p := NewParser("t", "x y")
+	t1, _ := p.Peek()
+	t2, _ := p.Peek()
+	if t1.Text != "x" || t2.Text != "x" {
+		t.Fatal("peek consumed input")
+	}
+	t3, _ := p.Next()
+	if t3.Text != "x" {
+		t.Fatal("next after peek returned wrong token")
+	}
+}

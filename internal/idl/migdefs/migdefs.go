@@ -1,0 +1,354 @@
+// Package migdefs implements a Mach Interface Generator (.defs)
+// front-end for the stub compiler. The paper had this front-end
+// "under construction"; this completes it for the MIG subset the
+// rest of the system exercises: subsystem declarations, type
+// definitions with MIG array/struct specifiers, routines and
+// simpleroutines with in/out/inout arguments.
+//
+// MIG conventions honored here:
+//   - the first argument of every routine is the request port
+//     identifying the server; it is the transport binding, not part
+//     of the network contract, and is dropped from the operation.
+//   - a routine's kern_return_t result maps to the Go error return
+//     (the [comm_status] presentation, which MIG always used).
+//   - simpleroutine means oneway.
+//   - message ids are subsystem-base + declaration index, recorded
+//     as the operation's procedure number.
+package migdefs
+
+import (
+	"fmt"
+
+	"flexrpc/internal/idl"
+	"flexrpc/internal/ir"
+)
+
+// Parse parses MIG .defs source into an ir.File with typedefs
+// resolved. The subsystem becomes one ir.Interface.
+func Parse(filename, src string) (*ir.File, error) {
+	p := &parser{Parser: idl.NewParser(filename, src), file: ir.NewFile(filename)}
+	if err := p.parseFile(); err != nil {
+		return nil, err
+	}
+	if err := p.file.Resolve(); err != nil {
+		return nil, fmt.Errorf("%s: %w", filename, err)
+	}
+	return p.file, nil
+}
+
+type parser struct {
+	*idl.Parser
+	file  *ir.File
+	iface *ir.Interface
+	base  int64 // subsystem message-id base
+	index int64 // routine index (skip consumes one)
+}
+
+func (p *parser) parseFile() error {
+	for {
+		eof, err := p.AtEOF()
+		if err != nil {
+			return err
+		}
+		if eof {
+			if p.iface == nil {
+				return fmt.Errorf("migdefs: %s declares no subsystem", p.file.Name)
+			}
+			return nil
+		}
+		tok, err := p.Next()
+		if err != nil {
+			return err
+		}
+		if tok.Kind != idl.Ident {
+			return idl.Errorf(tok.Pos, "expected declaration, found %s", tok)
+		}
+		switch tok.Text {
+		case "subsystem":
+			err = p.parseSubsystem()
+		case "type":
+			err = p.parseType()
+		case "routine":
+			err = p.parseRoutine(false)
+		case "simpleroutine":
+			err = p.parseRoutine(true)
+		case "skip":
+			p.index++
+			err = p.Expect(";")
+		case "import", "uimport", "simport":
+			// Import directives name C headers (<...> or "...");
+			// irrelevant here — consume through the semicolon.
+			for {
+				t, nerr := p.Next()
+				if nerr != nil {
+					return nerr
+				}
+				if t.Kind == idl.EOF {
+					return idl.Errorf(t.Pos, "unterminated import directive")
+				}
+				if t.Kind == idl.Punct && t.Text == ";" {
+					break
+				}
+			}
+		default:
+			return idl.Errorf(tok.Pos, "unknown declaration %q", tok.Text)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func (p *parser) parseSubsystem() error {
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if p.iface != nil {
+		return idl.Errorf(pos, "duplicate subsystem declaration")
+	}
+	base, err := p.ExpectInt()
+	if err != nil {
+		return err
+	}
+	p.iface = &ir.Interface{Name: name}
+	p.base = base
+	p.file.Interfaces = append(p.file.Interfaces, p.iface)
+	return p.Expect(";")
+}
+
+// parseType handles "type name = spec;".
+func (p *parser) parseType() error {
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.Expect("="); err != nil {
+		return err
+	}
+	t, err := p.parseTypeSpec()
+	if err != nil {
+		return err
+	}
+	if _, dup := p.file.Typedefs[name]; dup {
+		return idl.Errorf(pos, "duplicate type %q", name)
+	}
+	p.file.Typedefs[name] = t
+	return p.Expect(";")
+}
+
+// parseTypeSpec parses a MIG type specifier.
+func (p *parser) parseTypeSpec() (*ir.Type, error) {
+	tok, err := p.Next()
+	if err != nil {
+		return nil, err
+	}
+	if tok.Kind != idl.Ident {
+		return nil, idl.Errorf(tok.Pos, "expected type, found %s", tok)
+	}
+	switch tok.Text {
+	case "int", "integer_t":
+		return ir.Int32Type, nil
+	case "unsigned", "natural_t":
+		return ir.Uint32Type, nil
+	case "char", "byte":
+		return ir.OctetType, nil
+	case "boolean_t":
+		return ir.BoolType, nil
+	case "float_t":
+		return ir.Float32Type, nil
+	case "double_t":
+		return ir.Float64Type, nil
+	case "string_t", "c_string":
+		// c_string[N]: the bound is presentation detail.
+		if ok, err := p.Accept("["); err != nil {
+			return nil, err
+		} else if ok {
+			if _, err := p.ExpectInt(); err != nil {
+				return nil, err
+			}
+			if err := p.Expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		return ir.StringType, nil
+	case "mach_port_t", "mach_port_send_t":
+		return ir.PortType, nil
+	case "array":
+		return p.parseArray()
+	case "struct":
+		// struct[N] of T: a fixed inline array in MIG terms.
+		if err := p.Expect("["); err != nil {
+			return nil, err
+		}
+		n, err := p.ExpectInt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.ExpectKeyword("of"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseTypeSpec()
+		if err != nil {
+			return nil, err
+		}
+		return ir.ArrayOf(elem, int(n)), nil
+	case "polymorphic":
+		return nil, idl.Errorf(tok.Pos, "polymorphic types are not supported")
+	default:
+		return &ir.Type{Kind: ir.Named, Name: tok.Text}, nil
+	}
+}
+
+// parseArray handles MIG array specifiers:
+//
+//	array[N] of T        fixed-length
+//	array[] of T         variable, unbounded
+//	array[*:N] of T      variable, bounded by N
+func (p *parser) parseArray() (*ir.Type, error) {
+	if err := p.Expect("["); err != nil {
+		return nil, err
+	}
+	fixed := int64(-1)
+	if ok, err := p.Accept("*"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.Expect(":"); err != nil {
+			return nil, err
+		}
+		if _, err := p.ExpectInt(); err != nil { // bound: presentation detail
+			return nil, err
+		}
+	} else {
+		tok, err := p.Peek()
+		if err != nil {
+			return nil, err
+		}
+		if tok.Kind == idl.Int {
+			n, err := p.ExpectInt()
+			if err != nil {
+				return nil, err
+			}
+			fixed = n
+		}
+	}
+	if err := p.Expect("]"); err != nil {
+		return nil, err
+	}
+	if err := p.ExpectKeyword("of"); err != nil {
+		return nil, err
+	}
+	elem, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	if fixed >= 0 {
+		return ir.ArrayOf(elem, int(fixed)), nil
+	}
+	return ir.SeqOf(elem), nil
+}
+
+// parseRoutine handles routine/simpleroutine declarations.
+func (p *parser) parseRoutine(oneway bool) error {
+	if p.iface == nil {
+		tok, _ := p.Peek()
+		return idl.Errorf(tok.Pos, "routine before subsystem declaration")
+	}
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return err
+	}
+	if p.iface.Op(name) != nil {
+		return idl.Errorf(pos, "duplicate routine %q", name)
+	}
+	op := ir.Operation{
+		Name:   name,
+		Result: ir.VoidType,
+		Oneway: oneway,
+		Proc:   uint32(p.base + p.index),
+	}
+	p.index++
+	if err := p.Expect("("); err != nil {
+		return err
+	}
+	first := true
+	for {
+		done, err := p.Accept(")")
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		if !first {
+			if err := p.Expect(";"); err != nil {
+				return err
+			}
+			// A trailing semicolon before ) is tolerated.
+			if done, err := p.Accept(")"); err != nil {
+				return err
+			} else if done {
+				break
+			}
+		}
+		param, err := p.parseArg()
+		if err != nil {
+			return err
+		}
+		if first {
+			// The request port: transport binding, not contract.
+			if param.Type.Kind != ir.Port && param.Type.Kind != ir.Named {
+				return idl.Errorf(pos, "routine %q: first argument must be the request port", name)
+			}
+			first = false
+			continue
+		}
+		first = false
+		op.Params = append(op.Params, *param)
+	}
+	if oneway {
+		for _, prm := range op.Params {
+			if prm.Dir != ir.In {
+				return idl.Errorf(pos, "simpleroutine %q cannot have out arguments", name)
+			}
+		}
+	}
+	if err := p.Expect(";"); err != nil {
+		return err
+	}
+	p.iface.Ops = append(p.iface.Ops, op)
+	return nil
+}
+
+// parseArg handles "dir name : type".
+func (p *parser) parseArg() (*ir.Param, error) {
+	dir := ir.In
+	if ok, err := p.AcceptKeyword("in"); err != nil {
+		return nil, err
+	} else if !ok {
+		if ok, err := p.AcceptKeyword("out"); err != nil {
+			return nil, err
+		} else if ok {
+			dir = ir.Out
+		} else if ok, err := p.AcceptKeyword("inout"); err != nil {
+			return nil, err
+		} else if ok {
+			dir = ir.InOut
+		}
+	}
+	name, _, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Expect(":"); err != nil {
+		return nil, err
+	}
+	t, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Param{Name: name, Type: t, Dir: dir}, nil
+}

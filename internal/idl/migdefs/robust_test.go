@@ -1,0 +1,27 @@
+package migdefs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse("fuzz.defs", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutatedValidSource(t *testing.T) {
+	valid := `
+		subsystem s 2400;
+		type buf = array[*:64] of char;
+		routine r(server : mach_port_t; in d : buf; out n : int);`
+	for i := 0; i < len(valid); i++ {
+		_, _ = Parse("m.defs", valid[:i])
+		_, _ = Parse("m.defs", valid[:i]+";"+valid[i:])
+	}
+}

@@ -1,0 +1,29 @@
+package sunxdr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQuickParserNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse("fuzz.x", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutatedValidSource(t *testing.T) {
+	valid := `
+		const N = 8;
+		typedef opaque fh[N];
+		enum st { OK = 0, NO = 1 };
+		struct args { fh f; unsigned n; };
+		program P { version V { st OP(args) = 1; } = 2; } = 300001;`
+	for i := 0; i < len(valid); i++ {
+		_, _ = Parse("m.x", valid[:i])
+		_, _ = Parse("m.x", valid[:i]+"%"+valid[i:])
+	}
+}

@@ -1,0 +1,371 @@
+// Package ir defines the intermediate representation shared by every
+// IDL front-end and stub back-end: the network contract between a
+// client and a server.
+//
+// The IR deliberately contains nothing about presentation — how
+// parameters appear to local code, who allocates buffers, what may be
+// trashed. Those live in package pres and may differ on each side of
+// a connection; the IR is what both sides must agree on.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind identifies the wire shape of a type.
+type Kind int
+
+// The wire-type kinds understood by the marshal engines.
+const (
+	Void Kind = iota
+	Bool
+	Int32
+	Uint32
+	Int64
+	Uint64
+	Float32
+	Float64
+	String     // variable-length character data
+	Bytes      // variable-length opaque (CORBA sequence<octet>, XDR opaque<>)
+	FixedBytes // fixed-length opaque[Size]
+	Seq        // variable-length sequence of Elem
+	Array      // fixed-length array of Elem, Size elements
+	Struct     // ordered fields
+	Enum       // named 32-bit enumeration
+	Port       // object reference / port right (capability)
+	Named      // unresolved reference to a typedef
+)
+
+var kindNames = map[Kind]string{
+	Void: "void", Bool: "bool", Int32: "i32", Uint32: "u32",
+	Int64: "i64", Uint64: "u64", Float32: "f32", Float64: "f64",
+	String: "string", Bytes: "bytes", FixedBytes: "fbytes",
+	Seq: "seq", Array: "array", Struct: "struct", Enum: "enum",
+	Port: "port", Named: "named",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// A Type describes one wire type.
+type Type struct {
+	Kind        Kind
+	Name        string  // Struct, Enum and Named types carry a name
+	Elem        *Type   // element type for Seq and Array
+	Size        int     // byte count for FixedBytes; element count for Array
+	Fields      []Field // for Struct, in declaration (wire) order
+	Enumerators []string
+}
+
+// A Field is one member of a struct type.
+type Field struct {
+	Name string
+	Type *Type
+}
+
+// Predefined singleton types for the primitives, safe to share
+// because Types are immutable once built.
+var (
+	VoidType    = &Type{Kind: Void}
+	BoolType    = &Type{Kind: Bool}
+	Int32Type   = &Type{Kind: Int32}
+	Uint32Type  = &Type{Kind: Uint32}
+	Int64Type   = &Type{Kind: Int64}
+	Uint64Type  = &Type{Kind: Uint64}
+	Float32Type = &Type{Kind: Float32}
+	Float64Type = &Type{Kind: Float64}
+	StringType  = &Type{Kind: String}
+	BytesType   = &Type{Kind: Bytes}
+	PortType    = &Type{Kind: Port}
+)
+
+// SeqOf returns a sequence-of-elem type. sequence<octet> collapses to
+// Bytes so every front-end produces the same wire type for byte
+// buffers.
+func SeqOf(elem *Type) *Type {
+	if elem.Kind == octetKind {
+		return BytesType
+	}
+	return &Type{Kind: Seq, Elem: elem}
+}
+
+// octetKind is the kind used to recognize byte elements; CORBA octet
+// and XDR opaque bytes both map to it.
+const octetKind = Uint8Kind
+
+// Uint8Kind marks a single octet; it appears only as a sequence or
+// array element and collapses into Bytes/FixedBytes at construction.
+const Uint8Kind Kind = 100
+
+// OctetType is the element type used by front-ends for byte elements
+// before collapsing.
+var OctetType = &Type{Kind: Uint8Kind}
+
+// ArrayOf returns a fixed-length array type; arrays of octets
+// collapse to FixedBytes.
+func ArrayOf(elem *Type, n int) *Type {
+	if elem.Kind == octetKind {
+		return &Type{Kind: FixedBytes, Size: n}
+	}
+	return &Type{Kind: Array, Elem: elem, Size: n}
+}
+
+// Signature returns a canonical, front-end-independent rendering of
+// the wire type, used for contract comparison and bind-time
+// signature exchange.
+func (t *Type) Signature() string {
+	if t == nil {
+		return "void"
+	}
+	switch t.Kind {
+	case Seq:
+		return "seq<" + t.Elem.Signature() + ">"
+	case Array:
+		return fmt.Sprintf("array<%s,%d>", t.Elem.Signature(), t.Size)
+	case FixedBytes:
+		return fmt.Sprintf("fbytes<%d>", t.Size)
+	case Struct:
+		var b strings.Builder
+		b.WriteString("struct{")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f.Type.Signature())
+		}
+		b.WriteByte('}')
+		return b.String()
+	case Enum:
+		return "enum"
+	case Named:
+		return "named:" + t.Name
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Equal reports whether two types have the same wire shape. Names do
+// not participate: struct{a:i32} and struct{b:i32} are wire-equal.
+func (t *Type) Equal(u *Type) bool {
+	return t.Signature() == u.Signature()
+}
+
+// Direction says which way a parameter travels.
+type Direction int
+
+// Parameter directions.
+const (
+	In Direction = iota
+	Out
+	InOut
+)
+
+func (d Direction) String() string {
+	switch d {
+	case In:
+		return "in"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	}
+	return fmt.Sprintf("Direction(%d)", int(d))
+}
+
+// A Param is one operation parameter.
+type Param struct {
+	Name string
+	Type *Type
+	Dir  Direction
+}
+
+// An Operation is one callable method of an interface.
+type Operation struct {
+	Name   string
+	Params []Param
+	Result *Type // nil or VoidType for void
+	Oneway bool
+	// Proc is the Sun RPC procedure number when the interface came
+	// from a .x file; zero otherwise.
+	Proc uint32
+}
+
+// HasResult reports whether the operation returns a value.
+func (o *Operation) HasResult() bool {
+	return o.Result != nil && o.Result.Kind != Void
+}
+
+// Signature returns the canonical network-contract rendering of the
+// operation.
+func (o *Operation) Signature() string {
+	var b strings.Builder
+	b.WriteString(o.Name)
+	b.WriteByte('(')
+	for i, p := range o.Params {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%s", p.Dir, p.Type.Signature())
+	}
+	b.WriteString(")->")
+	b.WriteString(o.Result.Signature())
+	if o.Oneway {
+		b.WriteString(" oneway")
+	}
+	return b.String()
+}
+
+// An Interface is a named set of operations — the unit a client
+// binds to.
+type Interface struct {
+	Name string
+	Ops  []Operation
+	// Program and Version identify a Sun RPC program when the
+	// interface came from a .x file.
+	Program uint32
+	Version uint32
+}
+
+// Op returns the named operation, or nil.
+func (i *Interface) Op(name string) *Operation {
+	for k := range i.Ops {
+		if i.Ops[k].Name == name {
+			return &i.Ops[k]
+		}
+	}
+	return nil
+}
+
+// Signature returns the canonical network contract for the whole
+// interface. Two endpoints may interoperate iff their interface
+// signatures are identical. Operation order is normalized so that
+// declaration order is not part of the contract.
+func (i *Interface) Signature() string {
+	sigs := make([]string, len(i.Ops))
+	for k := range i.Ops {
+		sigs[k] = i.Ops[k].Signature()
+	}
+	sort.Strings(sigs)
+	var b strings.Builder
+	b.WriteString(i.Name)
+	if i.Program != 0 {
+		fmt.Fprintf(&b, "[prog=%d,vers=%d]", i.Program, i.Version)
+	}
+	b.WriteByte('{')
+	b.WriteString(strings.Join(sigs, ";"))
+	b.WriteByte('}')
+	return b.String()
+}
+
+// A File is the result of parsing one IDL source file.
+type File struct {
+	Name       string
+	Interfaces []*Interface
+	Typedefs   map[string]*Type
+	Consts     map[string]int64
+}
+
+// NewFile returns an empty File.
+func NewFile(name string) *File {
+	return &File{
+		Name:     name,
+		Typedefs: make(map[string]*Type),
+		Consts:   make(map[string]int64),
+	}
+}
+
+// Interface returns the named interface, or nil.
+func (f *File) Interface(name string) *Interface {
+	for _, i := range f.Interfaces {
+		if i.Name == name {
+			return i
+		}
+	}
+	return nil
+}
+
+// Resolve replaces every Named type reference in the file with the
+// referenced typedef's structure. It reports an error on dangling or
+// cyclic references.
+func (f *File) Resolve() error {
+	for _, iface := range f.Interfaces {
+		for oi := range iface.Ops {
+			op := &iface.Ops[oi]
+			for pi := range op.Params {
+				t, err := f.resolveType(op.Params[pi].Type, nil)
+				if err != nil {
+					return fmt.Errorf("%s.%s param %s: %w", iface.Name, op.Name, op.Params[pi].Name, err)
+				}
+				op.Params[pi].Type = t
+			}
+			if op.Result != nil {
+				t, err := f.resolveType(op.Result, nil)
+				if err != nil {
+					return fmt.Errorf("%s.%s result: %w", iface.Name, op.Name, err)
+				}
+				op.Result = t
+			}
+		}
+	}
+	return nil
+}
+
+func (f *File) resolveType(t *Type, seen []string) (*Type, error) {
+	if t == nil {
+		return nil, nil
+	}
+	switch t.Kind {
+	case Named:
+		for _, s := range seen {
+			if s == t.Name {
+				return nil, fmt.Errorf("ir: cyclic typedef %q", t.Name)
+			}
+		}
+		def, ok := f.Typedefs[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: unknown type %q", t.Name)
+		}
+		return f.resolveType(def, append(seen, t.Name))
+	case Seq, Array:
+		elem, err := f.resolveType(t.Elem, seen)
+		if err != nil {
+			return nil, err
+		}
+		if elem != t.Elem {
+			cp := *t
+			cp.Elem = elem
+			if cp.Kind == Seq && elem.Kind == octetKind {
+				return BytesType, nil
+			}
+			return &cp, nil
+		}
+		return t, nil
+	case Struct:
+		changed := false
+		fields := make([]Field, len(t.Fields))
+		for i, fl := range t.Fields {
+			ft, err := f.resolveType(fl.Type, seen)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = Field{Name: fl.Name, Type: ft}
+			if ft != fl.Type {
+				changed = true
+			}
+		}
+		if changed {
+			cp := *t
+			cp.Fields = fields
+			return &cp, nil
+		}
+		return t, nil
+	default:
+		return t, nil
+	}
+}

@@ -1,0 +1,163 @@
+// Package kernbuf simulates the user/kernel address-space split of a
+// monolithic Unix kernel, the substrate of the paper's §4.1 Linux
+// NFS experiment. A UserBuffer stands for memory in a user process;
+// kernel code may touch it only through CopyToUser/CopyFromUser —
+// the equivalents of Linux's memcpy_tofs()/memcpy_fromfs() — which
+// validate the access and count the work done. Kernel-internal
+// copies go through KernelCopy so the two NFS stub variants can be
+// compared copy-for-copy: the conventional presentation unmarshals
+// into an intermediate kernel buffer and then copies out to user
+// space, while the [special] presentation unmarshals straight into
+// the user buffer.
+package kernbuf
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Common errors.
+var (
+	// ErrFault is returned when a user-space access falls outside
+	// the buffer — the moral equivalent of EFAULT.
+	ErrFault = errors.New("kernbuf: bad user-space address")
+)
+
+// A Meter counts address-space crossings and kernel-internal copies,
+// so tests and the experiment harness can assert exactly how many
+// copies each presentation performs.
+type Meter struct {
+	userCopies atomic.Uint64
+	userBytes  atomic.Uint64
+	kernCopies atomic.Uint64
+	kernBytes  atomic.Uint64
+}
+
+// Snapshot is a point-in-time reading of a Meter.
+type Snapshot struct {
+	UserCopies   uint64 // user<->kernel crossings
+	UserBytes    uint64
+	KernelCopies uint64 // kernel-internal copies
+	KernelBytes  uint64
+}
+
+// Snapshot returns the meter's current counts.
+func (m *Meter) Snapshot() Snapshot {
+	return Snapshot{
+		UserCopies:   m.userCopies.Load(),
+		UserBytes:    m.userBytes.Load(),
+		KernelCopies: m.kernCopies.Load(),
+		KernelBytes:  m.kernBytes.Load(),
+	}
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.userCopies.Store(0)
+	m.userBytes.Store(0)
+	m.kernCopies.Store(0)
+	m.kernBytes.Store(0)
+}
+
+// A UserBuffer is a region of user-process memory. Kernel code must
+// not touch mem directly; it goes through the copy routines below.
+type UserBuffer struct {
+	mem []byte
+}
+
+// NewUserBuffer allocates an n-byte user buffer.
+func NewUserBuffer(n int) *UserBuffer {
+	return &UserBuffer{mem: make([]byte, n)}
+}
+
+// Len returns the buffer's size.
+func (u *UserBuffer) Len() int { return len(u.mem) }
+
+// UserView returns the buffer contents as seen by the user process
+// itself (for test assertions; kernel code must not call this).
+func (u *UserBuffer) UserView() []byte { return u.mem }
+
+// access validates an [off, off+n) range, the access_ok() check.
+func (u *UserBuffer) access(off, n int) error {
+	if off < 0 || n < 0 || off+n > len(u.mem) {
+		return fmt.Errorf("%w: off=%d n=%d size=%d", ErrFault, off, n, len(u.mem))
+	}
+	return nil
+}
+
+// CopyToUser copies src into the user buffer at off — the simulated
+// memcpy_tofs(). It validates the range and meters the crossing.
+func (m *Meter) CopyToUser(dst *UserBuffer, off int, src []byte) error {
+	if err := dst.access(off, len(src)); err != nil {
+		return err
+	}
+	copy(dst.mem[off:], src)
+	m.userCopies.Add(1)
+	m.userBytes.Add(uint64(len(src)))
+	return nil
+}
+
+// CopyFromUser copies n bytes from the user buffer at off into dst —
+// the simulated memcpy_fromfs().
+func (m *Meter) CopyFromUser(dst []byte, src *UserBuffer, off, n int) error {
+	if err := src.access(off, n); err != nil {
+		return err
+	}
+	if n > len(dst) {
+		return fmt.Errorf("kernbuf: destination too small: %d < %d", len(dst), n)
+	}
+	copy(dst, src.mem[off:off+n])
+	m.userCopies.Add(1)
+	m.userBytes.Add(uint64(n))
+	return nil
+}
+
+// KernelCopy is a metered kernel-internal memcpy.
+func (m *Meter) KernelCopy(dst, src []byte) int {
+	n := copy(dst, src)
+	m.kernCopies.Add(1)
+	m.kernBytes.Add(uint64(n))
+	return n
+}
+
+// A Pool is a free list of fixed-size kernel buffers, standing in
+// for the kernel's intermediate network buffers.
+type Pool struct {
+	size int
+	free chan []byte
+}
+
+// NewPool creates a pool of count size-byte buffers.
+func NewPool(size, count int) *Pool {
+	p := &Pool{size: size, free: make(chan []byte, count)}
+	for i := 0; i < count; i++ {
+		p.free <- make([]byte, size)
+	}
+	return p
+}
+
+// Get takes a buffer from the pool, allocating if it is empty.
+func (p *Pool) Get() []byte {
+	select {
+	case b := <-p.free:
+		return b
+	default:
+		return make([]byte, p.size)
+	}
+}
+
+// Put returns a buffer to the pool; oversized or foreign buffers are
+// dropped for the collector.
+func (p *Pool) Put(b []byte) {
+	if cap(b) < p.size {
+		return
+	}
+	select {
+	case p.free <- b[:p.size]:
+	default:
+	}
+}
+
+// Size returns the pool's buffer size.
+func (p *Pool) Size() int { return p.size }

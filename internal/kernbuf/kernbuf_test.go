@@ -1,0 +1,125 @@
+package kernbuf
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCopyToUserAndBack(t *testing.T) {
+	var m Meter
+	u := NewUserBuffer(16)
+	if err := m.CopyToUser(u, 4, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(u.UserView()[4:8], []byte("abcd")) {
+		t.Fatalf("user view = %q", u.UserView())
+	}
+	dst := make([]byte, 4)
+	if err := m.CopyFromUser(dst, u, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, []byte("abcd")) {
+		t.Fatalf("dst = %q", dst)
+	}
+	s := m.Snapshot()
+	if s.UserCopies != 2 || s.UserBytes != 8 {
+		t.Fatalf("meter = %+v", s)
+	}
+}
+
+func TestAccessChecks(t *testing.T) {
+	var m Meter
+	u := NewUserBuffer(8)
+	cases := []struct{ off, n int }{
+		{-1, 4}, {0, 9}, {5, 4}, {8, 1},
+	}
+	for _, c := range cases {
+		if err := m.CopyToUser(u, c.off, make([]byte, c.n)); !errors.Is(err, ErrFault) {
+			t.Errorf("CopyToUser(off=%d,n=%d) err = %v, want EFAULT", c.off, c.n, err)
+		}
+		if err := m.CopyFromUser(make([]byte, 16), u, c.off, c.n); !errors.Is(err, ErrFault) {
+			t.Errorf("CopyFromUser(off=%d,n=%d) err = %v, want EFAULT", c.off, c.n, err)
+		}
+	}
+	// Negative lengths fault too (only reachable via CopyFromUser).
+	if err := m.CopyFromUser(make([]byte, 16), u, 0, -1); !errors.Is(err, ErrFault) {
+		t.Errorf("negative length err = %v, want EFAULT", err)
+	}
+	// Faults must not be metered.
+	if s := m.Snapshot(); s.UserCopies != 0 {
+		t.Fatalf("meter after faults = %+v", s)
+	}
+}
+
+func TestCopyFromUserSmallDst(t *testing.T) {
+	var m Meter
+	u := NewUserBuffer(8)
+	if err := m.CopyFromUser(make([]byte, 2), u, 0, 4); err == nil {
+		t.Fatal("expected destination-too-small error")
+	}
+}
+
+func TestKernelCopyMetering(t *testing.T) {
+	var m Meter
+	dst := make([]byte, 8)
+	n := m.KernelCopy(dst, []byte("12345678"))
+	if n != 8 {
+		t.Fatalf("n = %d", n)
+	}
+	s := m.Snapshot()
+	if s.KernelCopies != 1 || s.KernelBytes != 8 || s.UserCopies != 0 {
+		t.Fatalf("meter = %+v", s)
+	}
+	m.Reset()
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("meter after reset = %+v", s)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(1024, 2)
+	b1 := p.Get()
+	b2 := p.Get()
+	if len(b1) != 1024 || len(b2) != 1024 {
+		t.Fatalf("sizes = %d, %d", len(b1), len(b2))
+	}
+	b3 := p.Get() // pool empty: allocates
+	if len(b3) != 1024 {
+		t.Fatalf("b3 = %d", len(b3))
+	}
+	p.Put(b1)
+	if got := p.Get(); &got[0] != &b1[0] {
+		t.Fatal("pool did not reuse returned buffer")
+	}
+	// Undersized buffers are rejected.
+	p.Put(make([]byte, 8))
+	if got := p.Get(); len(got) != 1024 {
+		t.Fatalf("got %d-byte buffer from pool", len(got))
+	}
+}
+
+// Property: a CopyToUser followed by CopyFromUser of the same range
+// is the identity, for every in-bounds range.
+func TestQuickUserRoundTrip(t *testing.T) {
+	u := NewUserBuffer(256)
+	var m Meter
+	f := func(data []byte, off uint8) bool {
+		if len(data) > 128 {
+			data = data[:128]
+		}
+		o := int(off) % 128
+		if err := m.CopyToUser(u, o, data); err != nil {
+			return false
+		}
+		out := make([]byte, len(data))
+		if err := m.CopyFromUser(out, u, o, len(data)); err != nil {
+			return false
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package mach
+
+// The streamlined IPC path: synchronous RPC through a port, with a
+// few inline "register" words and a message body the kernel copies
+// exactly once, directly from the sender's address space into a
+// buffer in the receiver's address space (no intermediate kernel
+// buffer). This models the "new, streamlined low-level Mach IPC
+// mechanism" of §4.2.
+
+// InlineWords is the number of 32-bit words transferred through
+// (simulated) processor registers with each message.
+const InlineWords = 8
+
+// A Message is the sender-side description of one IPC transfer.
+// Body is read directly out of the sender's buffer while the sender
+// is blocked, so the caller may reuse it as soon as the call
+// completes.
+type Message struct {
+	Inline [InlineWords]uint32
+	Body   []byte
+	Ports  []*Port // send rights to transfer
+}
+
+// A Received is the receiver-side view of a transferred message.
+// Body is storage owned by the receiving task; PortNames are the
+// transferred rights, translated into the receiving task's name
+// space.
+type Received struct {
+	Inline    [InlineWords]uint32
+	Body      []byte
+	PortNames []Name
+}
+
+// exchange is the kernel-internal rendezvous between one Call and
+// one Receive.
+type exchange struct {
+	req        *Message
+	binding    *Binding
+	replyBuf   []byte // client-provided reply landing zone (may be nil)
+	reply      Received
+	replyPorts []*Port
+	done       chan struct{}
+}
+
+// An Incoming is a received request that must be answered with
+// Reply.
+type Incoming struct {
+	Received
+	x       *exchange
+	replied bool
+}
+
+// Receive blocks until a request arrives on p, which must be owned
+// by t. The request body is kernel-copied into buf when it fits;
+// otherwise fresh storage is allocated. Transferred rights are
+// inserted into t's name space using the naming mode fixed at bind
+// time.
+func (t *Task) Receive(p *Port, buf []byte) (*Incoming, error) {
+	if p.Receiver() != t {
+		return nil, ErrNotReceiver
+	}
+	x, ok := <-p.queue
+	if !ok {
+		return nil, ErrDeadPort
+	}
+	in := &Incoming{x: x}
+	in.Inline = x.req.Inline
+	// The single kernel copy: sender space -> receiver space.
+	n := len(x.req.Body)
+	if cap(buf) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]byte, n)
+	}
+	copy(buf, x.req.Body)
+	in.Body = buf
+	// Translate transferred rights into the server task.
+	if len(x.req.Ports) > 0 {
+		in.PortNames = make([]Name, len(x.req.Ports))
+		for i, port := range x.req.Ports {
+			if x.binding.serverNonUnique {
+				in.PortNames[i] = t.InsertRightNonUnique(port)
+			} else {
+				in.PortNames[i] = t.InsertRight(port)
+			}
+		}
+	}
+	return in, nil
+}
+
+// Reply completes the request. The reply body is kernel-copied into
+// the client's landing buffer before Reply returns, so the server
+// may immediately reuse its own buffer — this is what makes the
+// [dealloc(never)] presentation safe for the pipe server's circular
+// buffer. Reply must be called exactly once per Incoming.
+func (in *Incoming) Reply(reply *Message) {
+	if in.replied {
+		panic("mach: double reply to the same request")
+	}
+	in.replied = true
+	x := in.x
+	b := x.binding
+	// Scrub register state before control returns to a client the
+	// server does not trust for confidentiality.
+	if b.serverClearOnReply {
+		b.regs.clearRegs()
+	}
+	x.reply.Inline = reply.Inline
+	n := len(reply.Body)
+	if cap(x.replyBuf) >= n {
+		x.reply.Body = x.replyBuf[:n]
+	} else {
+		x.reply.Body = make([]byte, n)
+	}
+	copy(x.reply.Body, reply.Body)
+	// Reply-borne rights are translated in the client's name space
+	// by Call, after the rendezvous completes.
+	x.reply.PortNames = nil
+	x.replyPorts = reply.Ports
+	close(x.done)
+}

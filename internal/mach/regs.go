@@ -1,0 +1,42 @@
+package mach
+
+// RegWords is the size of the simulated register context the kernel
+// must protect across an RPC. The PA-RISC context itself was ~0.5 KB
+// (31 general registers, 32 double-precision FP registers, control
+// state), but on a 66 MHz machine each save/clear/restore was a
+// sizable fraction of a ~10 us null RPC. A modern core moves an
+// L1-resident 0.5 KB in a few nanoseconds, which would erase the
+// effect the paper measured, so the context is scaled until the
+// save/clear/restore work is the same *fraction* of a null RPC as on
+// the original hardware (calibrated: each op ~6-8% of a ~800 ns
+// round trip).
+const RegWords = 1024
+
+// regContext is the per-binding simulated register state. The trust
+// experiment (§4.5) is entirely about how much of this work the
+// kernel can skip when an endpoint declares [leaky] or
+// [leaky,unprotected]; each helper below is one unit of that work.
+type regContext struct {
+	regs [RegWords]uint64
+	save [RegWords]uint64
+}
+
+// saveRegs models preserving the caller's registers before handing
+// control to an untrusted-for-integrity peer.
+func (r *regContext) saveRegs() {
+	copy(r.save[:], r.regs[:])
+}
+
+// restoreRegs models restoring the caller's registers after the
+// call, undoing any corruption by the peer.
+func (r *regContext) restoreRegs() {
+	copy(r.regs[:], r.save[:])
+}
+
+// clearRegs models scrubbing register state so no information leaks
+// to a peer that is untrusted for confidentiality.
+func (r *regContext) clearRegs() {
+	for i := range r.regs {
+		r.regs[i] = 0
+	}
+}

@@ -1,0 +1,106 @@
+package mach
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplayBasics(t *testing.T) {
+	var tr splayTree
+	if _, ok := tr.lookup(5); ok {
+		t.Fatal("empty tree lookup should miss")
+	}
+	tr.insert(5, 50)
+	tr.insert(2, 20)
+	tr.insert(8, 80)
+	for k, want := range map[uint32]int32{5: 50, 2: 20, 8: 80} {
+		got, ok := tr.lookup(k)
+		if !ok || got != want {
+			t.Fatalf("lookup(%d) = %d, %v", k, got, ok)
+		}
+	}
+	if _, ok := tr.lookup(7); ok {
+		t.Fatal("missing key should miss")
+	}
+	if tr.count() != 3 {
+		t.Fatalf("count = %d", tr.count())
+	}
+	tr.remove(5)
+	if _, ok := tr.lookup(5); ok {
+		t.Fatal("removed key still present")
+	}
+	if got, ok := tr.lookup(2); !ok || got != 20 {
+		t.Fatal("remaining keys damaged by remove")
+	}
+	tr.remove(5) // removing a missing key is a no-op
+	if tr.count() != 2 {
+		t.Fatalf("count = %d", tr.count())
+	}
+}
+
+func TestSplayAscendingAndDescendingInsertion(t *testing.T) {
+	// Degenerate insertion orders must still work (splaying keeps
+	// amortized cost low, and correctness regardless).
+	var tr splayTree
+	for i := uint32(0); i < 1000; i++ {
+		tr.insert(i, int32(i))
+	}
+	for i := uint32(999); ; i-- {
+		if got, ok := tr.lookup(i); !ok || got != int32(i) {
+			t.Fatalf("lookup(%d) = %d, %v", i, got, ok)
+		}
+		if i == 0 {
+			break
+		}
+	}
+}
+
+// Property: the splay tree agrees with a map under random
+// insert/remove/lookup sequences.
+func TestQuickSplayAgainstMap(t *testing.T) {
+	f := func(seed int64, opsRaw []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr splayTree
+		ref := map[uint32]int32{}
+		for _, op := range opsRaw {
+			key := uint32(rng.Intn(32))
+			switch op % 3 {
+			case 0: // insert (only if absent, as the name table does)
+				if _, ok := ref[key]; !ok {
+					v := int32(rng.Int31())
+					tr.insert(key, v)
+					ref[key] = v
+				}
+			case 1: // remove
+				tr.remove(key)
+				delete(ref, key)
+			case 2: // lookup
+				got, ok := tr.lookup(key)
+				want, wantOK := ref[key]
+				if ok != wantOK || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		if tr.count() != len(ref) {
+			return false
+		}
+		// Final full verification.
+		keys := make([]uint32, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			if got, ok := tr.lookup(k); !ok || got != ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

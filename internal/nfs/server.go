@@ -1,0 +1,146 @@
+package nfs
+
+import (
+	"net"
+	"sync"
+
+	"flexrpc/internal/sunrpc"
+	"flexrpc/internal/xdr"
+)
+
+// A Server is the BSD file server of the experiment: one exported
+// in-memory file served over Sun RPC. It is deliberately hand-coded
+// against the sunrpc engine — the server side is not what the
+// experiment varies.
+type Server struct {
+	mu   sync.RWMutex
+	file []byte
+	attr Attr
+}
+
+// NewServer creates a server exporting a file of the given size with
+// deterministic contents.
+func NewServer(size int) *Server {
+	file := make([]byte, size)
+	for i := range file {
+		file[i] = byte(i*2654435761 + i>>8)
+	}
+	return &Server{
+		file: file,
+		attr: Attr{FileID: 2, Size: uint32(size), BlockSize: MaxData, MTime: 799137182},
+	}
+}
+
+// FileData returns the exported file (for test verification).
+func (s *Server) FileData() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.file
+}
+
+func (s *Server) putAttr(e *xdr.Encoder) {
+	e.PutUint32(s.attr.FileID)
+	e.PutUint32(s.attr.Size)
+	e.PutUint32(s.attr.BlockSize)
+	e.PutUint32(s.attr.MTime)
+}
+
+func decodeFH(d *xdr.Decoder) (FH, error) {
+	var fh FH
+	err := d.FixedOpaqueInto(fh[:])
+	return fh, err
+}
+
+// SunRPC builds the RFC 1057 server with the NFS procedures
+// registered.
+func (s *Server) SunRPC() *sunrpc.Server {
+	srv := sunrpc.NewServer(100003, 2)
+	srv.Register(ProcGetattr, func(args *xdr.Decoder, reply *xdr.Encoder) error {
+		fh, err := decodeFH(args)
+		if err != nil {
+			return sunrpc.ErrGarbageArgs
+		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if fh != RootFH() {
+			reply.PutUint32(StatNoEnt)
+			s.putAttr(reply)
+			return nil
+		}
+		reply.PutUint32(StatOK)
+		s.putAttr(reply)
+		return nil
+	})
+	srv.Register(ProcRead, func(args *xdr.Decoder, reply *xdr.Encoder) error {
+		fh, err := decodeFH(args)
+		if err != nil {
+			return sunrpc.ErrGarbageArgs
+		}
+		offset, err1 := args.Uint32()
+		count, err2 := args.Uint32()
+		if _, err3 := args.Uint32(); err1 != nil || err2 != nil || err3 != nil {
+			return sunrpc.ErrGarbageArgs
+		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if fh != RootFH() {
+			reply.PutUint32(StatNoEnt)
+			s.putAttr(reply)
+			reply.PutOpaque(nil)
+			return nil
+		}
+		if count > MaxData {
+			count = MaxData
+		}
+		end := int(offset) + int(count)
+		if int(offset) > len(s.file) {
+			end = int(offset)
+		} else if end > len(s.file) {
+			end = len(s.file)
+		}
+		reply.PutUint32(StatOK)
+		s.putAttr(reply)
+		if int(offset) >= len(s.file) {
+			reply.PutOpaque(nil)
+		} else {
+			reply.PutOpaque(s.file[offset:end])
+		}
+		return nil
+	})
+	srv.Register(ProcWrite, func(args *xdr.Decoder, reply *xdr.Encoder) error {
+		fh, err := decodeFH(args)
+		if err != nil {
+			return sunrpc.ErrGarbageArgs
+		}
+		if _, err := args.Uint32(); err != nil { // beginoffset
+			return sunrpc.ErrGarbageArgs
+		}
+		offset, err1 := args.Uint32()
+		if _, err := args.Uint32(); err != nil { // totalcount
+			return sunrpc.ErrGarbageArgs
+		}
+		data, err2 := args.Opaque()
+		if err1 != nil || err2 != nil {
+			return sunrpc.ErrGarbageArgs
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if fh != RootFH() || int(offset)+len(data) > len(s.file) {
+			reply.PutUint32(StatIO)
+			s.putAttr(reply)
+			return nil
+		}
+		copy(s.file[offset:], data)
+		reply.PutUint32(StatOK)
+		s.putAttr(reply)
+		return nil
+	})
+	return srv
+}
+
+// Start serves the given connection on a goroutine (one NFS client
+// per connection, as in the experiment).
+func (s *Server) Start(conn net.Conn) {
+	srv := s.SunRPC()
+	go func() { _ = srv.ServeConn(conn) }()
+}

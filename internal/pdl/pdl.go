@@ -1,0 +1,348 @@
+// Package pdl implements the Presentation Definition Language: the
+// third compiler stage in which the presentation of an RPC interface
+// is modified declaratively (paper §3). The syntax follows DCE's ACF
+// format, which the paper cites as its model: attribute lists in
+// brackets attach to interfaces, operations, and parameters, and only
+// deviations from the default presentation need be declared.
+//
+//	[leaky, unprotected]
+//	interface FileIO {
+//	    [comm_status] read([dealloc(never)] return);
+//	    write([trashable] data);
+//	};
+//
+// Nothing declared in a PDL file can affect the contract between
+// client and server: Apply works on a clone of the presentation and
+// validates the result against the interface before returning it.
+package pdl
+
+import (
+	"fmt"
+
+	"flexrpc/internal/idl"
+	"flexrpc/internal/pres"
+)
+
+// An attr is one parsed [name] or [name(arg,...)] attribute.
+type attr struct {
+	name string
+	args []string
+	pos  idl.Pos
+}
+
+// Apply parses PDL source and applies it to a clone of base,
+// returning the modified presentation. base is not mutated.
+func Apply(base *pres.Presentation, filename, src string) (*pres.Presentation, error) {
+	p := &parser{Parser: idl.NewParser(filename, src)}
+	decls, err := p.parseFile()
+	if err != nil {
+		return nil, err
+	}
+	out := base.Clone()
+	for _, d := range decls {
+		if err := d.apply(out); err != nil {
+			return nil, err
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+type paramDecl struct {
+	name  string
+	attrs []attr
+}
+
+type opDecl struct {
+	name   string
+	attrs  []attr
+	params []paramDecl
+	pos    idl.Pos
+}
+
+type ifaceDecl struct {
+	name  string
+	attrs []attr
+	ops   []opDecl
+	pos   idl.Pos
+}
+
+type parser struct {
+	*idl.Parser
+}
+
+func (p *parser) parseFile() ([]ifaceDecl, error) {
+	var decls []ifaceDecl
+	for {
+		eof, err := p.AtEOF()
+		if err != nil {
+			return nil, err
+		}
+		if eof {
+			return decls, nil
+		}
+		d, err := p.parseInterface()
+		if err != nil {
+			return nil, err
+		}
+		decls = append(decls, *d)
+	}
+}
+
+// parseAttrs parses an optional bracketed attribute list.
+func (p *parser) parseAttrs() ([]attr, error) {
+	ok, err := p.Accept("[")
+	if err != nil || !ok {
+		return nil, err
+	}
+	var attrs []attr
+	for {
+		name, pos, err := p.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		a := attr{name: name, pos: pos}
+		if ok, err := p.Accept("("); err != nil {
+			return nil, err
+		} else if ok {
+			for {
+				arg, _, err := p.ExpectIdent()
+				if err != nil {
+					return nil, err
+				}
+				a.args = append(a.args, arg)
+				more, err := p.Accept(",")
+				if err != nil {
+					return nil, err
+				}
+				if !more {
+					break
+				}
+			}
+			if err := p.Expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		attrs = append(attrs, a)
+		more, err := p.Accept(",")
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	return attrs, p.Expect("]")
+}
+
+func (p *parser) parseInterface() (*ifaceDecl, error) {
+	attrs, err := p.parseAttrs()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ExpectKeyword("interface"); err != nil {
+		return nil, err
+	}
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &ifaceDecl{name: name, attrs: attrs, pos: pos}
+	if err := p.Expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		done, err := p.Accept("}")
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+		op, err := p.parseOp()
+		if err != nil {
+			return nil, err
+		}
+		d.ops = append(d.ops, *op)
+	}
+	_, err = p.Accept(";")
+	return d, err
+}
+
+func (p *parser) parseOp() (*opDecl, error) {
+	attrs, err := p.parseAttrs()
+	if err != nil {
+		return nil, err
+	}
+	name, pos, err := p.ExpectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &opDecl{name: name, attrs: attrs, pos: pos}
+	if err := p.Expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		done, err := p.Accept(")")
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			break
+		}
+		if len(d.params) > 0 {
+			if err := p.Expect(","); err != nil {
+				return nil, err
+			}
+		}
+		pattrs, err := p.parseAttrs()
+		if err != nil {
+			return nil, err
+		}
+		pname, _, err := p.ExpectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d.params = append(d.params, paramDecl{name: pname, attrs: pattrs})
+	}
+	return d, p.Expect(";")
+}
+
+func (d *ifaceDecl) apply(out *pres.Presentation) error {
+	if d.name != out.Interface.Name {
+		return idl.Errorf(d.pos, "pdl: interface %q does not match presentation interface %q",
+			d.name, out.Interface.Name)
+	}
+	for _, a := range d.attrs {
+		switch a.name {
+		case "leaky":
+			if out.Trust < pres.TrustLeaky {
+				out.Trust = pres.TrustLeaky
+			}
+		case "unprotected":
+			out.Trust = pres.TrustFull
+		case "corba_style":
+			out.Style = pres.StyleCORBA
+		case "mig_style":
+			out.Style = pres.StyleMIG
+		default:
+			return idl.Errorf(a.pos, "pdl: unknown interface attribute %q", a.name)
+		}
+	}
+	for _, op := range d.ops {
+		if err := op.apply(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *opDecl) apply(out *pres.Presentation) error {
+	op := out.Op(d.name)
+	if op == nil {
+		return idl.Errorf(d.pos, "pdl: operation %q not in interface %q", d.name, out.Interface.Name)
+	}
+	for _, a := range d.attrs {
+		switch a.name {
+		case "comm_status":
+			op.CommStatus = true
+		default:
+			return idl.Errorf(a.pos, "pdl: unknown operation attribute %q", a.name)
+		}
+	}
+	for _, pd := range d.params {
+		pa := op.Param(pd.name)
+		for _, a := range pd.attrs {
+			if err := applyParamAttr(pa, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func applyParamAttr(pa *pres.ParamAttrs, a attr) error {
+	oneArg := func() (string, error) {
+		if len(a.args) != 1 {
+			return "", idl.Errorf(a.pos, "pdl: %s expects exactly one argument", a.name)
+		}
+		return a.args[0], nil
+	}
+	noArgs := func() error {
+		if len(a.args) != 0 {
+			return idl.Errorf(a.pos, "pdl: %s takes no arguments", a.name)
+		}
+		return nil
+	}
+	switch a.name {
+	case "special":
+		if err := noArgs(); err != nil {
+			return err
+		}
+		pa.Special = true
+	case "trashable":
+		if err := noArgs(); err != nil {
+			return err
+		}
+		pa.Trashable = true
+	case "preserved":
+		if err := noArgs(); err != nil {
+			return err
+		}
+		pa.Preserved = true
+	case "nonunique":
+		if err := noArgs(); err != nil {
+			return err
+		}
+		pa.NonUnique = true
+	case "length_is":
+		arg, err := oneArg()
+		if err != nil {
+			return err
+		}
+		pa.LengthIs = arg
+	case "dealloc":
+		arg, err := oneArg()
+		if err != nil {
+			return err
+		}
+		switch arg {
+		case "never":
+			pa.Dealloc = pres.DeallocNever
+		case "always":
+			pa.Dealloc = pres.DeallocAlways
+		default:
+			return idl.Errorf(a.pos, "pdl: dealloc(%s): want never or always", arg)
+		}
+	case "alloc":
+		arg, err := oneArg()
+		if err != nil {
+			return err
+		}
+		switch arg {
+		case "caller":
+			pa.Alloc = pres.AllocCaller
+		case "callee":
+			pa.Alloc = pres.AllocCallee
+		case "auto":
+			pa.Alloc = pres.AllocAuto
+		default:
+			return idl.Errorf(a.pos, "pdl: alloc(%s): want caller, callee or auto", arg)
+		}
+	default:
+		return idl.Errorf(a.pos, "pdl: unknown parameter attribute %q", a.name)
+	}
+	return nil
+}
+
+// MustApply is Apply for tests and examples with known-good PDL; it
+// panics on error.
+func MustApply(base *pres.Presentation, filename, src string) *pres.Presentation {
+	p, err := Apply(base, filename, src)
+	if err != nil {
+		panic(fmt.Sprintf("pdl.MustApply: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,227 @@
+package pdl
+
+import (
+	"strings"
+	"testing"
+
+	"flexrpc/internal/idl/corba"
+	"flexrpc/internal/pres"
+)
+
+func fileIOPres(t *testing.T) *pres.Presentation {
+	t.Helper()
+	f, err := corba.Parse("fileio.idl", `
+		interface FileIO {
+		    sequence<octet> read(in unsigned long count);
+		    void write(in sequence<octet> data);
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pres.Default(f.Interface("FileIO"), pres.StyleCORBA)
+}
+
+// Paper Figure 5: [dealloc(never)] on the read result lets the pipe
+// server keep its circular buffer.
+func TestFigure5DeallocNever(t *testing.T) {
+	base := fileIOPres(t)
+	p, err := Apply(base, "server.pdl", `
+		interface FileIO {
+			read([dealloc(never)] return);
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op("read").Result().Dealloc != pres.DeallocNever {
+		t.Fatal("dealloc(never) not applied")
+	}
+	// The base is untouched.
+	if base.Op("read").Result().Dealloc != pres.DeallocAlways {
+		t.Fatal("Apply mutated the base presentation")
+	}
+}
+
+// Paper Figures 8 and 9: trashable on the client, preserved on the
+// server.
+func TestFigures8And9Mutability(t *testing.T) {
+	client, err := Apply(fileIOPres(t), "client.pdl", `
+		interface FileIO { write([trashable] data); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := Apply(fileIOPres(t), "server.pdl", `
+		interface FileIO { write([preserved] data); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !client.Op("write").Param("data").Trashable {
+		t.Error("trashable not applied")
+	}
+	if !server.Op("write").Param("data").Preserved {
+		t.Error("preserved not applied")
+	}
+}
+
+// Paper §4.5: trust attributes at interface level.
+func TestTrustAttributes(t *testing.T) {
+	p, err := Apply(fileIOPres(t), "t.pdl", `
+		[leaky] interface FileIO { };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Trust != pres.TrustLeaky {
+		t.Fatalf("trust = %v", p.Trust)
+	}
+	p, err = Apply(fileIOPres(t), "t.pdl", `
+		[leaky, unprotected] interface FileIO { };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Trust != pres.TrustFull {
+		t.Fatalf("trust = %v", p.Trust)
+	}
+}
+
+// Paper Figure 1: the Linux NFS client declaration combines
+// comm_status and special.
+func TestFigure1CommStatusAndSpecial(t *testing.T) {
+	f, err := corba.Parse("nfs.idl", `
+		interface NFS {
+			long nfsproc_read(in unsigned long offset, in unsigned long count,
+			                  out sequence<octet> data);
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pres.Default(f.Interface("NFS"), pres.StyleSun)
+	p, err := Apply(base, "nfs.pdl", `
+		interface NFS {
+			[comm_status] nfsproc_read([special] data);
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := p.Op("nfsproc_read")
+	if !op.CommStatus || !op.Param("data").Special {
+		t.Fatalf("op = %+v", op)
+	}
+}
+
+func TestLengthIs(t *testing.T) {
+	f, err := corba.Parse("syslog.idl", `
+		interface SysLog {
+			void write_msg(in string msg, in long length);
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pres.Default(f.Interface("SysLog"), pres.StyleCORBA)
+	p, err := Apply(base, "syslog.pdl", `
+		interface SysLog { write_msg([length_is(length)] msg); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op("write_msg").Param("msg").LengthIs != "length" {
+		t.Fatal("length_is not applied")
+	}
+}
+
+func TestAllocAttr(t *testing.T) {
+	p, err := Apply(fileIOPres(t), "t.pdl", `
+		interface FileIO { read([alloc(caller)] return); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op("read").Result().Alloc != pres.AllocCaller {
+		t.Fatal("alloc(caller) not applied")
+	}
+}
+
+// The central invariant: applying a PDL never alters the network
+// contract.
+func TestApplyNeverAltersContract(t *testing.T) {
+	base := fileIOPres(t)
+	before := base.Interface.Signature()
+	_, err := Apply(base, "t.pdl", `
+		[leaky, unprotected]
+		interface FileIO {
+			[comm_status] read([dealloc(never), alloc(callee)] return);
+			write([trashable] data);
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Interface.Signature() != before {
+		t.Fatal("PDL application changed the network contract")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{`interface Wrong { };`, "does not match"},
+		{`interface FileIO { nosuchop(); };`, `operation "nosuchop"`},
+		{`interface FileIO { read([trashable] return); };`, "trashable"},
+		{`interface FileIO { read([dealloc(sometimes)] return); };`, "dealloc(sometimes)"},
+		{`interface FileIO { read([alloc(greedy)] return); };`, "alloc(greedy)"},
+		{`interface FileIO { read([frob] return); };`, `unknown parameter attribute "frob"`},
+		{`interface FileIO { [frob] read(); };`, `unknown operation attribute "frob"`},
+		{`[frob] interface FileIO { };`, `unknown interface attribute "frob"`},
+		{`interface FileIO { write([length_is(a,b)] data); };`, "exactly one argument"},
+		{`interface FileIO { write([trashable(x)] data); };`, "takes no arguments"},
+		{`interface FileIO { write([dealloc] data); };`, "exactly one argument"},
+		{`interface FileIO { write([preserved] nosuchparam); };`, `"nosuchparam"`},
+	}
+	for _, c := range cases {
+		_, err := Apply(fileIOPres(t), "t.pdl", c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("src %q:\n  err = %v\n  want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestOnlyDeviationsNeeded(t *testing.T) {
+	// A PDL file mentioning one op must leave every other op at the
+	// default (paper §3: no need to re-declare everything).
+	p, err := Apply(fileIOPres(t), "t.pdl", `
+		interface FileIO { read([dealloc(never)] return); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Op("write").Param("data")
+	if w.Trashable || w.Preserved || w.Special {
+		t.Fatalf("write attrs changed: %+v", w)
+	}
+}
+
+func TestMultipleInterfaceBlocksAndEmptyFile(t *testing.T) {
+	if _, err := Apply(fileIOPres(t), "t.pdl", ``); err != nil {
+		t.Fatalf("empty PDL should be valid: %v", err)
+	}
+	p, err := Apply(fileIOPres(t), "t.pdl", `
+		interface FileIO { read([dealloc(never)] return); };
+		interface FileIO { write([trashable] data); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Op("read").Result().Dealloc != pres.DeallocNever || !p.Op("write").Param("data").Trashable {
+		t.Fatal("both blocks should apply")
+	}
+}
+
+func TestMustApplyPanicsOnBadPDL(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustApply(fileIOPres(t), "t.pdl", `interface Wrong {};`)
+}
+
+func TestValidationRunsAfterApply(t *testing.T) {
+	// trashable+preserved passes parsing but must fail validation.
+	_, err := Apply(fileIOPres(t), "t.pdl", `
+		interface FileIO { write([trashable, preserved] data); };`)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v", err)
+	}
+}

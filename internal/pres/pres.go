@@ -1,0 +1,355 @@
+// Package pres models RPC presentation: the "programmer's contract"
+// between generated stubs and the code that calls or implements them.
+//
+// A Presentation is always attached to an ir.Interface (the network
+// contract) but never alters it; two endpoints of one connection may
+// hold arbitrarily different Presentations of the same interface and
+// still interoperate. This separation — and the performance won by
+// exploiting it — is the central idea of the paper.
+package pres
+
+import (
+	"fmt"
+
+	"flexrpc/internal/ir"
+)
+
+// Style selects the fixed rule-set used to compute an interface's
+// default presentation, mirroring the language mappings of existing
+// RPC systems.
+type Style int
+
+// Presentation styles.
+const (
+	// StyleCORBA follows the CORBA C mapping: out parameters and
+	// results use move semantics (callee allocates, stub/consumer
+	// deallocates); in parameters have copy semantics.
+	StyleCORBA Style = iota
+	// StyleSun follows rpcgen: like CORBA for allocation, XDR wire
+	// conventions, results returned through pointers.
+	StyleSun
+	// StyleMIG follows the Mach Interface Generator for
+	// non-copy-on-write parameters: the caller allocates out
+	// buffers and the callee fills them in.
+	StyleMIG
+)
+
+func (s Style) String() string {
+	switch s {
+	case StyleCORBA:
+		return "corba"
+	case StyleSun:
+		return "sun"
+	case StyleMIG:
+		return "mig"
+	}
+	return fmt.Sprintf("Style(%d)", int(s))
+}
+
+// AllocPolicy says which side provides storage for a buffer-like
+// parameter.
+type AllocPolicy int
+
+// Allocation policies.
+const (
+	// AllocAuto lets the RPC system decide (and adapt to the peer).
+	AllocAuto AllocPolicy = iota
+	// AllocCaller means the caller provides the buffer and the
+	// callee fills it (MIG-style out parameters).
+	AllocCaller
+	// AllocCallee means the callee allocates the buffer and donates
+	// it to the caller (CORBA/COM move semantics).
+	AllocCallee
+)
+
+func (a AllocPolicy) String() string {
+	switch a {
+	case AllocAuto:
+		return "auto"
+	case AllocCaller:
+		return "caller"
+	case AllocCallee:
+		return "callee"
+	}
+	return fmt.Sprintf("AllocPolicy(%d)", int(a))
+}
+
+// DeallocPolicy says whether the stub deallocates a buffer after
+// marshaling it (relevant on the side that sends the data).
+type DeallocPolicy int
+
+// Deallocation policies.
+const (
+	// DeallocDefault applies the style's rule (move semantics under
+	// CORBA: the stub frees the server's buffer after marshaling).
+	DeallocDefault DeallocPolicy = iota
+	// DeallocAlways forces the stub to free the buffer.
+	DeallocAlways
+	// DeallocNever tells the stub the endpoint manages its own
+	// storage — the paper's fix for the pipe server's circular
+	// buffer (Figure 5).
+	DeallocNever
+)
+
+func (d DeallocPolicy) String() string {
+	switch d {
+	case DeallocDefault:
+		return "default"
+	case DeallocAlways:
+		return "always"
+	case DeallocNever:
+		return "never"
+	}
+	return fmt.Sprintf("DeallocPolicy(%d)", int(d))
+}
+
+// Trust is the degree to which one endpoint trusts its peer; it is a
+// presentation attribute because it affects only local guarantees,
+// never the network contract (paper §4.5).
+type Trust int
+
+// Trust levels, in increasing order of trust.
+const (
+	// TrustNone: the peer is fully untrusted (default).
+	TrustNone Trust = iota
+	// TrustLeaky ([leaky]): information may leak to the peer, but
+	// the peer must not be able to corrupt us.
+	TrustLeaky
+	// TrustFull ([leaky,unprotected]): the peer may see and corrupt
+	// everything — e.g. a privileged personality server.
+	TrustFull
+)
+
+func (t Trust) String() string {
+	switch t {
+	case TrustNone:
+		return "none"
+	case TrustLeaky:
+		return "leaky"
+	case TrustFull:
+		return "leaky,unprotected"
+	}
+	return fmt.Sprintf("Trust(%d)", int(t))
+}
+
+// ParamAttrs carries the presentation attributes of one parameter
+// (or of the operation result, under the pseudo-parameter name
+// "return").
+type ParamAttrs struct {
+	// Alloc selects who provides buffer storage.
+	Alloc AllocPolicy
+	// Dealloc selects whether the stub frees the buffer after
+	// marshaling.
+	Dealloc DeallocPolicy
+	// Trashable (client side, in parameters): the caller permits
+	// its buffer to be trashed during the call.
+	Trashable bool
+	// Preserved (server side, in parameters): the work function
+	// promises not to modify the buffer it receives.
+	Preserved bool
+	// Special: the parameter is marshaled/unmarshaled by
+	// programmer-provided routines ([special]), e.g. the Linux NFS
+	// client's copyin/copyout path.
+	Special bool
+	// LengthIs names a companion integer parameter carrying the
+	// explicit length of this buffer ([length_is(param)]).
+	LengthIs string
+	// NonUnique (port parameters): the receiving task does not need
+	// the unique-name invariant for this right ([nonunique]).
+	NonUnique bool
+}
+
+// OpPres is the presentation of a single operation.
+type OpPres struct {
+	Name string
+	// Params maps parameter name to attributes; the result uses
+	// the ResultParam key.
+	Params map[string]*ParamAttrs
+	// CommStatus ([comm_status]): RPC failures are reported through
+	// a status return instead of an exception environment.
+	CommStatus bool
+}
+
+// ResultParam is the Params key for the operation result.
+const ResultParam = "return"
+
+// Param returns the attributes for the named parameter, creating a
+// default entry on first use.
+func (o *OpPres) Param(name string) *ParamAttrs {
+	if a, ok := o.Params[name]; ok {
+		return a
+	}
+	a := &ParamAttrs{}
+	o.Params[name] = a
+	return a
+}
+
+// Result returns the attributes of the operation result.
+func (o *OpPres) Result() *ParamAttrs { return o.Param(ResultParam) }
+
+// A Presentation is one endpoint's programmer's contract for an
+// interface. It references the network contract but cannot change it.
+type Presentation struct {
+	Interface *ir.Interface
+	Style     Style
+	Ops       map[string]*OpPres
+	// Trust is the connection-level trust this endpoint extends to
+	// its peer.
+	Trust Trust
+}
+
+// Default computes the standard presentation for iface under the
+// given style's fixed rules. A PDL file is only needed to deviate
+// from this (paper §3).
+func Default(iface *ir.Interface, style Style) *Presentation {
+	p := &Presentation{
+		Interface: iface,
+		Style:     style,
+		Ops:       make(map[string]*OpPres),
+	}
+	for i := range iface.Ops {
+		op := &iface.Ops[i]
+		po := &OpPres{Name: op.Name, Params: make(map[string]*ParamAttrs)}
+		for _, param := range op.Params {
+			po.Params[param.Name] = defaultParamAttrs(param.Type, param.Dir, style)
+		}
+		if op.HasResult() {
+			po.Params[ResultParam] = defaultParamAttrs(op.Result, ir.Out, style)
+		}
+		p.Ops[op.Name] = po
+	}
+	return p
+}
+
+func defaultParamAttrs(t *ir.Type, dir ir.Direction, style Style) *ParamAttrs {
+	a := &ParamAttrs{}
+	if !isBufferType(t) {
+		return a
+	}
+	switch dir {
+	case In:
+		// In parameters: copy semantics under every fixed style —
+		// the stub must assume neither trashable nor preserved.
+	case Out, InOut:
+		switch style {
+		case StyleCORBA, StyleSun:
+			a.Alloc = AllocCallee
+			a.Dealloc = DeallocAlways
+		case StyleMIG:
+			a.Alloc = AllocCaller
+		}
+	}
+	return a
+}
+
+// Aliases for ir directions, letting this file read like the paper.
+const (
+	In    = ir.In
+	Out   = ir.Out
+	InOut = ir.InOut
+)
+
+func isBufferType(t *ir.Type) bool {
+	switch t.Kind {
+	case ir.Bytes, ir.FixedBytes, ir.String, ir.Seq, ir.Array, ir.Struct:
+		return true
+	}
+	return false
+}
+
+// Op returns the presentation of the named operation, or nil.
+func (p *Presentation) Op(name string) *OpPres { return p.Ops[name] }
+
+// Clone returns a deep copy sharing the (immutable) interface.
+func (p *Presentation) Clone() *Presentation {
+	q := &Presentation{
+		Interface: p.Interface,
+		Style:     p.Style,
+		Ops:       make(map[string]*OpPres, len(p.Ops)),
+		Trust:     p.Trust,
+	}
+	for name, op := range p.Ops {
+		cp := &OpPres{Name: op.Name, Params: make(map[string]*ParamAttrs, len(op.Params)), CommStatus: op.CommStatus}
+		for pn, pa := range op.Params {
+			dup := *pa
+			cp.Params[pn] = &dup
+		}
+		q.Ops[name] = cp
+	}
+	return q
+}
+
+// Validate checks the presentation's internal consistency against
+// its interface: every annotated operation and parameter must exist,
+// length_is must reference an integer parameter of the same
+// operation and direction, and attributes must be applicable to the
+// parameter's type and direction. A valid presentation can never
+// alter the network contract.
+func (p *Presentation) Validate() error {
+	for name, op := range p.Ops {
+		irOp := p.Interface.Op(name)
+		if irOp == nil {
+			return fmt.Errorf("pres: operation %q not in interface %s", name, p.Interface.Name)
+		}
+		for pn, pa := range op.Params {
+			var t *ir.Type
+			var dir ir.Direction
+			if pn == ResultParam {
+				if !irOp.HasResult() {
+					return fmt.Errorf("pres: %s.%s has no result to annotate", p.Interface.Name, name)
+				}
+				t, dir = irOp.Result, ir.Out
+			} else {
+				found := false
+				for _, param := range irOp.Params {
+					if param.Name == pn {
+						t, dir, found = param.Type, param.Dir, true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("pres: parameter %q not in %s.%s", pn, p.Interface.Name, name)
+				}
+			}
+			if err := validateAttrs(irOp, pn, pa, t, dir); err != nil {
+				return fmt.Errorf("pres: %s.%s param %s: %w", p.Interface.Name, name, pn, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateAttrs(op *ir.Operation, name string, a *ParamAttrs, t *ir.Type, dir ir.Direction) error {
+	if a.Trashable && dir != ir.In && dir != ir.InOut {
+		return fmt.Errorf("trashable applies only to in parameters")
+	}
+	if a.Preserved && dir != ir.In && dir != ir.InOut {
+		return fmt.Errorf("preserved applies only to in parameters")
+	}
+	if a.Trashable && a.Preserved {
+		return fmt.Errorf("trashable and preserved are mutually exclusive")
+	}
+	if (a.Alloc != AllocAuto || a.Dealloc != DeallocDefault) && !isBufferType(t) {
+		return fmt.Errorf("allocation attributes require a buffer type, have %s", t.Signature())
+	}
+	if a.NonUnique && t.Kind != ir.Port {
+		return fmt.Errorf("nonunique applies only to port parameters")
+	}
+	if a.LengthIs != "" {
+		var lt *ir.Type
+		for _, param := range op.Params {
+			if param.Name == a.LengthIs {
+				lt = param.Type
+			}
+		}
+		if lt == nil {
+			return fmt.Errorf("length_is(%s): no such parameter", a.LengthIs)
+		}
+		switch lt.Kind {
+		case ir.Int32, ir.Uint32, ir.Int64, ir.Uint64:
+		default:
+			return fmt.Errorf("length_is(%s): parameter is %s, need integer", a.LengthIs, lt.Signature())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"flexrpc/internal/pres"
+)
+
+// A Conn is a client-side message transport: it moves request bytes
+// to the server's dispatcher and returns the reply bytes, which may
+// land in replyBuf when provided and large enough.
+type Conn interface {
+	Call(opIdx int, req []byte, replyBuf []byte) ([]byte, error)
+	Close() error
+}
+
+// SelfFraming is implemented by transports whose own protocol
+// already conveys remote errors (Sun RPC's accept_stat); the runtime
+// then omits its status word, keeping the wire format interoperable
+// with hand-coded peers speaking the same protocol.
+type SelfFraming interface {
+	SelfFraming() bool
+}
+
+// An Invoker is anything a client can call operations through: the
+// marshal-based Client below, or the same-domain engine in the
+// inproc transport. args is indexed by parameter position (out-only
+// positions ignored); outBufs optionally provides caller-allocated
+// landing buffers per parameter, and retBuf one for the result.
+// The returned slice is indexed by parameter position for out/inout
+// values; ret is the operation result.
+type Invoker interface {
+	Invoke(op string, args []Value, outBufs [][]byte, retBuf []byte) (outs []Value, ret Value, err error)
+}
+
+// A Client executes calls by marshaling through a Plan onto a Conn.
+type Client struct {
+	plan   *Plan
+	conn   Conn
+	framed bool
+
+	mu       sync.Mutex
+	enc      Encoder
+	replyBuf []byte
+}
+
+// NewClient builds a marshal-based client for presentation p over
+// conn. hooks may be nil when no parameter is [special].
+func NewClient(p *pres.Presentation, codec Codec, conn Conn, hooks SpecialHooks) (*Client, error) {
+	plan, err := NewPlan(p, codec, hooks)
+	if err != nil {
+		return nil, err
+	}
+	framed := true
+	if sf, ok := conn.(SelfFraming); ok && sf.SelfFraming() {
+		framed = false
+	}
+	return &Client{plan: plan, conn: conn, framed: framed, enc: codec.NewEncoder()}, nil
+}
+
+// Plan exposes the client's marshal plan (for tests and tooling).
+func (c *Client) Plan() *Plan { return c.plan }
+
+// Invoke implements Invoker: marshal the request, round-trip it,
+// unmarshal the reply. Calls are serialized per client.
+func (c *Client) Invoke(op string, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
+	idx := c.plan.OpIndex(op)
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("runtime: unknown operation %q", op)
+	}
+	opPlan := c.plan.Ops[idx]
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enc.Reset()
+	if err := opPlan.EncodeRequest(c.enc, args); err != nil {
+		return nil, nil, err
+	}
+	reply, err := c.conn.Call(idx, c.enc.Bytes(), c.replyBuf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cap(reply) > cap(c.replyBuf) {
+		c.replyBuf = reply[:cap(reply)]
+	}
+	dec := c.plan.Codec.NewDecoder(reply)
+	if c.framed {
+		status, err := dec.Uint32()
+		if err != nil {
+			return nil, nil, fmt.Errorf("runtime: truncated reply: %w", err)
+		}
+		if status != replyOK {
+			msg, err := dec.String()
+			if err != nil {
+				msg = "(unreadable error)"
+			}
+			return nil, nil, &RemoteError{Msg: msg}
+		}
+	}
+	if opPlan.Op.Oneway {
+		return nil, nil, nil
+	}
+	return opPlan.DecodeReply(dec, outBufs, retBuf)
+}
+
+// Close closes the underlying transport connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RawCall is the transport entry point for compiled stubs (the
+// codegen back-end's direct-marshal clients): it round-trips a
+// pre-marshaled request body and returns a decoder positioned at the
+// reply body, having consumed the runtime's status framing when the
+// transport is not self-framing. The raw reply slice is returned too
+// so callers can recycle it as the next replyBuf.
+func RawCall(conn Conn, codec Codec, opIdx int, req, replyBuf []byte) (Decoder, []byte, error) {
+	reply, err := conn.Call(opIdx, req, replyBuf)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec := codec.NewDecoder(reply)
+	framed := true
+	if sf, ok := conn.(SelfFraming); ok && sf.SelfFraming() {
+		framed = false
+	}
+	if framed {
+		status, err := dec.Uint32()
+		if err != nil {
+			return nil, nil, fmt.Errorf("runtime: truncated reply: %w", err)
+		}
+		if status != replyOK {
+			msg, err := dec.String()
+			if err != nil {
+				msg = "(unreadable error)"
+			}
+			return nil, nil, &RemoteError{Msg: msg}
+		}
+	}
+	return dec, reply, nil
+}

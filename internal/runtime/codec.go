@@ -1,0 +1,203 @@
+package runtime
+
+import (
+	"math"
+
+	"flexrpc/internal/cdr"
+	"flexrpc/internal/xdr"
+)
+
+func f32bits(v float32) uint32     { return math.Float32bits(v) }
+func f32frombits(v uint32) float32 { return math.Float32frombits(v) }
+func f64bits(v float64) uint64     { return math.Float64bits(v) }
+func f64frombits(v uint64) float64 { return math.Float64frombits(v) }
+
+// A Codec is a wire encoding the marshal plans can target. The stub
+// compiler back-ends are codec-agnostic: the same plan marshals to
+// Sun XDR or CORBA CDR depending on the transport's choice.
+type Codec interface {
+	Name() string
+	NewEncoder() Encoder
+	NewDecoder(buf []byte) Decoder
+}
+
+// An Encoder appends wire-format primitives.
+type Encoder interface {
+	PutBool(bool)
+	PutInt32(int32)
+	PutUint32(uint32)
+	PutInt64(int64)
+	PutUint64(uint64)
+	PutFloat32(float32)
+	PutFloat64(float64)
+	PutString(string)
+	PutBytes([]byte)      // variable-length opaque
+	PutFixedBytes([]byte) // fixed-length opaque
+	PutLen(int)           // sequence/array element count
+	Bytes() []byte
+	Reset()
+}
+
+// A Decoder reads wire-format primitives.
+type Decoder interface {
+	Bool() (bool, error)
+	Int32() (int32, error)
+	Uint32() (uint32, error)
+	Int64() (int64, error)
+	Uint64() (uint64, error)
+	Float32() (float32, error)
+	Float64() (float64, error)
+	String() (string, error)
+	Bytes() ([]byte, error)            // variable-length opaque (aliases input)
+	BytesInto(dst []byte) (int, error) // variable-length opaque into caller storage
+	FixedBytes(n int) ([]byte, error)
+	FixedBytesInto(dst []byte) error
+	Len() (int, error)
+	Remaining() int
+}
+
+// XDRCodec marshals in Sun XDR (RFC 4506).
+var XDRCodec Codec = xdrCodec{}
+
+type xdrCodec struct{}
+
+func (xdrCodec) Name() string { return "xdr" }
+func (xdrCodec) NewEncoder() Encoder {
+	return &xdrEncoder{}
+}
+func (xdrCodec) NewDecoder(buf []byte) Decoder {
+	return &xdrDecoder{d: xdr.NewDecoder(buf)}
+}
+
+type xdrEncoder struct {
+	e xdr.Encoder
+}
+
+func (x *xdrEncoder) PutBool(v bool)         { x.e.PutBool(v) }
+func (x *xdrEncoder) PutInt32(v int32)       { x.e.PutInt32(v) }
+func (x *xdrEncoder) PutUint32(v uint32)     { x.e.PutUint32(v) }
+func (x *xdrEncoder) PutInt64(v int64)       { x.e.PutInt64(v) }
+func (x *xdrEncoder) PutUint64(v uint64)     { x.e.PutUint64(v) }
+func (x *xdrEncoder) PutFloat32(v float32)   { x.e.PutFloat32(v) }
+func (x *xdrEncoder) PutFloat64(v float64)   { x.e.PutFloat64(v) }
+func (x *xdrEncoder) PutString(v string)     { x.e.PutString(v) }
+func (x *xdrEncoder) PutBytes(v []byte)      { x.e.PutOpaque(v) }
+func (x *xdrEncoder) PutFixedBytes(v []byte) { x.e.PutFixedOpaque(v) }
+func (x *xdrEncoder) PutLen(n int)           { x.e.PutArrayLen(n) }
+func (x *xdrEncoder) Bytes() []byte          { return x.e.Bytes() }
+func (x *xdrEncoder) Reset()                 { x.e.Reset() }
+
+type xdrDecoder struct {
+	d *xdr.Decoder
+}
+
+func (x *xdrDecoder) Bool() (bool, error)       { return x.d.Bool() }
+func (x *xdrDecoder) Int32() (int32, error)     { return x.d.Int32() }
+func (x *xdrDecoder) Uint32() (uint32, error)   { return x.d.Uint32() }
+func (x *xdrDecoder) Int64() (int64, error)     { return x.d.Int64() }
+func (x *xdrDecoder) Uint64() (uint64, error)   { return x.d.Uint64() }
+func (x *xdrDecoder) Float32() (float32, error) { return x.d.Float32() }
+func (x *xdrDecoder) Float64() (float64, error) { return x.d.Float64() }
+func (x *xdrDecoder) String() (string, error)   { return x.d.String() }
+func (x *xdrDecoder) Bytes() ([]byte, error)    { return x.d.Opaque() }
+func (x *xdrDecoder) BytesInto(dst []byte) (int, error) {
+	b, err := x.d.Opaque()
+	if err != nil {
+		return 0, err
+	}
+	return copy(dst, b), nil
+}
+func (x *xdrDecoder) FixedBytes(n int) ([]byte, error) { return x.d.FixedOpaque(n) }
+func (x *xdrDecoder) FixedBytesInto(dst []byte) error  { return x.d.FixedOpaqueInto(dst) }
+func (x *xdrDecoder) Len() (int, error)                { return x.d.ArrayLen() }
+func (x *xdrDecoder) Remaining() int                   { return x.d.Remaining() }
+
+// CDRCodec marshals in CORBA CDR, big-endian.
+var CDRCodec Codec = cdrCodec{order: cdr.BigEndian, name: "cdr"}
+
+// CDRCodecLE marshals in CORBA CDR, little-endian — both byte orders
+// are legal CDR, flagged in a real GIOP header; here the connection's
+// codec choice plays that role.
+var CDRCodecLE Codec = cdrCodec{order: cdr.LittleEndian, name: "cdr-le"}
+
+type cdrCodec struct {
+	order cdr.ByteOrder
+	name  string
+}
+
+func (c cdrCodec) Name() string { return c.name }
+func (c cdrCodec) NewEncoder() Encoder {
+	return &cdrEncoder{e: cdr.NewEncoder(c.order)}
+}
+func (c cdrCodec) NewDecoder(buf []byte) Decoder {
+	return &cdrDecoder{d: cdr.NewDecoder(buf, c.order)}
+}
+
+type cdrEncoder struct {
+	e *cdr.Encoder
+}
+
+func (c *cdrEncoder) PutBool(v bool)       { c.e.PutBool(v) }
+func (c *cdrEncoder) PutInt32(v int32)     { c.e.PutInt32(v) }
+func (c *cdrEncoder) PutUint32(v uint32)   { c.e.PutUint32(v) }
+func (c *cdrEncoder) PutInt64(v int64)     { c.e.PutInt64(v) }
+func (c *cdrEncoder) PutUint64(v uint64)   { c.e.PutUint64(v) }
+func (c *cdrEncoder) PutFloat32(v float32) { c.e.PutUint32(f32bits(v)) }
+func (c *cdrEncoder) PutFloat64(v float64) { c.e.PutUint64(f64bits(v)) }
+func (c *cdrEncoder) PutString(v string)   { c.e.PutString(v) }
+func (c *cdrEncoder) PutBytes(v []byte)    { c.e.PutOctetSeq(v) }
+func (c *cdrEncoder) PutFixedBytes(v []byte) {
+	// CDR fixed arrays of octets are raw bytes, no length.
+	for _, b := range v {
+		c.e.PutOctet(b)
+	}
+}
+func (c *cdrEncoder) PutLen(n int)  { c.e.PutSeqLen(n) }
+func (c *cdrEncoder) Bytes() []byte { return c.e.Bytes() }
+func (c *cdrEncoder) Reset()        { c.e.Reset() }
+
+type cdrDecoder struct {
+	d *cdr.Decoder
+}
+
+func (c *cdrDecoder) Bool() (bool, error)     { return c.d.Bool() }
+func (c *cdrDecoder) Int32() (int32, error)   { return c.d.Int32() }
+func (c *cdrDecoder) Uint32() (uint32, error) { return c.d.Uint32() }
+func (c *cdrDecoder) Int64() (int64, error)   { return c.d.Int64() }
+func (c *cdrDecoder) Uint64() (uint64, error) { return c.d.Uint64() }
+func (c *cdrDecoder) Float32() (float32, error) {
+	v, err := c.d.Uint32()
+	return f32frombits(v), err
+}
+func (c *cdrDecoder) Float64() (float64, error) {
+	v, err := c.d.Uint64()
+	return f64frombits(v), err
+}
+func (c *cdrDecoder) String() (string, error) { return c.d.String() }
+func (c *cdrDecoder) Bytes() ([]byte, error)  { return c.d.OctetSeq() }
+func (c *cdrDecoder) BytesInto(dst []byte) (int, error) {
+	b, err := c.d.OctetSeq()
+	if err != nil {
+		return 0, err
+	}
+	return copy(dst, b), nil
+}
+func (c *cdrDecoder) FixedBytes(n int) ([]byte, error) {
+	out := make([]byte, n)
+	if err := c.FixedBytesInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+func (c *cdrDecoder) FixedBytesInto(dst []byte) error {
+	for i := range dst {
+		b, err := c.d.Octet()
+		if err != nil {
+			return err
+		}
+		dst[i] = b
+	}
+	return nil
+}
+func (c *cdrDecoder) Len() (int, error) { return c.d.SeqLen() }
+func (c *cdrDecoder) Remaining() int    { return c.d.Remaining() }

@@ -1,0 +1,412 @@
+package runtime
+
+import (
+	"fmt"
+
+	"flexrpc/internal/ir"
+	"flexrpc/internal/pres"
+)
+
+// SpecialHooks supply programmer-provided marshal routines for
+// parameters carrying the [special] presentation attribute — the
+// mechanism behind the Linux NFS client's direct-to-user-space
+// unmarshaling (§4.1) and the pipe server's fbuf pass-through
+// (§4.3). The generated stubs call these at exactly the point the
+// default marshal code would have run.
+type SpecialHooks interface {
+	// EncodeSpecial marshals v for the named operation parameter.
+	// It must produce the same wire bytes a default marshal of the
+	// parameter's wire type would, or the peer will misparse.
+	EncodeSpecial(op, param string, enc Encoder, v Value) error
+	// DecodeSpecial unmarshals the named parameter, returning the
+	// presentation-specific local value.
+	DecodeSpecial(op, param string, dec Decoder) (Value, error)
+}
+
+// A Plan is the compiled marshal program for one endpoint: one
+// OpPlan per operation, honoring the endpoint's presentation.
+type Plan struct {
+	Pres   *pres.Presentation
+	Codec  Codec
+	Ops    []*OpPlan
+	hooks  SpecialHooks
+	byName map[string]int
+}
+
+// An OpPlan marshals one operation's requests and replies.
+type OpPlan struct {
+	Idx  int
+	Op   *ir.Operation
+	pres *pres.OpPres
+	plan *Plan
+}
+
+// NewPlan compiles marshal plans for every operation of p's
+// interface. hooks may be nil when no parameter is [special].
+func NewPlan(p *pres.Presentation, codec Codec, hooks SpecialHooks) (*Plan, error) {
+	pl := &Plan{Pres: p, Codec: codec, hooks: hooks, byName: make(map[string]int)}
+	for i := range p.Interface.Ops {
+		op := &p.Interface.Ops[i]
+		opPres := p.Op(op.Name)
+		if opPres == nil {
+			return nil, fmt.Errorf("runtime: presentation missing operation %q", op.Name)
+		}
+		if hooks == nil {
+			for _, prm := range op.Params {
+				if a, ok := opPres.Params[prm.Name]; ok && a.Special {
+					return nil, fmt.Errorf("runtime: %s.%s param %s is [special] but no hooks were provided",
+						p.Interface.Name, op.Name, prm.Name)
+				}
+			}
+			if a, ok := opPres.Params[pres.ResultParam]; ok && a.Special {
+				return nil, fmt.Errorf("runtime: %s.%s result is [special] but no hooks were provided",
+					p.Interface.Name, op.Name)
+			}
+		}
+		pl.Ops = append(pl.Ops, &OpPlan{Idx: i, Op: op, pres: opPres, plan: pl})
+		pl.byName[op.Name] = i
+	}
+	return pl, nil
+}
+
+// OpIndex returns the plan index for the named operation, or -1.
+func (p *Plan) OpIndex(name string) int {
+	if i, ok := p.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// attrs returns the presentation attributes for a parameter name,
+// or a zero value when unannotated.
+func (op *OpPlan) attrs(name string) *pres.ParamAttrs {
+	if a, ok := op.pres.Params[name]; ok {
+		return a
+	}
+	return &zeroAttrs
+}
+
+var zeroAttrs pres.ParamAttrs
+
+// EncodeRequest marshals the in and inout arguments. args is indexed
+// by parameter position; out-only positions are ignored.
+func (op *OpPlan) EncodeRequest(enc Encoder, args []Value) error {
+	if len(args) != len(op.Op.Params) {
+		return fmt.Errorf("runtime: %s takes %d params, have %d values", op.Op.Name, len(op.Op.Params), len(args))
+	}
+	for i, prm := range op.Op.Params {
+		if prm.Dir == ir.Out {
+			continue
+		}
+		if err := op.encodeParam(enc, prm.Name, prm.Type, args[i]); err != nil {
+			return fmt.Errorf("%s param %s: %w", op.Op.Name, prm.Name, err)
+		}
+	}
+	return nil
+}
+
+// DecodeRequest unmarshals the in and inout arguments into a
+// positional value slice. Byte buffers alias the request message —
+// the CORBA server mapping: in parameters are valid for the duration
+// of the call, and a work function that retains them must copy.
+// This is what lets a server receive bulk data with exactly one
+// kernel copy on the request path.
+func (op *OpPlan) DecodeRequest(dec Decoder) ([]Value, error) {
+	args := make([]Value, len(op.Op.Params))
+	for i, prm := range op.Op.Params {
+		if prm.Dir == ir.Out {
+			continue
+		}
+		var v Value
+		var err error
+		if op.attrs(prm.Name).Special {
+			v, err = op.plan.hooks.DecodeSpecial(op.Op.Name, prm.Name, dec)
+		} else {
+			v, err = decodeValueBorrow(dec, prm.Type)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s param %s: %w", op.Op.Name, prm.Name, err)
+		}
+		args[i] = v
+	}
+	return args, nil
+}
+
+// EncodeReply marshals the out/inout values and the result.
+func (op *OpPlan) EncodeReply(enc Encoder, outs []Value, ret Value) error {
+	for i, prm := range op.Op.Params {
+		if prm.Dir == ir.In {
+			continue
+		}
+		if err := op.encodeParam(enc, prm.Name, prm.Type, outs[i]); err != nil {
+			return fmt.Errorf("%s out param %s: %w", op.Op.Name, prm.Name, err)
+		}
+	}
+	if op.Op.HasResult() {
+		if err := op.encodeParam(enc, pres.ResultParam, op.Op.Result, ret); err != nil {
+			return fmt.Errorf("%s result: %w", op.Op.Name, err)
+		}
+	}
+	return nil
+}
+
+// DecodeReply unmarshals the out/inout values and result. outBufs,
+// when non-nil, is indexed by parameter position and supplies
+// caller-allocated landing buffers for byte-buffer parameters whose
+// presentation says the caller allocates; retBuf does the same for
+// the result. The returned values alias those buffers when they are
+// used — the stub unmarshals directly into the caller's storage
+// instead of allocating (§4.1's optimization).
+func (op *OpPlan) DecodeReply(dec Decoder, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
+	outs := make([]Value, len(op.Op.Params))
+	for i, prm := range op.Op.Params {
+		if prm.Dir == ir.In {
+			continue
+		}
+		var buf []byte
+		if outBufs != nil && op.attrs(prm.Name).Alloc == pres.AllocCaller {
+			buf = outBufs[i]
+		}
+		v, err := op.decodeParam(dec, prm.Name, prm.Type, buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s out param %s: %w", op.Op.Name, prm.Name, err)
+		}
+		outs[i] = v
+	}
+	var ret Value
+	if op.Op.HasResult() {
+		var buf []byte
+		if op.attrs(pres.ResultParam).Alloc == pres.AllocCaller {
+			buf = retBuf
+		}
+		v, err := op.decodeParam(dec, pres.ResultParam, op.Op.Result, buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s result: %w", op.Op.Name, err)
+		}
+		ret = v
+	}
+	return outs, ret, nil
+}
+
+func (op *OpPlan) encodeParam(enc Encoder, name string, t *ir.Type, v Value) error {
+	if op.attrs(name).Special {
+		return op.plan.hooks.EncodeSpecial(op.Op.Name, name, enc, v)
+	}
+	return encodeValue(enc, t, v)
+}
+
+func (op *OpPlan) decodeParam(dec Decoder, name string, t *ir.Type, into []byte) (Value, error) {
+	if op.attrs(name).Special {
+		return op.plan.hooks.DecodeSpecial(op.Op.Name, name, dec)
+	}
+	if into != nil && (t.Kind == ir.Bytes || t.Kind == ir.FixedBytes) {
+		return decodeBytesInto(dec, t, into)
+	}
+	return decodeValue(dec, t)
+}
+
+// decodeBytesInto lands a byte-buffer value in caller storage,
+// falling back to allocation when it does not fit.
+func decodeBytesInto(dec Decoder, t *ir.Type, dst []byte) (Value, error) {
+	if t.Kind == ir.FixedBytes {
+		if len(dst) < t.Size {
+			return decodeValue(dec, t)
+		}
+		if err := dec.FixedBytesInto(dst[:t.Size]); err != nil {
+			return nil, err
+		}
+		return dst[:t.Size], nil
+	}
+	n, err := dec.BytesInto(dst)
+	if err != nil {
+		return nil, err
+	}
+	return dst[:n], nil
+}
+
+// encodeValue marshals v (wire type t) with the default rules.
+func encodeValue(enc Encoder, t *ir.Type, v Value) error {
+	if err := CheckValue(t, v); err != nil {
+		return err
+	}
+	return encodeChecked(enc, t, v)
+}
+
+func encodeChecked(enc Encoder, t *ir.Type, v Value) error {
+	if t == nil || t.Kind == ir.Void {
+		return nil
+	}
+	switch t.Kind {
+	case ir.Bool:
+		enc.PutBool(v.(bool))
+	case ir.Int32, ir.Enum:
+		enc.PutInt32(v.(int32))
+	case ir.Uint32:
+		enc.PutUint32(v.(uint32))
+	case ir.Int64:
+		enc.PutInt64(v.(int64))
+	case ir.Uint64:
+		enc.PutUint64(v.(uint64))
+	case ir.Float32:
+		enc.PutFloat32(v.(float32))
+	case ir.Float64:
+		enc.PutFloat64(v.(float64))
+	case ir.String:
+		enc.PutString(v.(string))
+	case ir.Bytes:
+		enc.PutBytes(v.([]byte))
+	case ir.FixedBytes:
+		enc.PutFixedBytes(v.([]byte))
+	case ir.Seq:
+		vs := v.([]Value)
+		enc.PutLen(len(vs))
+		for _, e := range vs {
+			if err := encodeChecked(enc, t.Elem, e); err != nil {
+				return err
+			}
+		}
+	case ir.Array:
+		for _, e := range v.([]Value) {
+			if err := encodeChecked(enc, t.Elem, e); err != nil {
+				return err
+			}
+		}
+	case ir.Struct:
+		vs := v.([]Value)
+		for i, f := range t.Fields {
+			if err := encodeChecked(enc, f.Type, vs[i]); err != nil {
+				return err
+			}
+		}
+	case ir.Port:
+		enc.PutUint32(uint32(v.(PortName)))
+	default:
+		return fmt.Errorf("runtime: cannot marshal kind %v", t.Kind)
+	}
+	return nil
+}
+
+// decodeSeqLen reads a sequence element count and bounds it by the
+// bytes actually present: every element occupies at least one input
+// byte, so a length word larger than the remaining message is a
+// corrupt (or hostile) message, not a huge allocation.
+func decodeSeqLen(dec Decoder) (int, error) {
+	n, err := dec.Len()
+	if err != nil {
+		return 0, err
+	}
+	if n > dec.Remaining() {
+		return 0, fmt.Errorf("runtime: sequence of %d elements exceeds %d remaining bytes", n, dec.Remaining())
+	}
+	return n, nil
+}
+
+// decodeValueBorrow unmarshals a value whose byte buffers may alias
+// the input message (server-side in parameters).
+func decodeValueBorrow(dec Decoder, t *ir.Type) (Value, error) {
+	switch t.Kind {
+	case ir.Bytes:
+		return dec.Bytes()
+	case ir.FixedBytes:
+		return dec.FixedBytes(t.Size)
+	case ir.Seq:
+		n, err := decodeSeqLen(dec)
+		if err != nil {
+			return nil, err
+		}
+		vs := make([]Value, n)
+		for i := range vs {
+			if vs[i], err = decodeValueBorrow(dec, t.Elem); err != nil {
+				return nil, err
+			}
+		}
+		return vs, nil
+	case ir.Struct:
+		vs := make([]Value, len(t.Fields))
+		var err error
+		for i, f := range t.Fields {
+			if vs[i], err = decodeValueBorrow(dec, f.Type); err != nil {
+				return nil, err
+			}
+		}
+		return vs, nil
+	default:
+		return decodeValue(dec, t)
+	}
+}
+
+// decodeValue unmarshals a value of wire type t with the default
+// rules.
+func decodeValue(dec Decoder, t *ir.Type) (Value, error) {
+	if t == nil || t.Kind == ir.Void {
+		return nil, nil
+	}
+	switch t.Kind {
+	case ir.Bool:
+		return dec.Bool()
+	case ir.Int32, ir.Enum:
+		return dec.Int32()
+	case ir.Uint32:
+		return dec.Uint32()
+	case ir.Int64:
+		return dec.Int64()
+	case ir.Uint64:
+		return dec.Uint64()
+	case ir.Float32:
+		return dec.Float32()
+	case ir.Float64:
+		return dec.Float64()
+	case ir.String:
+		return dec.String()
+	case ir.Bytes:
+		// Default presentation: the stub allocates fresh storage
+		// the consumer will own (move semantics).
+		b, err := dec.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, nil
+	case ir.FixedBytes:
+		out := make([]byte, t.Size)
+		if err := dec.FixedBytesInto(out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case ir.Seq:
+		n, err := decodeSeqLen(dec)
+		if err != nil {
+			return nil, err
+		}
+		vs := make([]Value, n)
+		for i := range vs {
+			if vs[i], err = decodeValue(dec, t.Elem); err != nil {
+				return nil, err
+			}
+		}
+		return vs, nil
+	case ir.Array:
+		vs := make([]Value, t.Size)
+		var err error
+		for i := range vs {
+			if vs[i], err = decodeValue(dec, t.Elem); err != nil {
+				return nil, err
+			}
+		}
+		return vs, nil
+	case ir.Struct:
+		vs := make([]Value, len(t.Fields))
+		var err error
+		for i, f := range t.Fields {
+			if vs[i], err = decodeValue(dec, f.Type); err != nil {
+				return nil, err
+			}
+		}
+		return vs, nil
+	case ir.Port:
+		v, err := dec.Uint32()
+		return PortName(v), err
+	}
+	return nil, fmt.Errorf("runtime: cannot unmarshal kind %v", t.Kind)
+}

@@ -1,0 +1,244 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+
+	"flexrpc/internal/ir"
+	"flexrpc/internal/pres"
+)
+
+// A Handler is a server work function for one operation.
+type Handler func(c *Call) error
+
+// A Call carries one invocation to a server work function. The
+// presentation decides what the work function sees: whether in
+// buffers are private, whether an out buffer was provided for it to
+// fill, and whether buffers it returns will be deallocated by the
+// stub (move semantics) or left to the server ([dealloc(never)]).
+type Call struct {
+	Op *ir.Operation
+
+	in         []Value
+	inPrivate  []bool
+	outs       []Value
+	ret        Value
+	outBufs    [][]byte
+	retBuf     []byte
+	opPres     *pres.OpPres
+	afterReply []func()
+}
+
+// AfterReply schedules fn to run once the reply has been marshaled —
+// the stub's deallocation point. A [dealloc(never)] server uses this
+// to commit consumption of storage it lent to the stub (e.g. advance
+// the circular-buffer read pointer) without racing the marshal; this
+// is the "synchronization issue" footnote 5 of the paper refers to.
+func (c *Call) AfterReply(fn func()) {
+	c.afterReply = append(c.afterReply, fn)
+}
+
+// RunAfterReply runs the deferred actions; transports call it after
+// the reply has been marshaled out of server-owned storage.
+func (c *Call) RunAfterReply() {
+	for _, fn := range c.afterReply {
+		fn()
+	}
+	c.afterReply = nil
+}
+
+// Arg returns the value of parameter i (in or inout).
+func (c *Call) Arg(i int) Value { return c.in[i] }
+
+// ArgBytes returns parameter i as a byte buffer.
+func (c *Call) ArgBytes(i int) []byte {
+	b, _ := c.in[i].([]byte)
+	return b
+}
+
+// ArgPrivate reports whether the work function may modify the
+// buffer behind parameter i: true when the stub copied it or the
+// client declared it [trashable]. A work function that needs to
+// modify a non-private buffer must make its own copy — the glue the
+// paper's fixed borrow-semantics systems force (§4.4.1).
+func (c *Call) ArgPrivate(i int) bool { return c.inPrivate[i] }
+
+// OutBuffer returns the negotiated landing buffer for out parameter
+// i, or nil when the server should provide the data itself
+// (server-buffer or stub-alloc semantics).
+func (c *Call) OutBuffer(i int) []byte { return c.outBufs[i] }
+
+// ResultBuffer returns the negotiated landing buffer for the
+// result, or nil.
+func (c *Call) ResultBuffer() []byte { return c.retBuf }
+
+// SetOut supplies the value of out/inout parameter i.
+func (c *Call) SetOut(i int, v Value) { c.outs[i] = v }
+
+// SetResult supplies the operation result.
+func (c *Call) SetResult(v Value) { c.ret = v }
+
+// SetIn primes parameter i before invocation; transports call this.
+func (c *Call) SetIn(i int, v Value, private bool) {
+	c.in[i] = v
+	c.inPrivate[i] = private
+}
+
+// SetOutBuffer installs a caller-provided landing buffer for out
+// parameter i (caller-buffer semantics).
+func (c *Call) SetOutBuffer(i int, buf []byte) { c.outBufs[i] = buf }
+
+// SetResultBuffer installs a caller-provided landing buffer for the
+// result.
+func (c *Call) SetResultBuffer(buf []byte) { c.retBuf = buf }
+
+// Out returns the value set for out/inout parameter i.
+func (c *Call) Out(i int) Value { return c.outs[i] }
+
+// Result returns the value set for the operation result.
+func (c *Call) Result() Value { return c.ret }
+
+// ResultMoved reports whether the stub will take ownership of
+// (“deallocate”) the buffer returned as the result — CORBA move
+// semantics. Under [dealloc(never)] it reports false and the server
+// may return a slice of storage it keeps, e.g. its circular buffer
+// (paper §4.2.1).
+func (c *Call) ResultMoved() bool {
+	a, ok := c.opPres.Params[pres.ResultParam]
+	if !ok {
+		return true
+	}
+	return a.Dealloc != pres.DeallocNever
+}
+
+// errNoHandler distinguishes unimplemented operations.
+var errNoHandler = errors.New("runtime: no handler registered")
+
+// A Dispatcher is the server half of the interpreted stubs: a
+// presentation plus a work function per operation.
+type Dispatcher struct {
+	Pres     *pres.Presentation
+	handlers map[string]Handler
+	hooks    SpecialHooks
+}
+
+// NewDispatcher creates a dispatcher serving p's interface under
+// p's presentation.
+func NewDispatcher(p *pres.Presentation) *Dispatcher {
+	return &Dispatcher{Pres: p, handlers: make(map[string]Handler)}
+}
+
+// SetHooks installs the [special] marshal hooks used when serving
+// message transports.
+func (d *Dispatcher) SetHooks(h SpecialHooks) { d.hooks = h }
+
+// Hooks returns the installed hooks.
+func (d *Dispatcher) Hooks() SpecialHooks { return d.hooks }
+
+// Handle registers the work function for op.
+func (d *Dispatcher) Handle(op string, h Handler) {
+	d.handlers[op] = h
+}
+
+// Invoke runs the work function for a fully prepared Call.
+func (d *Dispatcher) Invoke(c *Call) error {
+	h, ok := d.handlers[c.Op.Name]
+	if !ok {
+		return fmt.Errorf("%w: %s", errNoHandler, c.Op.Name)
+	}
+	return h(c)
+}
+
+// NewCall prepares a Call for the named operation; transports fill
+// the inputs before Invoke.
+func (d *Dispatcher) NewCall(op *ir.Operation) *Call {
+	n := len(op.Params)
+	return &Call{
+		Op:        op,
+		in:        make([]Value, n),
+		inPrivate: make([]bool, n),
+		outs:      make([]Value, n),
+		outBufs:   make([][]byte, n),
+		opPres:    d.Pres.Op(op.Name),
+	}
+}
+
+// Reply status words on the wire between runtime client and
+// dispatcher.
+const (
+	replyOK  = 0
+	replyErr = 1
+)
+
+// ServeMessage handles one marshaled request arriving from a
+// message transport: decode under the server plan, invoke, encode
+// the reply (status word first) into enc.
+func (d *Dispatcher) ServeMessage(plan *Plan, opIdx int, body []byte, enc Encoder) {
+	if opIdx < 0 || opIdx >= len(plan.Ops) {
+		encodeFailure(enc, fmt.Sprintf("bad operation index %d", opIdx))
+		return
+	}
+	op := plan.Ops[opIdx]
+	args, err := op.DecodeRequest(plan.Codec.NewDecoder(body))
+	if err != nil {
+		encodeFailure(enc, err.Error())
+		return
+	}
+	call := d.NewCall(op.Op)
+	copy(call.in, args)
+	for i := range call.inPrivate {
+		// Data that crossed a protection boundary is always private.
+		call.inPrivate[i] = true
+	}
+	if err := d.Invoke(call); err != nil {
+		encodeFailure(enc, err.Error())
+		return
+	}
+	enc.PutUint32(replyOK)
+	if err := op.EncodeReply(enc, call.outs, call.ret); err != nil {
+		enc.Reset()
+		encodeFailure(enc, err.Error())
+	}
+	// The reply is marshaled: server-owned storage is free again.
+	call.RunAfterReply()
+}
+
+// ServeMessageRaw is ServeMessage for self-framing transports: no
+// status word is emitted; decode, application, and marshal errors
+// are returned for the transport's own error channel.
+func (d *Dispatcher) ServeMessageRaw(plan *Plan, opIdx int, body []byte, enc Encoder) error {
+	if opIdx < 0 || opIdx >= len(plan.Ops) {
+		return fmt.Errorf("runtime: bad operation index %d", opIdx)
+	}
+	op := plan.Ops[opIdx]
+	args, err := op.DecodeRequest(plan.Codec.NewDecoder(body))
+	if err != nil {
+		return err
+	}
+	call := d.NewCall(op.Op)
+	copy(call.in, args)
+	for i := range call.inPrivate {
+		call.inPrivate[i] = true
+	}
+	if err := d.Invoke(call); err != nil {
+		return err
+	}
+	if err := op.EncodeReply(enc, call.outs, call.ret); err != nil {
+		return err
+	}
+	call.RunAfterReply()
+	return nil
+}
+
+func encodeFailure(enc Encoder, msg string) {
+	enc.PutUint32(replyErr)
+	enc.PutString(msg)
+}
+
+// A RemoteError is an application or marshal error reported by the
+// server over a message transport.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "runtime: remote: " + e.Msg }

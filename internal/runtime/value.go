@@ -1,0 +1,210 @@
+// Package runtime implements the interpreted stub back-end: marshal
+// plans compiled from an interface's IR and a presentation, executed
+// against pluggable codecs and transports, plus the same-domain
+// invocation engine that derives copy/borrow and allocation
+// semantics from the two endpoints' presentation attributes (paper
+// §4.4).
+//
+// The paper's own same-domain stubs computed invocation semantics at
+// run time, once per invocation, and found the overhead negligible;
+// this back-end does the same, so the figures it reproduces include
+// that cost.
+package runtime
+
+import (
+	"fmt"
+
+	"flexrpc/internal/ir"
+)
+
+// A Value is the runtime representation of one IR-typed value:
+//
+//	Bool                -> bool
+//	Int32, Enum         -> int32
+//	Uint32              -> uint32
+//	Int64               -> int64
+//	Uint64              -> uint64
+//	Float32             -> float32
+//	Float64             -> float64
+//	String              -> string
+//	Bytes, FixedBytes   -> []byte
+//	Seq, Array          -> []Value
+//	Struct              -> []Value (field order)
+//	Port                -> PortName
+//	Void                -> nil
+type Value = any
+
+// PortName is a transferred capability reference, carried as a
+// 32-bit task-local name.
+type PortName uint32
+
+// CheckValue verifies that v matches the wire type t, recursively.
+func CheckValue(t *ir.Type, v Value) error {
+	if t == nil || t.Kind == ir.Void {
+		if v != nil {
+			return fmt.Errorf("runtime: void value must be nil, have %T", v)
+		}
+		return nil
+	}
+	switch t.Kind {
+	case ir.Bool:
+		_, ok := v.(bool)
+		return checkOk(ok, t, v)
+	case ir.Int32, ir.Enum:
+		_, ok := v.(int32)
+		return checkOk(ok, t, v)
+	case ir.Uint32:
+		_, ok := v.(uint32)
+		return checkOk(ok, t, v)
+	case ir.Int64:
+		_, ok := v.(int64)
+		return checkOk(ok, t, v)
+	case ir.Uint64:
+		_, ok := v.(uint64)
+		return checkOk(ok, t, v)
+	case ir.Float32:
+		_, ok := v.(float32)
+		return checkOk(ok, t, v)
+	case ir.Float64:
+		_, ok := v.(float64)
+		return checkOk(ok, t, v)
+	case ir.String:
+		_, ok := v.(string)
+		return checkOk(ok, t, v)
+	case ir.Bytes:
+		_, ok := v.([]byte)
+		return checkOk(ok, t, v)
+	case ir.FixedBytes:
+		b, ok := v.([]byte)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if len(b) != t.Size {
+			return fmt.Errorf("runtime: fixed opaque needs %d bytes, have %d", t.Size, len(b))
+		}
+		return nil
+	case ir.Seq, ir.Array:
+		vs, ok := v.([]Value)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if t.Kind == ir.Array && len(vs) != t.Size {
+			return fmt.Errorf("runtime: array needs %d elements, have %d", t.Size, len(vs))
+		}
+		for i, e := range vs {
+			if err := CheckValue(t.Elem, e); err != nil {
+				return fmt.Errorf("element %d: %w", i, err)
+			}
+		}
+		return nil
+	case ir.Struct:
+		vs, ok := v.([]Value)
+		if !ok {
+			return typeErr(t, v)
+		}
+		if len(vs) != len(t.Fields) {
+			return fmt.Errorf("runtime: struct %s needs %d fields, have %d", t.Name, len(t.Fields), len(vs))
+		}
+		for i, f := range t.Fields {
+			if err := CheckValue(f.Type, vs[i]); err != nil {
+				return fmt.Errorf("field %s: %w", f.Name, err)
+			}
+		}
+		return nil
+	case ir.Port:
+		_, ok := v.(PortName)
+		return checkOk(ok, t, v)
+	}
+	return fmt.Errorf("runtime: unsupported kind %v", t.Kind)
+}
+
+func checkOk(ok bool, t *ir.Type, v Value) error {
+	if ok {
+		return nil
+	}
+	return typeErr(t, v)
+}
+
+func typeErr(t *ir.Type, v Value) error {
+	return fmt.Errorf("runtime: value %T does not match wire type %s", v, t.Signature())
+}
+
+// ZeroValue returns the zero Value of wire type t.
+func ZeroValue(t *ir.Type) Value {
+	if t == nil {
+		return nil
+	}
+	switch t.Kind {
+	case ir.Void:
+		return nil
+	case ir.Bool:
+		return false
+	case ir.Int32, ir.Enum:
+		return int32(0)
+	case ir.Uint32:
+		return uint32(0)
+	case ir.Int64:
+		return int64(0)
+	case ir.Uint64:
+		return uint64(0)
+	case ir.Float32:
+		return float32(0)
+	case ir.Float64:
+		return float64(0)
+	case ir.String:
+		return ""
+	case ir.Bytes:
+		return []byte(nil)
+	case ir.FixedBytes:
+		return make([]byte, t.Size)
+	case ir.Seq:
+		return []Value(nil)
+	case ir.Array:
+		vs := make([]Value, t.Size)
+		for i := range vs {
+			vs[i] = ZeroValue(t.Elem)
+		}
+		return vs
+	case ir.Struct:
+		vs := make([]Value, len(t.Fields))
+		for i, f := range t.Fields {
+			vs[i] = ZeroValue(f.Type)
+		}
+		return vs
+	case ir.Port:
+		return PortName(0)
+	}
+	return nil
+}
+
+// CopyValue returns a deep copy of v (wire type t): the copy the
+// same-domain stubs make when neither [trashable] nor [preserved]
+// lets them pass the original by reference.
+func CopyValue(t *ir.Type, v Value) Value {
+	if t == nil || v == nil {
+		return v
+	}
+	switch t.Kind {
+	case ir.Bytes, ir.FixedBytes:
+		src := v.([]byte)
+		dst := make([]byte, len(src))
+		copy(dst, src)
+		return dst
+	case ir.Seq, ir.Array:
+		src := v.([]Value)
+		dst := make([]Value, len(src))
+		for i, e := range src {
+			dst[i] = CopyValue(t.Elem, e)
+		}
+		return dst
+	case ir.Struct:
+		src := v.([]Value)
+		dst := make([]Value, len(src))
+		for i, f := range t.Fields {
+			dst[i] = CopyValue(f.Type, src[i])
+		}
+		return dst
+	default:
+		return v // scalars, strings and port names are immutable
+	}
+}

@@ -1,0 +1,67 @@
+package sunrpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"flexrpc/internal/xdr"
+)
+
+// A Client issues Sun RPC calls for one program/version over a
+// stream connection. Calls are serialized; the engine keeps one
+// request outstanding at a time, as the kernel NFS clients of the
+// era did per connection.
+type Client struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	prog    uint32
+	vers    uint32
+	nextXID uint32
+	enc     xdr.Encoder
+	recBuf  []byte
+}
+
+// NewClient returns a client speaking prog/vers over conn.
+func NewClient(conn net.Conn, prog, vers uint32) *Client {
+	return &Client{conn: conn, prog: prog, vers: vers, nextXID: 1}
+}
+
+// Call invokes proc: encodeArgs appends the argument body,
+// decodeRes consumes the result body. decodeRes runs only on a
+// successful accepted reply.
+func (c *Client) Call(proc uint32, encodeArgs func(*xdr.Encoder), decodeRes func(*xdr.Decoder) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	xid := c.nextXID
+	c.nextXID++
+	c.enc.Reset()
+	encodeCall(&c.enc, CallHeader{XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc})
+	if encodeArgs != nil {
+		encodeArgs(&c.enc)
+	}
+	if err := writeRecord(c.conn, c.enc.Bytes()); err != nil {
+		return fmt.Errorf("sunrpc: send: %w", err)
+	}
+	rec, err := readRecord(c.conn, c.recBuf)
+	if err != nil {
+		return fmt.Errorf("sunrpc: receive: %w", err)
+	}
+	c.recBuf = rec[:cap(rec)]
+	d := xdr.NewDecoder(rec)
+	replyXID, err := decodeReply(d)
+	if err != nil {
+		return err
+	}
+	if replyXID != xid {
+		return fmt.Errorf("%w: got %d, want %d", ErrXIDMismatch, replyXID, xid)
+	}
+	if decodeRes != nil {
+		return decodeRes(d)
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }

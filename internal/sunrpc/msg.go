@@ -1,0 +1,202 @@
+// Package sunrpc implements the Sun RPC protocol (RFC 1057) over
+// stream connections: call and reply messages with AUTH_NONE
+// credentials, record marking for TCP-style transports, and a
+// matching client and server engine. It is the transport under the
+// paper's §4.1 NFS experiment, playing the role the kernel's Sun RPC
+// code played on Linux.
+package sunrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"flexrpc/internal/xdr"
+)
+
+// RPCVersion is the only protocol version (RFC 1057 §8).
+const RPCVersion = 2
+
+// Message types.
+const (
+	msgCall  = 0
+	msgReply = 1
+)
+
+// Reply status.
+const (
+	replyAccepted = 0
+	replyDenied   = 1
+)
+
+// AcceptStat values (RFC 1057 §8, accept_stat).
+type AcceptStat uint32
+
+// Accepted-reply status codes.
+const (
+	Success      AcceptStat = 0
+	ProgUnavail  AcceptStat = 1
+	ProgMismatch AcceptStat = 2
+	ProcUnavail  AcceptStat = 3
+	GarbageArgs  AcceptStat = 4
+	SystemErr    AcceptStat = 5
+)
+
+func (s AcceptStat) String() string {
+	switch s {
+	case Success:
+		return "success"
+	case ProgUnavail:
+		return "program unavailable"
+	case ProgMismatch:
+		return "program version mismatch"
+	case ProcUnavail:
+		return "procedure unavailable"
+	case GarbageArgs:
+		return "garbage arguments"
+	case SystemErr:
+		return "system error"
+	}
+	return fmt.Sprintf("accept_stat(%d)", uint32(s))
+}
+
+// Auth flavors; only AUTH_NONE is implemented.
+const authNone = 0
+
+// Errors surfaced by the client and server engines.
+var (
+	ErrBadMessage  = errors.New("sunrpc: malformed message")
+	ErrXIDMismatch = errors.New("sunrpc: reply xid does not match call")
+	ErrDenied      = errors.New("sunrpc: call denied")
+)
+
+// A RemoteError is a non-success accept_stat returned by the server.
+type RemoteError struct {
+	Stat AcceptStat
+}
+
+func (e *RemoteError) Error() string {
+	return "sunrpc: remote error: " + e.Stat.String()
+}
+
+// CallHeader identifies one RPC call.
+type CallHeader struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+}
+
+// encodeCall writes the call header including AUTH_NONE cred and
+// verf; the caller then appends the argument body.
+func encodeCall(e *xdr.Encoder, h CallHeader) {
+	e.PutUint32(h.XID)
+	e.PutUint32(msgCall)
+	e.PutUint32(RPCVersion)
+	e.PutUint32(h.Prog)
+	e.PutUint32(h.Vers)
+	e.PutUint32(h.Proc)
+	e.PutUint32(authNone) // cred flavor
+	e.PutUint32(0)        // cred length
+	e.PutUint32(authNone) // verf flavor
+	e.PutUint32(0)        // verf length
+}
+
+// decodeCall parses a call header, leaving the decoder at the
+// argument body.
+func decodeCall(d *xdr.Decoder) (CallHeader, error) {
+	var h CallHeader
+	var err error
+	if h.XID, err = d.Uint32(); err != nil {
+		return h, err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return h, err
+	}
+	if mtype != msgCall {
+		return h, fmt.Errorf("%w: message type %d, want call", ErrBadMessage, mtype)
+	}
+	rpcvers, err := d.Uint32()
+	if err != nil {
+		return h, err
+	}
+	if rpcvers != RPCVersion {
+		return h, fmt.Errorf("%w: rpc version %d", ErrBadMessage, rpcvers)
+	}
+	if h.Prog, err = d.Uint32(); err != nil {
+		return h, err
+	}
+	if h.Vers, err = d.Uint32(); err != nil {
+		return h, err
+	}
+	if h.Proc, err = d.Uint32(); err != nil {
+		return h, err
+	}
+	// Skip cred and verf (flavor + opaque body).
+	for i := 0; i < 2; i++ {
+		if _, err = d.Uint32(); err != nil {
+			return h, err
+		}
+		if _, err = d.Opaque(); err != nil {
+			return h, err
+		}
+	}
+	return h, nil
+}
+
+// encodeAcceptedReply writes a reply header with the given status;
+// for Success the caller appends the result body.
+func encodeAcceptedReply(e *xdr.Encoder, xid uint32, stat AcceptStat) {
+	e.PutUint32(xid)
+	e.PutUint32(msgReply)
+	e.PutUint32(replyAccepted)
+	e.PutUint32(authNone) // verf flavor
+	e.PutUint32(0)        // verf length
+	e.PutUint32(uint32(stat))
+	if stat == ProgMismatch {
+		// low/high supported versions; the engine serves exactly one.
+		e.PutUint32(0)
+		e.PutUint32(0)
+	}
+}
+
+// decodeReply parses a reply header, returning its xid and leaving
+// the decoder at the result body on success.
+func decodeReply(d *xdr.Decoder) (uint32, error) {
+	xid, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return xid, err
+	}
+	if mtype != msgReply {
+		return xid, fmt.Errorf("%w: message type %d, want reply", ErrBadMessage, mtype)
+	}
+	stat, err := d.Uint32()
+	if err != nil {
+		return xid, err
+	}
+	if stat == replyDenied {
+		return xid, ErrDenied
+	}
+	if stat != replyAccepted {
+		return xid, fmt.Errorf("%w: reply_stat %d", ErrBadMessage, stat)
+	}
+	// verf
+	if _, err = d.Uint32(); err != nil {
+		return xid, err
+	}
+	if _, err = d.Opaque(); err != nil {
+		return xid, err
+	}
+	astat, err := d.Uint32()
+	if err != nil {
+		return xid, err
+	}
+	if AcceptStat(astat) != Success {
+		return xid, &RemoteError{Stat: AcceptStat(astat)}
+	}
+	return xid, nil
+}

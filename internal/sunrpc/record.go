@@ -1,0 +1,80 @@
+package sunrpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Record marking (RFC 1057 §10): on stream transports each RPC
+// message is sent as one or more fragments, each preceded by a
+// 32-bit header whose high bit marks the last fragment and whose low
+// 31 bits carry the fragment length.
+
+const (
+	lastFragFlag = 1 << 31
+	maxFragment  = 1 << 20 // fragments we emit; larger messages split
+)
+
+// maxRecord bounds the total size of a received record, protecting
+// the reader from corrupt length words.
+const maxRecord = 64 << 20
+
+// writeRecord sends data as a record-marked message, splitting it
+// into fragments of at most maxFragment bytes.
+func writeRecord(w io.Writer, data []byte) error {
+	var hdr [4]byte
+	for {
+		frag := data
+		last := true
+		if len(frag) > maxFragment {
+			frag, last = data[:maxFragment], false
+		}
+		n := uint32(len(frag))
+		if last {
+			n |= lastFragFlag
+		}
+		binary.BigEndian.PutUint32(hdr[:], n)
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(frag); err != nil {
+			return err
+		}
+		if last {
+			return nil
+		}
+		data = data[maxFragment:]
+	}
+}
+
+// readRecord reads one record-marked message, reassembling
+// fragments. buf is reused when large enough.
+func readRecord(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	out := buf[:0]
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		word := binary.BigEndian.Uint32(hdr[:])
+		last := word&lastFragFlag != 0
+		n := int(word &^ lastFragFlag)
+		if len(out)+n > maxRecord {
+			return nil, fmt.Errorf("%w: record exceeds %d bytes", ErrBadMessage, maxRecord)
+		}
+		start := len(out)
+		if cap(out) < start+n {
+			grown := make([]byte, start, start+n)
+			copy(grown, out)
+			out = grown
+		}
+		out = out[:start+n]
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, err
+		}
+		if last {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package sunrpc
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"flexrpc/internal/xdr"
+)
+
+// Property: the server dispatch path never panics on arbitrary call
+// bytes, and always produces a parseable reply header.
+func TestQuickDispatchNeverPanics(t *testing.T) {
+	s := NewServer(1, 1)
+	s.Register(1, func(args *xdr.Decoder, reply *xdr.Encoder) error {
+		if _, err := args.Opaque(); err != nil {
+			return ErrGarbageArgs
+		}
+		reply.PutUint32(0)
+		return nil
+	})
+	f := func(record []byte) bool {
+		var enc xdr.Encoder
+		s.dispatch(xdr.NewDecoder(record), &enc)
+		// Reply must at least carry xid + type + stat words.
+		return len(enc.Bytes()) >= 12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: readRecord on arbitrary streams errors or terminates; it
+// never panics and never allocates beyond its cap.
+func TestQuickReadRecordNeverPanics(t *testing.T) {
+	f := func(stream []byte) bool {
+		_, _ = readRecord(bytes.NewReader(stream), nil)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

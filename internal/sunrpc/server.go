@@ -1,0 +1,116 @@
+package sunrpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"flexrpc/internal/xdr"
+)
+
+// A ProcHandler implements one procedure: decode arguments from
+// args, append results to reply. Returning ErrGarbageArgs reports
+// undecodable arguments to the caller; any other error is a system
+// error.
+type ProcHandler func(args *xdr.Decoder, reply *xdr.Encoder) error
+
+// ErrGarbageArgs signals that a handler could not decode its
+// arguments; it maps to the GARBAGE_ARGS accept status.
+var ErrGarbageArgs = errors.New("sunrpc: garbage arguments")
+
+// A Server dispatches Sun RPC calls for one program/version.
+type Server struct {
+	prog     uint32
+	vers     uint32
+	handlers map[uint32]ProcHandler
+}
+
+// NewServer creates a server for prog/vers. Procedure 0 (the null
+// procedure every Sun RPC program must provide) is pre-registered.
+func NewServer(prog, vers uint32) *Server {
+	s := &Server{prog: prog, vers: vers, handlers: make(map[uint32]ProcHandler)}
+	s.handlers[0] = func(*xdr.Decoder, *xdr.Encoder) error { return nil }
+	return s
+}
+
+// Register installs the handler for proc, replacing any previous
+// one.
+func (s *Server) Register(proc uint32, h ProcHandler) {
+	s.handlers[proc] = h
+}
+
+// ServeConn processes calls from conn until it closes, returning nil
+// on clean EOF.
+func (s *Server) ServeConn(conn net.Conn) error {
+	var enc xdr.Encoder
+	var recBuf []byte
+	for {
+		rec, err := readRecord(conn, recBuf)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("sunrpc: read: %w", err)
+		}
+		recBuf = rec[:cap(rec)]
+		enc.Reset()
+		s.dispatch(xdr.NewDecoder(rec), &enc)
+		if err := writeRecord(conn, enc.Bytes()); err != nil {
+			return fmt.Errorf("sunrpc: write: %w", err)
+		}
+	}
+}
+
+// dispatch handles one call, always leaving a complete reply in enc.
+func (s *Server) dispatch(d *xdr.Decoder, enc *xdr.Encoder) {
+	h, err := decodeCall(d)
+	if err != nil {
+		// Unparseable header: answer with a system error under the
+		// xid we managed to read (zero otherwise).
+		encodeAcceptedReply(enc, h.XID, SystemErr)
+		return
+	}
+	switch {
+	case h.Prog != s.prog:
+		encodeAcceptedReply(enc, h.XID, ProgUnavail)
+	case h.Vers != s.vers:
+		encodeAcceptedReply(enc, h.XID, ProgMismatch)
+	default:
+		handler, ok := s.handlers[h.Proc]
+		if !ok {
+			encodeAcceptedReply(enc, h.XID, ProcUnavail)
+			return
+		}
+		// Reserve the success header, run the handler, and rewrite
+		// the header on failure. Header sizes are fixed, so we can
+		// re-encode in place by resetting.
+		encodeAcceptedReply(enc, h.XID, Success)
+		if err := handler(d, enc); err != nil {
+			enc.Reset()
+			if errors.Is(err, ErrGarbageArgs) {
+				encodeAcceptedReply(enc, h.XID, GarbageArgs)
+			} else {
+				encodeAcceptedReply(enc, h.XID, SystemErr)
+			}
+		}
+	}
+}
+
+// Serve accepts connections from l and serves each on its own
+// goroutine until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}

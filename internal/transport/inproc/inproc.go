@@ -1,0 +1,140 @@
+// Package inproc is the same-domain transport (paper §4.4): when
+// client and server share a protection domain, RPC short-circuits to
+// a direct invocation with no marshaling, but the stubs must still
+// honor both endpoints' presentations. At each call the engine
+// derives the invocation semantics — copy vs borrow for in
+// parameters, who provides the buffer for out parameters — from the
+// two sides' presentation attributes, copying only when the
+// attributes require it.
+//
+// Semantics are computed per invocation, as in the paper's
+// implementation ("even with the current 'dumb' implementation, we
+// found the additional overhead of this computation to be
+// negligible").
+package inproc
+
+import (
+	"fmt"
+
+	"flexrpc/internal/ir"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
+)
+
+// A Conn is a same-domain binding between a client presentation and
+// a server dispatcher.
+type Conn struct {
+	clientPres *pres.Presentation
+	disp       *runtime.Dispatcher
+}
+
+// Connect binds a client presentation to a dispatcher in the same
+// domain. The two presentations may differ arbitrarily, but the
+// network contract must match — the same check a remote bind
+// performs.
+func Connect(clientPres *pres.Presentation, disp *runtime.Dispatcher) (*Conn, error) {
+	if clientPres.Interface.Signature() != disp.Pres.Interface.Signature() {
+		return nil, fmt.Errorf("inproc: contract mismatch:\n  client %s\n  server %s",
+			clientPres.Interface.Signature(), disp.Pres.Interface.Signature())
+	}
+	return &Conn{clientPres: clientPres, disp: disp}, nil
+}
+
+var zeroAttrs pres.ParamAttrs
+
+func attrsOf(op *pres.OpPres, name string) *pres.ParamAttrs {
+	if op == nil {
+		return &zeroAttrs
+	}
+	if a, ok := op.Params[name]; ok {
+		return a
+	}
+	return &zeroAttrs
+}
+
+// Invoke implements runtime.Invoker with a direct, negotiated call.
+func (c *Conn) Invoke(op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	irOp := c.clientPres.Interface.Op(op)
+	if irOp == nil {
+		return nil, nil, fmt.Errorf("inproc: unknown operation %q", op)
+	}
+	if len(args) != len(irOp.Params) {
+		return nil, nil, fmt.Errorf("inproc: %s takes %d params, have %d", op, len(irOp.Params), len(args))
+	}
+	cop := c.clientPres.Op(op)
+	sop := c.disp.Pres.Op(op)
+
+	call := c.disp.NewCall(irOp)
+	// Per-invocation semantics computation, one parameter at a time.
+	for i, prm := range irOp.Params {
+		ca := attrsOf(cop, prm.Name)
+		sa := attrsOf(sop, prm.Name)
+		if prm.Dir == ir.In || prm.Dir == ir.InOut {
+			switch runtime.NegotiateIn(ca, sa) {
+			case runtime.InCopy:
+				call.SetIn(i, runtime.CopyValue(prm.Type, args[i]), true)
+			case runtime.InBorrow:
+				call.SetIn(i, args[i], ca.Trashable)
+			}
+		}
+		if prm.Dir == ir.Out || prm.Dir == ir.InOut {
+			if runtime.NegotiateOut(ca, sa) == runtime.OutCallerBuffer && outBufs != nil {
+				call.SetOutBuffer(i, outBufs[i])
+			}
+		}
+	}
+	if irOp.HasResult() {
+		ca := attrsOf(cop, pres.ResultParam)
+		sa := attrsOf(sop, pres.ResultParam)
+		if runtime.NegotiateOut(ca, sa) == runtime.OutCallerBuffer {
+			call.SetResultBuffer(retBuf)
+		}
+	}
+
+	if err := c.disp.Invoke(call); err != nil {
+		return nil, nil, err
+	}
+
+	// Deliver out values, copying only where both sides insisted on
+	// their own buffer.
+	outs := make([]runtime.Value, len(irOp.Params))
+	for i, prm := range irOp.Params {
+		if prm.Dir == ir.In {
+			continue
+		}
+		ca := attrsOf(cop, prm.Name)
+		sa := attrsOf(sop, prm.Name)
+		outs[i] = c.deliverOut(prm.Type, call.Out(i), runtime.NegotiateOut(ca, sa), bufAt(outBufs, i))
+	}
+	var ret runtime.Value
+	if irOp.HasResult() {
+		ca := attrsOf(cop, pres.ResultParam)
+		sa := attrsOf(sop, pres.ResultParam)
+		ret = c.deliverOut(irOp.Result, call.Result(), runtime.NegotiateOut(ca, sa), retBuf)
+	}
+	return outs, ret, nil
+}
+
+func bufAt(bufs [][]byte, i int) []byte {
+	if bufs == nil {
+		return nil
+	}
+	return bufs[i]
+}
+
+// deliverOut hands one out value to the client under the negotiated
+// semantics.
+func (c *Conn) deliverOut(t *ir.Type, v runtime.Value, sem runtime.OutSemantics, clientBuf []byte) runtime.Value {
+	if sem != runtime.OutCopy {
+		// Stub-alloc, server-buffer and caller-buffer semantics all
+		// deliver by reference in the same domain.
+		return v
+	}
+	// Both sides insisted: stub copy from the server's buffer into
+	// the client's.
+	if b, ok := v.([]byte); ok && clientBuf != nil && len(clientBuf) >= len(b) {
+		n := copy(clientBuf, b)
+		return clientBuf[:n]
+	}
+	return runtime.CopyValue(t, v)
+}

@@ -1,0 +1,99 @@
+// Package machipc carries flexrpc calls over the simulated
+// streamlined Mach IPC path (paper §4.2): the operation index
+// travels in an inline "register" word, the marshaled body in the
+// kernel-copied message buffer, and replies land directly in the
+// client's reply buffer. Binding goes through the §4.5 signature
+// registration, so trust and naming presentation attributes
+// specialize the per-call code path.
+package machipc
+
+import (
+	"errors"
+
+	"flexrpc/internal/mach"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
+)
+
+// SigFor derives the endpoint type signature the kernel sees from a
+// presentation: the interface contract plus the attributes the
+// transport can exploit.
+func SigFor(p *pres.Presentation) mach.EndpointSig {
+	sig := mach.EndpointSig{Contract: p.Interface.Signature()}
+	switch p.Trust {
+	case pres.TrustLeaky:
+		sig.Trust = mach.TrustLeakyLevel
+	case pres.TrustFull:
+		sig.Trust = mach.TrustFullLevel
+	}
+	// The connection relaxes the unique-name invariant when the
+	// endpoint marked its port parameters [nonunique]; presentation
+	// validation guarantees the attribute appears only on ports.
+	for _, op := range p.Ops {
+		for _, a := range op.Params {
+			if a.NonUnique {
+				sig.NonUniquePorts = true
+			}
+		}
+	}
+	return sig
+}
+
+// A Conn is the client side of a machipc connection, implementing
+// runtime.Conn.
+type Conn struct {
+	binding *mach.Binding
+}
+
+// Dial binds the client task's send right to the server registered
+// on it, exchanging endpoint signatures.
+func Dial(task *mach.Task, right mach.Name, clientPres *pres.Presentation) (*Conn, error) {
+	b, err := mach.Bind(task, right, SigFor(clientPres))
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{binding: b}, nil
+}
+
+// Call implements runtime.Conn: one synchronous IPC with the op
+// index inline and the body in the message buffer.
+func (c *Conn) Call(opIdx int, req []byte, replyBuf []byte) ([]byte, error) {
+	msg := &mach.Message{Body: req}
+	msg.Inline[0] = uint32(opIdx)
+	r, err := c.binding.Call(msg, replyBuf)
+	if err != nil {
+		return nil, err
+	}
+	return r.Body, nil
+}
+
+// Close destroys nothing — the server owns the port — and exists to
+// satisfy runtime.Conn.
+func (c *Conn) Close() error { return nil }
+
+// Serve receives requests on port (owned by task) and dispatches
+// them through disp under the server plan, until the port dies.
+func Serve(task *mach.Task, port *mach.Port, disp *runtime.Dispatcher, plan *runtime.Plan) error {
+	port.RegisterServer(SigFor(disp.Pres))
+	recvBuf := make([]byte, 64<<10)
+	enc := plan.Codec.NewEncoder()
+	for {
+		in, err := task.Receive(port, recvBuf)
+		if err != nil {
+			if errors.Is(err, mach.ErrDeadPort) {
+				return nil
+			}
+			return err
+		}
+		enc.Reset()
+		disp.ServeMessage(plan, int(in.Inline[0]), in.Body, enc)
+		in.Reply(&mach.Message{Body: enc.Bytes()})
+	}
+}
+
+// Announce registers the server's signature on the port without
+// starting the receive loop; Serve does this automatically, but
+// benchmarks that pre-bind need the registration early.
+func Announce(port *mach.Port, p *pres.Presentation) {
+	port.RegisterServer(SigFor(p))
+}

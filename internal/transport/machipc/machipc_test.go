@@ -1,0 +1,178 @@
+package machipc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"flexrpc/internal/idl/corba"
+	"flexrpc/internal/mach"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
+)
+
+func fileIOPres(t *testing.T) *pres.Presentation {
+	t.Helper()
+	f, err := corba.Parse("fileio.idl", `
+		interface FileIO {
+			sequence<octet> read(in unsigned long count);
+			void write(in sequence<octet> data);
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pres.Default(f.Interface("FileIO"), pres.StyleCORBA)
+}
+
+// startFileServer runs a simple buffer server over machipc and
+// returns a dial-ready (client task, right) pair.
+func startFileServer(t *testing.T, serverPres *pres.Presentation) (*mach.Kernel, *mach.Task, mach.Name, *mach.Port) {
+	t.Helper()
+	k := mach.NewKernel()
+	srvTask := k.NewTask("server")
+	cliTask := k.NewTask("client")
+	_, port := srvTask.AllocatePort()
+
+	disp := runtime.NewDispatcher(serverPres)
+	var stored []byte
+	disp.Handle("write", func(c *runtime.Call) error {
+		stored = append(stored[:0], c.ArgBytes(0)...)
+		return nil
+	})
+	disp.Handle("read", func(c *runtime.Call) error {
+		n := int(c.Arg(0).(uint32))
+		if n > len(stored) {
+			n = len(stored)
+		}
+		out := make([]byte, n)
+		copy(out, stored)
+		c.SetResult(out)
+		return nil
+	})
+	plan, err := runtime.NewPlan(serverPres, runtime.XDRCodec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Announce(port, serverPres)
+	go func() { _ = Serve(srvTask, port, disp, plan) }()
+	t.Cleanup(port.Destroy)
+	right := cliTask.InsertRight(port)
+	return k, cliTask, right, port
+}
+
+func TestEndToEnd(t *testing.T) {
+	p := fileIOPres(t)
+	_, cliTask, right, _ := startFileServer(t, p)
+	conn, err := Dial(cliTask, right, fileIOPres(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := runtime.NewClient(fileIOPres(t), runtime.XDRCodec, conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("pipe"), 256)
+	if _, _, err := client.Invoke("write", []runtime.Value{payload}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, ret, err := client.Invoke("read", []runtime.Value{uint32(len(payload))}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ret.([]byte), payload) {
+		t.Fatalf("read back %d bytes, want %d", len(ret.([]byte)), len(payload))
+	}
+}
+
+func TestContractEnforcedAtBind(t *testing.T) {
+	_, cliTask, right, _ := startFileServer(t, fileIOPres(t))
+	f, err := corba.Parse("other.idl", `
+		interface FileIO { void write(in string data); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := pres.Default(f.Interface("FileIO"), pres.StyleCORBA)
+	if _, err := Dial(cliTask, right, wrong); !errors.Is(err, mach.ErrContract) {
+		t.Fatalf("err = %v, want contract mismatch", err)
+	}
+}
+
+func TestDifferentPresentationsSameContractBind(t *testing.T) {
+	// A [dealloc(never), leaky] server still accepts a default
+	// client: presentation must never leak into the contract.
+	sp := fileIOPres(t)
+	sp.Op("read").Result().Dealloc = pres.DeallocNever
+	sp.Trust = pres.TrustLeaky
+	_, cliTask, right, _ := startFileServer(t, sp)
+	cp := fileIOPres(t)
+	cp.Trust = pres.TrustFull
+	conn, err := Dial(cliTask, right, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := runtime.NewClient(cp, runtime.XDRCodec, conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Invoke("write", []runtime.Value{[]byte("x")}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigForMapsTrustAndNaming(t *testing.T) {
+	p := fileIOPres(t)
+	if sig := SigFor(p); sig.Trust != mach.TrustNoneLevel || sig.NonUniquePorts {
+		t.Fatalf("default sig = %+v", sig)
+	}
+	p.Trust = pres.TrustLeaky
+	if SigFor(p).Trust != mach.TrustLeakyLevel {
+		t.Fatal("leaky not mapped")
+	}
+	p.Trust = pres.TrustFull
+	if SigFor(p).Trust != mach.TrustFullLevel {
+		t.Fatal("full trust not mapped")
+	}
+
+	// nonunique on a port param flips the connection flag.
+	f, err := corba.Parse("cap.idl", `
+		interface Caps { void grant(in Object which); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := pres.Default(f.Interface("Caps"), pres.StyleCORBA)
+	cp.Op("grant").Param("which").NonUnique = true
+	if err := cp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !SigFor(cp).NonUniquePorts {
+		t.Fatal("nonunique not mapped")
+	}
+}
+
+func TestServerErrorTravelsBack(t *testing.T) {
+	sp := fileIOPres(t)
+	k := mach.NewKernel()
+	srvTask := k.NewTask("server")
+	cliTask := k.NewTask("client")
+	_, port := srvTask.AllocatePort()
+	disp := runtime.NewDispatcher(sp)
+	disp.Handle("read", func(c *runtime.Call) error {
+		return errors.New("pipe burst")
+	})
+	plan, _ := runtime.NewPlan(sp, runtime.XDRCodec, nil)
+	Announce(port, sp)
+	go func() { _ = Serve(srvTask, port, disp, plan) }()
+	defer port.Destroy()
+
+	conn, err := Dial(cliTask, cliTask.InsertRight(port), fileIOPres(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _ := runtime.NewClient(fileIOPres(t), runtime.XDRCodec, conn, nil)
+	_, _, err = client.Invoke("read", []runtime.Value{uint32(1)}, nil, nil)
+	var remote *runtime.RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Msg, "pipe burst") {
+		t.Fatalf("err = %v", err)
+	}
+}
