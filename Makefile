@@ -1,0 +1,32 @@
+# flexrpc build and CI entry points. `make ci` is what the repository
+# considers green: formatting, go vet, build, race-enabled tests, and
+# flexvet over every example IDL/PDL.
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test vet-examples golden
+
+ci: fmt-check vet build test vet-examples
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# flexvet over every .idl/.pdl under examples/ (see ci.sh for the
+# pairing logic).
+vet-examples:
+	./ci.sh vet-examples
+
+# Regenerate the analyzer's golden diagnostic files after an
+# intentional message change.
+golden:
+	$(GO) test ./internal/analyze -run Golden -update

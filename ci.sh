@@ -1,0 +1,54 @@
+#!/bin/sh
+# CI driver. `./ci.sh` runs the full gate (same as `make ci`);
+# `./ci.sh vet-examples` runs only the flexvet sweep over examples/.
+set -eu
+
+cd "$(dirname "$0")"
+
+vet_examples() {
+	# Every example IDL must lint clean, alone and combined with the
+	# .pdl endpoint files that sit next to it: a client.pdl/server.pdl
+	# pair is checked as the two endpoints of one connection, any
+	# other .pdl as a single endpoint.
+	find examples -name '*.idl' | sort | while read -r idl; do
+		dir=$(dirname "$idl")
+		echo "flexc vet $idl"
+		go run ./cmd/flexc vet "$idl"
+		if [ -f "$dir/client.pdl" ] && [ -f "$dir/server.pdl" ]; then
+			echo "flexc vet -pdl $dir/client.pdl -peer-pdl $dir/server.pdl $idl"
+			go run ./cmd/flexc vet -pdl "$dir/client.pdl" -peer-pdl "$dir/server.pdl" "$idl"
+		fi
+		for pdl in "$dir"/*.pdl; do
+			[ -f "$pdl" ] || continue
+			echo "flexc vet -pdl $pdl $idl"
+			go run ./cmd/flexc vet -pdl "$pdl" "$idl"
+		done
+	done
+}
+
+if [ "${1:-}" = "vet-examples" ]; then
+	vet_examples
+	exit 0
+fi
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== flexc vet examples"
+vet_examples
+
+echo "CI green"

@@ -4,12 +4,17 @@
 //	flexc -frontend corba -backend go -package fileio -o fileio.go fileio.idl
 //	flexc -frontend sun -pdl client.pdl -backend pres nfs.x
 //	flexc -backend sig fileio.idl
+//	flexc vet -pdl client.pdl -peer-pdl server.pdl fileio.idl
 //
-// Front-ends: corba (CORBA IDL), sun (Sun RPC .x files).
+// Front-ends: corba (CORBA IDL), sun (Sun RPC .x files), mig (.defs).
 // Back-ends:  go   — generate a typed Go client stub and server skeleton
 //
 //	pres — print the computed presentation (after any PDL)
 //	sig  — print the canonical network contract
+//
+// The vet subcommand runs flexvet, the cross-endpoint presentation
+// analyzer and annotation lint pass; see `flexc vet -list` for the
+// check registry.
 package main
 
 import (
@@ -19,8 +24,10 @@ import (
 	"os"
 	"sort"
 
+	"flexrpc/internal/analyze"
 	"flexrpc/internal/codegen"
 	"flexrpc/internal/core"
+	"flexrpc/internal/pdl"
 	"flexrpc/internal/pres"
 )
 
@@ -32,6 +39,9 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "vet" {
+		return runVet(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("flexc", flag.ContinueOnError)
 	var (
 		frontend  = fs.String("frontend", "corba", "IDL front-end: corba, sun or mig")
@@ -63,16 +73,8 @@ func run(args []string, stdout io.Writer) error {
 		Source:    string(src),
 		Interface: *ifaceName,
 	}
-	switch *style {
-	case "":
-	case "corba":
-		opts.Style = pres.StyleCORBA
-	case "sun":
-		opts.Style = pres.StyleSun
-	case "mig":
-		opts.Style = pres.StyleMIG
-	default:
-		return fmt.Errorf("unknown style %q", *style)
+	if opts.Style, err = parseStyle(*style); err != nil {
+		return err
 	}
 	if *pdlFile != "" {
 		pdlSrc, err := os.ReadFile(*pdlFile)
@@ -107,6 +109,151 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, output, 0o644)
+}
+
+// parseStyle maps a CLI style name to presentation rules; empty
+// keeps the front-end's natural default.
+func parseStyle(name string) (pres.Style, error) {
+	switch name {
+	case "", "corba":
+		return pres.StyleCORBA, nil
+	case "sun":
+		return pres.StyleSun, nil
+	case "mig":
+		return pres.StyleMIG, nil
+	}
+	return 0, fmt.Errorf("unknown style %q", name)
+}
+
+// runVet is the `flexc vet` subcommand: flexvet over one or two
+// endpoints of an interface.
+//
+//	flexc vet fileio.idl
+//	flexc vet -pdl client.pdl -peer-pdl server.pdl -transport suntcp fileio.idl
+//	flexc vet -peer-idl server_copy.idl fileio.idl        # contract drift
+//	flexc vet -list                                       # check registry
+//
+// The first endpoint (the "client") is the IDL file's default
+// presentation with -pdl applied; the peer (the "server") exists when
+// -peer-pdl or -peer-idl is given, built from -peer-idl (defaulting
+// to the same IDL file) with -peer-pdl applied. PDL files are applied
+// loosely: annotations naming unknown operations or parameters become
+// positioned FV007 findings instead of hard errors, so one run
+// reports every problem. The exit status is non-zero iff any
+// error-severity finding is present.
+func runVet(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flexc vet", flag.ContinueOnError)
+	var (
+		frontend      = fs.String("frontend", "corba", "IDL front-end: corba, sun or mig")
+		ifaceName     = fs.String("interface", "", "interface to analyze (required when the file has several)")
+		style         = fs.String("style", "", "default presentation style: corba, sun or mig")
+		pdlFile       = fs.String("pdl", "", "PDL file for this endpoint's presentation")
+		transport     = fs.String("transport", "", "transport this endpoint binds to: inproc, machipc, fbufrpc or suntcp")
+		peerPDL       = fs.String("peer-pdl", "", "PDL file for the peer endpoint (enables the cross-endpoint pass)")
+		peerIDL       = fs.String("peer-idl", "", "the peer's copy of the contract (defaults to the same IDL file)")
+		peerFrontend  = fs.String("peer-frontend", "", "front-end for -peer-idl (defaults to -frontend)")
+		peerTransport = fs.String("peer-transport", "", "transport the peer binds to")
+		jsonOut       = fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+		list          = fs.Bool("list", false, "print the check registry and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, ci := range analyze.Checks() {
+			fmt.Fprintf(stdout, "%s %-28s %-8s %s\n", ci.ID, ci.Title, ci.Severity, ci.Doc)
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: flexc vet [flags] <idl-file>")
+	}
+
+	sty, err := parseStyle(*style)
+	if err != nil {
+		return err
+	}
+	compiled, err := compileFor(fs.Arg(0), *frontend, *ifaceName, sty)
+	if err != nil {
+		return err
+	}
+	client, err := vetEndpoint(compiled.Pres, *pdlFile)
+	if err != nil {
+		return err
+	}
+	eps := []analyze.Endpoint{{Pres: client, Transport: *transport, Label: "client"}}
+
+	if *peerPDL != "" || *peerIDL != "" {
+		peerCompiled := compiled
+		if *peerIDL != "" {
+			pf := *peerFrontend
+			if pf == "" {
+				pf = *frontend
+			}
+			if peerCompiled, err = compileFor(*peerIDL, pf, *ifaceName, sty); err != nil {
+				return err
+			}
+		}
+		server, err := vetEndpoint(peerCompiled.Pres, *peerPDL)
+		if err != nil {
+			return err
+		}
+		eps = append(eps, analyze.Endpoint{Pres: server, Transport: *peerTransport, Label: "server"})
+	}
+
+	diags := analyze.CheckEndpoints(compiled.Iface, eps)
+	if *jsonOut {
+		out, err := analyze.RenderJSON(diags)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
+	} else if len(diags) > 0 {
+		fmt.Fprint(stdout, analyze.Render(diags))
+	}
+	if analyze.HasErrors(diags) {
+		n := 0
+		for _, d := range diags {
+			if d.Severity == analyze.SevError {
+				n++
+			}
+		}
+		return fmt.Errorf("vet: %d error(s)", n)
+	}
+	return nil
+}
+
+// compileFor runs the front-end and default-presentation stages for
+// one endpoint's copy of the contract.
+func compileFor(path, frontend, iface string, style pres.Style) (*core.Compiled, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	fe, err := core.FrontendByName(frontend)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(core.Options{
+		Frontend:  fe,
+		Filename:  path,
+		Source:    string(src),
+		Interface: iface,
+		Style:     style,
+	})
+}
+
+// vetEndpoint applies an optional PDL file loosely, so annotation
+// mistakes surface as analyzer findings rather than fatal errors.
+func vetEndpoint(base *pres.Presentation, pdlPath string) (*pres.Presentation, error) {
+	if pdlPath == "" {
+		return base, nil
+	}
+	src, err := os.ReadFile(pdlPath)
+	if err != nil {
+		return nil, err
+	}
+	return pdl.ApplyLoose(base, pdlPath, string(src))
 }
 
 // describePresentation renders a presentation in PDL-like syntax.

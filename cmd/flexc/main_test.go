@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -91,4 +92,202 @@ func TestErrors(t *testing.T) {
 			t.Errorf("args %v: expected error", args)
 		}
 	}
+}
+
+// ---- flexc vet -------------------------------------------------------
+
+func TestVetCleanInterface(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { sequence<octet> get(in unsigned long n); };`)
+	var out bytes.Buffer
+	if err := run([]string{"vet", idl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "" {
+		t.Fatalf("clean interface produced output:\n%s", out.String())
+	}
+}
+
+// The repo's own examples must stay lint-clean, alone and as a
+// client/server pair.
+func TestVetExamplesStayClean(t *testing.T) {
+	idl := filepath.Join("..", "..", "examples", "pipes", "fileio", "fileio.idl")
+	client := filepath.Join("..", "..", "examples", "pipes", "fileio", "client.pdl")
+	server := filepath.Join("..", "..", "examples", "pipes", "fileio", "server.pdl")
+	for _, args := range [][]string{
+		{"vet", idl},
+		{"vet", "-pdl", client, "-peer-pdl", server, idl},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Errorf("args %v: %v\n%s", args, err, out.String())
+		}
+		if out.String() != "" {
+			t.Errorf("args %v: examples not lint-clean:\n%s", args, out.String())
+		}
+	}
+}
+
+func TestVetReportsAnnotationErrors(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { sequence<octet> get(in unsigned long n); };`)
+	pdl := write(t, dir, "f.pdl", `interface F { get([nonunique] n); frob([special] x); };`)
+	var out bytes.Buffer
+	err := run([]string{"vet", "-pdl", pdl, idl}, &out)
+	if err == nil {
+		t.Fatal("vet with error-severity findings must exit non-zero")
+	}
+	s := out.String()
+	for _, want := range []string{"f.pdl:1:", "[FV011]", "[FV007]", "F.get.n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("vet output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVetWarningsDoNotFail(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { void put(in sequence<octet> data); };`)
+	pdl := write(t, dir, "f.pdl", `interface F { put([trashable, special] data); };`)
+	var out bytes.Buffer
+	if err := run([]string{"vet", "-pdl", pdl, idl}, &out); err != nil {
+		t.Fatalf("warning-only vet failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "[FV004]") {
+		t.Fatalf("expected FV004 warning:\n%s", out.String())
+	}
+}
+
+func TestVetCrossEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { void put(in sequence<octet> data); };`)
+	cl := write(t, dir, "client.pdl", `interface F { put([dealloc(always)] data); };`)
+	sv := write(t, dir, "server.pdl", `interface F { put([preserved] data); };`)
+	var out bytes.Buffer
+	err := run([]string{"vet", "-pdl", cl, "-peer-pdl", sv, idl}, &out)
+	if err == nil || !strings.Contains(out.String(), "[FV002]") {
+		t.Fatalf("use-after-transfer pair not detected (err=%v):\n%s", err, out.String())
+	}
+}
+
+func TestVetContractDrift(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { void put(in sequence<octet> data); };`)
+	peer := write(t, dir, "peer.idl", `interface F { void put(in sequence<octet> data, in unsigned long off); };`)
+	var out bytes.Buffer
+	err := run([]string{"vet", "-peer-idl", peer, idl}, &out)
+	if err == nil || !strings.Contains(out.String(), "[FV001]") {
+		t.Fatalf("contract drift not detected (err=%v):\n%s", err, out.String())
+	}
+}
+
+func TestVetTrustOverNetwork(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { void ping(); };`)
+	pdl := write(t, dir, "f.pdl", `[leaky, unprotected] interface F { };`)
+	var out bytes.Buffer
+	// Same-domain: clean.
+	if err := run([]string{"vet", "-pdl", pdl, "-transport", "inproc", idl}, &out); err != nil || out.Len() != 0 {
+		t.Fatalf("inproc trust flagged (err=%v):\n%s", err, out.String())
+	}
+	// Network transport: error.
+	out.Reset()
+	err := run([]string{"vet", "-pdl", pdl, "-transport", "suntcp", idl}, &out)
+	if err == nil || !strings.Contains(out.String(), "[FV005]") {
+		t.Fatalf("network trust not flagged (err=%v):\n%s", err, out.String())
+	}
+}
+
+func TestVetJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { sequence<octet> get(in unsigned long n); };`)
+	pdl := write(t, dir, "f.pdl", `interface F { get([nonunique] n); };`)
+	var out bytes.Buffer
+	err := run([]string{"vet", "-json", "-pdl", pdl, idl}, &out)
+	if err == nil {
+		t.Fatal("expected non-zero exit")
+	}
+	var diags []map[string]any
+	if jerr := json.Unmarshal(out.Bytes(), &diags); jerr != nil {
+		t.Fatalf("output is not JSON: %v\n%s", jerr, out.String())
+	}
+	if len(diags) != 1 || diags[0]["id"] != "FV011" || diags[0]["severity"] != "error" {
+		t.Fatalf("json = %v", diags)
+	}
+}
+
+func TestVetListRegistry(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"vet", "-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"FV001", "FV005", "FV012"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("registry listing missing %s", id)
+		}
+	}
+}
+
+// The analyzer is dialect-agnostic: the same checks fire no matter
+// which front-end produced the contract.
+func TestVetAcrossFrontends(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		frontend, file, src string
+		op, bufParam        string
+	}{
+		{
+			frontend: "corba",
+			file:     "f.idl",
+			src:      `interface F { void put(in sequence<octet> data); };`,
+			op:       "put", bufParam: "data",
+		},
+		{
+			frontend: "sun",
+			file:     "f.x",
+			src: `
+				typedef opaque buf<8192>;
+				program F { version V { void PUT(buf) = 1; } = 1; } = 300099;`,
+			op: "PUT", bufParam: "arg1",
+		},
+		{
+			frontend: "mig",
+			file:     "f.defs",
+			src: `
+				subsystem f 900;
+				type buf_t = array[*:8192] of char;
+				routine put(server : mach_port_t; in data : buf_t);`,
+			op: "put", bufParam: "data",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.frontend, func(t *testing.T) {
+			idl := write(t, dir, tc.file, tc.src)
+			// Clean: the default presentation lints clean in every dialect.
+			var out bytes.Buffer
+			if err := run([]string{"vet", "-frontend", tc.frontend, idl}, &out); err != nil || out.Len() != 0 {
+				t.Fatalf("default presentation not clean (err=%v):\n%s", err, out.String())
+			}
+			// Dirty: the same annotation mistake draws the same check ID.
+			pdl := write(t, dir, tc.frontend+".pdl",
+				`interface `+ifaceNameFor(tc.frontend)+` { `+tc.op+`([nonunique] `+tc.bufParam+`); };`)
+			out.Reset()
+			err := run([]string{"vet", "-frontend", tc.frontend, "-pdl", pdl, idl}, &out)
+			if err == nil || !strings.Contains(out.String(), "[FV011]") {
+				t.Fatalf("FV011 not detected (err=%v):\n%s", err, out.String())
+			}
+		})
+	}
+}
+
+// ifaceNameFor returns the interface name each front-end derives from
+// the sources in TestVetAcrossFrontends.
+func ifaceNameFor(frontend string) string {
+	switch frontend {
+	case "sun":
+		return "F_V"
+	case "mig":
+		return "f"
+	}
+	return "F"
 }

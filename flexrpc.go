@@ -36,6 +36,7 @@
 package flexrpc
 
 import (
+	"flexrpc/internal/analyze"
 	"flexrpc/internal/core"
 	"flexrpc/internal/pres"
 	"flexrpc/internal/runtime"
@@ -83,6 +84,20 @@ const (
 	TrustFull  = pres.TrustFull
 )
 
+// Buffer allocation policies (presentation attributes).
+const (
+	AllocAuto   = pres.AllocAuto
+	AllocCaller = pres.AllocCaller
+	AllocCallee = pres.AllocCallee
+)
+
+// Buffer deallocation policies (presentation attributes).
+const (
+	DeallocDefault = pres.DeallocDefault
+	DeallocAlways  = pres.DeallocAlways
+	DeallocNever   = pres.DeallocNever
+)
+
 // Re-exported runtime types.
 type (
 	// Value is the runtime representation of one IR-typed value.
@@ -121,6 +136,40 @@ var (
 	// CDRCodecLE marshals in CORBA CDR, little-endian.
 	CDRCodecLE = runtime.CDRCodecLE
 )
+
+// Re-exported flexvet (static analyzer) types.
+type (
+	// Diagnostic is one flexvet finding: stable check ID, severity,
+	// source position and a one-line fix suggestion.
+	Diagnostic = analyze.Diagnostic
+	// Severity grades a Diagnostic.
+	Severity = analyze.Severity
+	// Endpoint is one side of a connection as the analyzer sees it:
+	// a presentation plus an optional transport binding and label.
+	Endpoint = analyze.Endpoint
+)
+
+// Diagnostic severities.
+const (
+	SevInfo    = analyze.SevInfo
+	SevWarning = analyze.SevWarning
+	SevError   = analyze.SevError
+)
+
+// Check runs flexvet over one or more presentations of a shared
+// interface: annotation safety lints on each, cross-endpoint
+// compatibility (contract identity, unsafe annotation pairs) on
+// every pair. Diagnostics come back sorted by source position.
+func Check(ps ...*Presentation) []Diagnostic { return analyze.Check(nil, ps...) }
+
+// CheckEndpoints is Check with transport bindings and endpoint
+// labels, enabling the transport-aware checks (FV005).
+func CheckEndpoints(eps []Endpoint) []Diagnostic {
+	if len(eps) == 0 {
+		return nil
+	}
+	return analyze.CheckEndpoints(nil, eps)
+}
 
 // Compile runs the front-end and presentation stages.
 func Compile(o Options) (*Compiled, error) { return core.Compile(o) }

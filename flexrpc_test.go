@@ -123,3 +123,44 @@ func TestContractMismatchThroughFacade(t *testing.T) {
 		t.Fatal("mismatched contracts must not connect")
 	}
 }
+
+func TestPublicVet(t *testing.T) {
+	c := compileCalc(t)
+	// Two well-formed endpoints of the same contract: clean.
+	server, err := c.WithPDL("server.pdl", `interface Calc { fill([dealloc(never)] return); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := flexrpc.Check(c.Pres, server.Pres); len(diags) != 0 {
+		t.Fatalf("legal endpoint pair produced diagnostics: %v", diags)
+	}
+	// A hand-corrupted presentation draws a positioned, identified
+	// finding through the facade.
+	bad := c.Pres.Clone()
+	bad.Op("fill").Param("n").Dealloc = flexrpc.DeallocNever
+	diags := flexrpc.Check(bad)
+	if len(diags) != 1 || diags[0].ID != "FV012" || diags[0].Severity != flexrpc.SevError {
+		t.Fatalf("diags = %v, want one FV012 error", diags)
+	}
+	// Transport-aware endpoints: trust over the network is flagged.
+	trusting := c.Pres.Clone()
+	trusting.Trust = flexrpc.TrustFull
+	diags = flexrpc.CheckEndpoints([]flexrpc.Endpoint{{Pres: trusting, Transport: "suntcp"}})
+	if len(diags) != 1 || diags[0].ID != "FV005" {
+		t.Fatalf("diags = %v, want one FV005", diags)
+	}
+	if flexrpc.CheckEndpoints(nil) != nil {
+		t.Fatal("CheckEndpoints of nothing should be nil")
+	}
+	// Compile-time vetting through Options.
+	if _, err := flexrpc.Compile(flexrpc.Options{
+		Frontend:  flexrpc.FrontendCORBA,
+		Filename:  "calc.idl",
+		Source:    calcIDL,
+		PDL:       `[leaky, unprotected] interface Calc { };`,
+		Transport: "suntcp",
+		Vet:       true,
+	}); err == nil || !strings.Contains(err.Error(), "FV005") {
+		t.Fatalf("err = %v, want vet failure naming FV005", err)
+	}
+}

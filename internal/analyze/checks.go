@@ -1,0 +1,117 @@
+package analyze
+
+import "sort"
+
+// CheckInfo documents one flexvet check.
+type CheckInfo struct {
+	// ID is the stable identifier findings carry.
+	ID string
+	// Title is a short kebab-case name.
+	Title string
+	// Severity is the check's default severity (FV005 escalates to
+	// error for [unprotected]).
+	Severity Severity
+	// Fix is the one-line suggestion attached to findings.
+	Fix string
+	// Doc explains the check in terms of the paper's annotations.
+	Doc string
+}
+
+// The check registry. IDs are append-only and never reused: tooling
+// and suppression lists depend on their stability.
+var registry = map[string]CheckInfo{
+	"FV001": {
+		ID: "FV001", Title: "contract-drift", Severity: SevError,
+		Fix: "regenerate both endpoints from one IDL file; the network contract must be byte-identical",
+		Doc: "Two endpoints of one connection disagree on the network contract " +
+			"(operation set, parameter types/directions, or codec-visible layout). " +
+			"Presentations may differ arbitrarily, but the paper's safety argument " +
+			"rests on the contract being shared.",
+	},
+	"FV002": {
+		ID: "FV002", Title: "use-after-transfer", Severity: SevError,
+		Fix: "drop [dealloc(always)] on the sender or [preserved] on the receiver",
+		Doc: "One endpoint frees an in buffer after marshaling ([dealloc(always)]) " +
+			"while the peer declares it [preserved] and may keep reading the original " +
+			"under a same-domain or shared-buffer transport: a use-after-transfer.",
+	},
+	"FV003": {
+		ID: "FV003", Title: "unique-name-mismatch", Severity: SevWarning,
+		Fix: "annotate the port [nonunique] on both endpoints, or on neither",
+		Doc: "A port parameter is [nonunique] on one endpoint only: the annotated " +
+			"side stops maintaining the unique-name invariant (paper §4.6) that the " +
+			"peer still relies on.",
+	},
+	"FV004": {
+		ID: "FV004", Title: "trashable-special-alias", Severity: SevWarning,
+		Fix: "drop [trashable], or make the [special] hook copy before the stub trashes the buffer",
+		Doc: "[trashable] lets the stub scribble over the buffer during marshaling " +
+			"while a [special] hook on the same parameter may retain an alias to it " +
+			"(the Linux NFS copyin/copyout path).",
+	},
+	"FV005": {
+		ID: "FV005", Title: "trust-over-network", Severity: SevWarning,
+		Fix: "move the trust grant to a same-domain (inproc) presentation, or remove it",
+		Doc: "[leaky]/[unprotected] trust is granted on a presentation bound to a " +
+			"network transport. Trust buys performance by dropping protection " +
+			"(paper §4.5); over a network the peer is outside every protection " +
+			"domain and the grant leaks or corrupts across machines. " +
+			"[unprotected] escalates to an error.",
+	},
+	"FV006": {
+		ID: "FV006", Title: "callee-alloc-leak", Severity: SevWarning,
+		Fix: "use [alloc(caller)] for endpoint-managed storage, or let the stub free with [dealloc(always)]",
+		Doc: "[dealloc(never)] combined with an explicit [alloc(callee)] on an out " +
+			"buffer: the callee heap-allocates a fresh buffer per call and nothing " +
+			"ever frees it. (Plain [dealloc(never)] on a default-allocated out " +
+			"buffer is the paper's Figure 5 idiom and is not flagged.)",
+	},
+	"FV007": {
+		ID: "FV007", Title: "dead-annotation", Severity: SevError,
+		Fix: "remove the annotation or fix the operation/parameter name",
+		Doc: "An annotation names an operation or parameter that does not exist in " +
+			"the interface; it can never take effect.",
+	},
+	"FV008": {
+		ID: "FV008", Title: "trashable-preserved-conflict", Severity: SevError,
+		Fix: "keep exactly one of [trashable] and [preserved]",
+		Doc: "[trashable] (the buffer may be destroyed) and [preserved] (the buffer " +
+			"must survive) on the same parameter are mutually exclusive.",
+	},
+	"FV009": {
+		ID: "FV009", Title: "length-is-invalid", Severity: SevError,
+		Fix: "point length_is at an integer in parameter of the same operation",
+		Doc: "[length_is(p)] must name an integer parameter of the same operation " +
+			"that carries the buffer's explicit length (paper Figure 10).",
+	},
+	"FV010": {
+		ID: "FV010", Title: "mutability-on-out", Severity: SevError,
+		Fix: "move the annotation to an in or inout parameter",
+		Doc: "[trashable]/[preserved] govern what happens to a sender's buffer " +
+			"during marshaling; they are meaningless on out-only parameters and " +
+			"results.",
+	},
+	"FV011": {
+		ID: "FV011", Title: "nonunique-on-non-port", Severity: SevError,
+		Fix: "move [nonunique] to a port parameter",
+		Doc: "[nonunique] relaxes the unique-name invariant of port rights; it has " +
+			"no meaning on data parameters.",
+	},
+	"FV012": {
+		ID: "FV012", Title: "alloc-on-scalar", Severity: SevError,
+		Fix: "move [alloc]/[dealloc] to a buffer-typed parameter",
+		Doc: "Allocation annotations govern buffer storage; scalars are copied by " +
+			"value and have no storage to manage.",
+	},
+}
+
+// Checks returns the full registry sorted by ID, for `flexc vet -list`
+// and documentation.
+func Checks() []CheckInfo {
+	out := make([]CheckInfo, 0, len(registry))
+	for _, c := range registry {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,143 @@
+// Cross-endpoint pass: prove two independently-annotated endpoints of
+// one interface still share the wire contract (FV001) and report
+// annotation pairs that are individually legal but jointly unsafe
+// (FV002, FV003). Presentations are *supposed* to differ — that is
+// the paper's whole point — so only contract identity and unsafe
+// pairings are findings, never mere asymmetry.
+package analyze
+
+import (
+	"flexrpc/internal/idl"
+	"flexrpc/internal/ir"
+	"flexrpc/internal/pres"
+)
+
+// checkPair runs the cross-endpoint checks over one pair of
+// endpoints.
+func (c *checker) checkPair(iface *ir.Interface, a, b Endpoint) {
+	if !c.checkContract(a, b) {
+		// The endpoints do not agree on the contract; annotation-pair
+		// comparison over mismatched operations would be noise.
+		return
+	}
+	for i := range iface.Ops {
+		irOp := &iface.Ops[i]
+		aOp, bOp := a.Pres.Op(irOp.Name), b.Pres.Op(irOp.Name)
+		for _, prm := range irOp.Params {
+			aAt := attrsOf(aOp, prm.Name)
+			bAt := attrsOf(bOp, prm.Name)
+			ctx := iface.Name + "." + irOp.Name + "." + prm.Name
+			if prm.Dir == ir.In || prm.Dir == ir.InOut {
+				c.checkTransfer(ctx, prm.Type, a, aAt, b, bAt)
+				c.checkTransfer(ctx, prm.Type, b, bAt, a, aAt)
+			}
+			if prm.Type.Kind == ir.Port {
+				c.checkNaming(ctx, a, aAt, b, bAt)
+				c.checkNaming(ctx, b, bAt, a, aAt)
+			}
+		}
+	}
+}
+
+// checkContract is FV001: the wire contracts must be identical.
+// Reports per-operation drift and returns whether the contracts
+// match.
+func (c *checker) checkContract(a, b Endpoint) bool {
+	ia, ib := a.Pres.Interface, b.Pres.Interface
+	if ia.Signature() == ib.Signature() {
+		return true
+	}
+	sigsB := make(map[string]string, len(ib.Ops))
+	for i := range ib.Ops {
+		sigsB[ib.Ops[i].Name] = ib.Ops[i].Signature()
+	}
+	seen := make(map[string]bool, len(ia.Ops))
+	for i := range ia.Ops {
+		op := &ia.Ops[i]
+		seen[op.Name] = true
+		sb, ok := sigsB[op.Name]
+		switch {
+		case !ok:
+			c.report("FV001", idl.Pos{},
+				"contract drift between %s and %s: operation %q missing from %s",
+				a.Label, b.Label, op.Name, b.Label)
+		case sb != op.Signature():
+			c.report("FV001", idl.Pos{},
+				"contract drift between %s and %s: operation %q is %s on %s but %s on %s",
+				a.Label, b.Label, op.Name, op.Signature(), a.Label, sb, b.Label)
+		}
+	}
+	for i := range ib.Ops {
+		if !seen[ib.Ops[i].Name] {
+			c.report("FV001", idl.Pos{},
+				"contract drift between %s and %s: operation %q missing from %s",
+				a.Label, b.Label, ib.Ops[i].Name, a.Label)
+		}
+	}
+	if ia.Name != ib.Name || (ia.Program != ib.Program || ia.Version != ib.Version) {
+		c.report("FV001", idl.Pos{},
+			"contract drift between %s and %s: interface identity %s vs %s",
+			a.Label, b.Label, identity(ia), identity(ib))
+	}
+	return false
+}
+
+func identity(i *ir.Interface) string {
+	if i.Program != 0 {
+		return i.Name + "[prog=" + utoa(i.Program) + ",vers=" + utoa(i.Version) + "]"
+	}
+	return i.Name
+}
+
+func utoa(v uint32) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// checkTransfer is FV002: sender frees an in buffer after marshaling
+// while the receiver promises to keep reading the original — under a
+// same-domain or shared-buffer transport that original is gone.
+func (c *checker) checkTransfer(ctx string, t *ir.Type, sender Endpoint, sAt *pres.ParamAttrs, receiver Endpoint, rAt *pres.ParamAttrs) {
+	if !pres.IsBuffer(t) || sAt.Dealloc != pres.DeallocAlways || !rAt.Preserved {
+		return
+	}
+	pos := attrPos(sAt, "dealloc")
+	if pos.Line == 0 {
+		pos = attrPos(rAt, "preserved")
+	}
+	c.report("FV002", pos,
+		"%s: %s frees the buffer after marshaling [dealloc(always)] but %s marks it [preserved]: use-after-transfer",
+		ctx, sender.Label, receiver.Label)
+}
+
+// checkNaming is FV003: one endpoint relaxes the unique-name
+// invariant of a port right that the peer still relies on.
+func (c *checker) checkNaming(ctx string, relaxed Endpoint, relAt *pres.ParamAttrs, strict Endpoint, strAt *pres.ParamAttrs) {
+	if !relAt.NonUnique || strAt.NonUnique {
+		return
+	}
+	c.report("FV003", attrPos(relAt, "nonunique"),
+		"%s: %s marks the port [nonunique] but %s still relies on the unique-name invariant",
+		ctx, relaxed.Label, strict.Label)
+}
+
+// attrsOf returns a parameter's attributes or a shared zero value.
+func attrsOf(op *pres.OpPres, name string) *pres.ParamAttrs {
+	if op != nil {
+		if a, ok := op.Params[name]; ok {
+			return a
+		}
+	}
+	return &zeroAttrs
+}
+
+var zeroAttrs pres.ParamAttrs

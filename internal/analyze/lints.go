@@ -1,0 +1,167 @@
+// Single-endpoint pass: annotation safety lints (FV004–FV006) and
+// exhaustive presentation/interface consistency checks (FV007–FV012).
+package analyze
+
+import (
+	"sort"
+
+	"flexrpc/internal/idl"
+	"flexrpc/internal/ir"
+	"flexrpc/internal/pres"
+)
+
+// checkEndpoint runs every single-endpoint check over one
+// presentation, reporting all findings rather than stopping at the
+// first the way pres.Validate does.
+func (c *checker) checkEndpoint(iface *ir.Interface, ep Endpoint) {
+	p := ep.Pres
+	if p.Interface != nil {
+		// A presentation is validated against the contract it is
+		// attached to; the reference interface only anchors the
+		// cross-endpoint comparison.
+		iface = p.Interface
+	}
+	c.checkTrust(ep)
+	for _, opName := range sortedOpNames(p.Ops) {
+		op := p.Ops[opName]
+		irOp := iface.Op(opName)
+		if irOp == nil {
+			c.report("FV007", op.Pos, "%s: operation %q not in interface %s: annotation can never apply",
+				p.Interface.Name, opName, iface.Name)
+			continue
+		}
+		for _, pn := range sortedParamNames(op.Params) {
+			a := op.Params[pn]
+			t, dir, ok := resolveParam(irOp, pn)
+			if !ok {
+				c.report("FV007", a.Pos, "%s.%s: parameter %q not in operation: annotation can never apply",
+					p.Interface.Name, opName, pn)
+				continue
+			}
+			c.checkParam(p.Interface.Name, opName, pn, irOp, a, t, dir)
+		}
+	}
+}
+
+// checkTrust is FV005: trust granted to a peer outside every
+// protection domain.
+func (c *checker) checkTrust(ep Endpoint) {
+	p := ep.Pres
+	if p.Trust == pres.TrustNone || !IsNetworkTransport(ep.Transport) {
+		return
+	}
+	attr, sev := "leaky", SevWarning
+	if p.Trust == pres.TrustFull {
+		attr, sev = "unprotected", SevError
+	}
+	pos, _ := p.PosOf(attr)
+	c.reportSev("FV005", sev, pos,
+		"%s: [%s] trust granted on network transport %s; the peer is outside every protection domain",
+		p.Interface.Name, attr, ep.Transport)
+}
+
+// checkParam runs the per-parameter lints. ctx pieces identify the
+// finding as iface.op.param.
+func (c *checker) checkParam(iface, opName, pn string, irOp *ir.Operation, a *pres.ParamAttrs, t *ir.Type, dir ir.Direction) {
+	ctx := iface + "." + opName + "." + pn
+	isIn := dir == ir.In || dir == ir.InOut
+
+	if a.Trashable && a.Preserved {
+		c.report("FV008", attrPos(a, "preserved", "trashable"),
+			"%s: [trashable] and [preserved] on the same parameter are mutually exclusive", ctx)
+	}
+	if a.Trashable && !isIn {
+		c.report("FV010", attrPos(a, "trashable"),
+			"%s: [trashable] applies only to in parameters, %s is %s", ctx, pn, dir)
+	}
+	if a.Preserved && !isIn {
+		c.report("FV010", attrPos(a, "preserved"),
+			"%s: [preserved] applies only to in parameters, %s is %s", ctx, pn, dir)
+	}
+	if a.Trashable && a.Special {
+		c.report("FV004", attrPos(a, "special", "trashable"),
+			"%s: [special] marshal hook may alias a buffer the stub is allowed to trash", ctx)
+	}
+	if a.NonUnique && t.Kind != ir.Port {
+		c.report("FV011", attrPos(a, "nonunique"),
+			"%s: [nonunique] applies only to port parameters, have %s", ctx, t.Signature())
+	}
+	if (a.Alloc != pres.AllocAuto || a.Dealloc != pres.DeallocDefault) && !pres.IsBuffer(t) {
+		c.report("FV012", attrPos(a, "alloc", "dealloc"),
+			"%s: allocation annotations require a buffer type, have %s", ctx, t.Signature())
+	}
+	if a.Dealloc == pres.DeallocNever && a.Alloc == pres.AllocCallee &&
+		a.Explicit("alloc") && !isIn && pres.IsBuffer(t) {
+		c.report("FV006", attrPos(a, "dealloc", "alloc"),
+			"%s: [alloc(callee), dealloc(never)]: a fresh callee-allocated buffer per call that nothing frees", ctx)
+	}
+	if a.LengthIs != "" {
+		c.checkLengthIs(ctx, irOp, a)
+	}
+}
+
+// checkLengthIs is FV009.
+func (c *checker) checkLengthIs(ctx string, irOp *ir.Operation, a *pres.ParamAttrs) {
+	pos := attrPos(a, "length_is")
+	var lt *ir.Type
+	for _, param := range irOp.Params {
+		if param.Name == a.LengthIs {
+			lt = param.Type
+		}
+	}
+	if lt == nil {
+		c.report("FV009", pos, "%s: length_is(%s): no such parameter in the operation", ctx, a.LengthIs)
+		return
+	}
+	switch lt.Kind {
+	case ir.Int32, ir.Uint32, ir.Int64, ir.Uint64:
+	default:
+		c.report("FV009", pos, "%s: length_is(%s): parameter is %s, need an integer", ctx, a.LengthIs, lt.Signature())
+	}
+}
+
+// attrPos picks the most precise recorded position: the first listed
+// attribute that was explicitly applied, else the parameter clause.
+func attrPos(a *pres.ParamAttrs, attrs ...string) idl.Pos {
+	for _, name := range attrs {
+		if p, ok := a.PosOf(name); ok {
+			return p
+		}
+	}
+	return a.Pos
+}
+
+// resolveParam finds the wire type and direction of a presentation
+// parameter entry, treating ResultParam as an out pseudo-parameter.
+func resolveParam(irOp *ir.Operation, pn string) (*ir.Type, ir.Direction, bool) {
+	if pn == pres.ResultParam {
+		if !irOp.HasResult() {
+			return nil, 0, false
+		}
+		return irOp.Result, ir.Out, true
+	}
+	for _, param := range irOp.Params {
+		if param.Name == pn {
+			return param.Type, param.Dir, true
+		}
+	}
+	return nil, 0, false
+}
+
+func sortedOpNames(ops map[string]*pres.OpPres) []string {
+	names := make([]string, 0, len(ops))
+	for name := range ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedParamNames(params map[string]*pres.ParamAttrs) []string {
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

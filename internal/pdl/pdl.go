@@ -33,6 +33,19 @@ type attr struct {
 // Apply parses PDL source and applies it to a clone of base,
 // returning the modified presentation. base is not mutated.
 func Apply(base *pres.Presentation, filename, src string) (*pres.Presentation, error) {
+	return apply(base, filename, src, true)
+}
+
+// ApplyLoose is Apply for lint passes: declarations naming operations
+// that do not exist in the interface are applied anyway (creating
+// presentation entries a static analyzer can flag with their source
+// positions) and the result is not validated. Parse errors and
+// unknown attribute names still fail.
+func ApplyLoose(base *pres.Presentation, filename, src string) (*pres.Presentation, error) {
+	return apply(base, filename, src, false)
+}
+
+func apply(base *pres.Presentation, filename, src string, strict bool) (*pres.Presentation, error) {
 	p := &parser{Parser: idl.NewParser(filename, src)}
 	decls, err := p.parseFile()
 	if err != nil {
@@ -40,12 +53,14 @@ func Apply(base *pres.Presentation, filename, src string) (*pres.Presentation, e
 	}
 	out := base.Clone()
 	for _, d := range decls {
-		if err := d.apply(out); err != nil {
+		if err := d.apply(out, strict); err != nil {
 			return nil, err
 		}
 	}
-	if err := out.Validate(); err != nil {
-		return nil, err
+	if strict {
+		if err := out.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -53,6 +68,7 @@ func Apply(base *pres.Presentation, filename, src string) (*pres.Presentation, e
 type paramDecl struct {
 	name  string
 	attrs []attr
+	pos   idl.Pos
 }
 
 type opDecl struct {
@@ -201,16 +217,16 @@ func (p *parser) parseOp() (*opDecl, error) {
 		if err != nil {
 			return nil, err
 		}
-		pname, _, err := p.ExpectIdent()
+		pname, ppos, err := p.ExpectIdent()
 		if err != nil {
 			return nil, err
 		}
-		d.params = append(d.params, paramDecl{name: pname, attrs: pattrs})
+		d.params = append(d.params, paramDecl{name: pname, attrs: pattrs, pos: ppos})
 	}
 	return d, p.Expect(";")
 }
 
-func (d *ifaceDecl) apply(out *pres.Presentation) error {
+func (d *ifaceDecl) apply(out *pres.Presentation, strict bool) error {
 	if d.name != out.Interface.Name {
 		return idl.Errorf(d.pos, "pdl: interface %q does not match presentation interface %q",
 			d.name, out.Interface.Name)
@@ -230,19 +246,29 @@ func (d *ifaceDecl) apply(out *pres.Presentation) error {
 		default:
 			return idl.Errorf(a.pos, "pdl: unknown interface attribute %q", a.name)
 		}
+		out.MarkAt(a.name, a.pos)
 	}
 	for _, op := range d.ops {
-		if err := op.apply(out); err != nil {
+		if err := op.apply(out, strict); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (d *opDecl) apply(out *pres.Presentation) error {
+func (d *opDecl) apply(out *pres.Presentation, strict bool) error {
 	op := out.Op(d.name)
 	if op == nil {
-		return idl.Errorf(d.pos, "pdl: operation %q not in interface %q", d.name, out.Interface.Name)
+		if strict {
+			return idl.Errorf(d.pos, "pdl: operation %q not in interface %q", d.name, out.Interface.Name)
+		}
+		// Loose mode: keep the dangling declaration so the analyzer
+		// can report it with its position.
+		op = &pres.OpPres{Name: d.name, Params: make(map[string]*pres.ParamAttrs)}
+		out.Ops[d.name] = op
+	}
+	if op.Pos.Line == 0 {
+		op.Pos = d.pos
 	}
 	for _, a := range d.attrs {
 		switch a.name {
@@ -251,9 +277,13 @@ func (d *opDecl) apply(out *pres.Presentation) error {
 		default:
 			return idl.Errorf(a.pos, "pdl: unknown operation attribute %q", a.name)
 		}
+		op.MarkAt(a.name, a.pos)
 	}
 	for _, pd := range d.params {
 		pa := op.Param(pd.name)
+		if pa.Pos.Line == 0 {
+			pa.Pos = pd.pos
+		}
 		for _, a := range pd.attrs {
 			if err := applyParamAttr(pa, a); err != nil {
 				return err
@@ -334,6 +364,7 @@ func applyParamAttr(pa *pres.ParamAttrs, a attr) error {
 	default:
 		return idl.Errorf(a.pos, "pdl: unknown parameter attribute %q", a.name)
 	}
+	pa.MarkAt(a.name, a.pos)
 	return nil
 }
 

@@ -208,6 +208,71 @@ func TestMultipleInterfaceBlocksAndEmptyFile(t *testing.T) {
 	}
 }
 
+// Attribute positions must survive into the applied presentation so
+// validation errors and flexvet diagnostics can point at PDL source.
+func TestPositionsThreadedIntoPresentation(t *testing.T) {
+	p, err := Apply(fileIOPres(t), "pos.pdl",
+		"[leaky]\ninterface FileIO {\n    [comm_status] read([dealloc(never)] return);\n};")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos, ok := p.PosOf("leaky"); !ok || pos.File != "pos.pdl" || pos.Line != 1 {
+		t.Errorf("leaky pos = %v, %v; want pos.pdl:1", pos, ok)
+	}
+	if pos, ok := p.Op("read").PosOf("comm_status"); !ok || pos.Line != 3 {
+		t.Errorf("comm_status pos = %v, %v; want line 3", pos, ok)
+	}
+	r := p.Op("read").Result()
+	if pos, ok := r.PosOf("dealloc"); !ok || pos.Line != 3 || pos.Col != 25 {
+		t.Errorf("dealloc pos = %v, %v; want pos.pdl:3:25", pos, ok)
+	}
+	if !r.Explicit("dealloc") || r.Explicit("alloc") {
+		t.Error("explicitness must track only applied attributes")
+	}
+	// Positions survive a Clone without aliasing.
+	q := p.Clone()
+	q.Op("read").Result().MarkAt("alloc", r.Pos)
+	if p.Op("read").Result().Explicit("alloc") {
+		t.Error("Clone shares position maps with the original")
+	}
+}
+
+// Validation errors carry the iface.op.param context and the PDL
+// source position of the offending attribute.
+func TestValidateErrorsArePositionedAndContextual(t *testing.T) {
+	_, err := Apply(fileIOPres(t), "bad.pdl",
+		"interface FileIO {\n    write([trashable, preserved] data);\n};")
+	if err == nil {
+		t.Fatal("expected validation error")
+	}
+	for _, want := range []string{"bad.pdl:2:23", "FileIO.write.data"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("err = %v, want substring %q", err, want)
+		}
+	}
+}
+
+// ApplyLoose keeps dangling declarations (for the analyzer) and skips
+// validation.
+func TestApplyLoose(t *testing.T) {
+	p, err := ApplyLoose(fileIOPres(t), "loose.pdl",
+		"interface FileIO {\n    frob([special] x);\n    write([trashable, preserved] data);\n};")
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := p.Op("frob")
+	if op == nil || op.Pos.Line != 2 {
+		t.Fatalf("dangling op not kept with position: %+v", op)
+	}
+	if !p.Op("write").Param("data").Trashable {
+		t.Error("valid attributes must still apply in loose mode")
+	}
+	// Unknown attribute names are still parse errors, even loose.
+	if _, err := ApplyLoose(fileIOPres(t), "loose.pdl", `interface FileIO { write([frob] data); };`); err == nil {
+		t.Error("unknown attribute must fail even in loose mode")
+	}
+}
+
 func TestMustApplyPanicsOnBadPDL(t *testing.T) {
 	defer func() {
 		if recover() == nil {

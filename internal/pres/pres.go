@@ -11,6 +11,7 @@ package pres
 import (
 	"fmt"
 
+	"flexrpc/internal/idl"
 	"flexrpc/internal/ir"
 )
 
@@ -157,6 +158,43 @@ type ParamAttrs struct {
 	// NonUnique (port parameters): the receiving task does not need
 	// the unique-name invariant for this right ([nonunique]).
 	NonUnique bool
+	// Pos is the source position of the parameter's PDL annotation
+	// clause, when the attributes came from a PDL file; the zero
+	// value means the attributes were synthesized (Default) or built
+	// by hand.
+	Pos idl.Pos
+	// At records the source position of each explicitly applied
+	// annotation, keyed by attribute name ("trashable", "dealloc",
+	// ...). It is nil until an annotation is applied; pdl.Apply
+	// fills it so validation errors and flexvet diagnostics can
+	// point at the PDL source line that caused them.
+	At map[string]idl.Pos
+}
+
+// MarkAt records that the named attribute was explicitly applied at
+// pos (as opposed to synthesized by the default-presentation rules).
+func (a *ParamAttrs) MarkAt(attr string, pos idl.Pos) {
+	if a.At == nil {
+		a.At = make(map[string]idl.Pos)
+	}
+	a.At[attr] = pos
+	if a.Pos.Line == 0 {
+		a.Pos = pos
+	}
+}
+
+// PosOf returns the recorded position of the named attribute and
+// whether it was explicitly applied.
+func (a *ParamAttrs) PosOf(attr string) (idl.Pos, bool) {
+	p, ok := a.At[attr]
+	return p, ok
+}
+
+// Explicit reports whether the named attribute was explicitly
+// applied (by PDL or MarkAt) rather than defaulted.
+func (a *ParamAttrs) Explicit(attr string) bool {
+	_, ok := a.At[attr]
+	return ok
 }
 
 // OpPres is the presentation of a single operation.
@@ -168,6 +206,28 @@ type OpPres struct {
 	// CommStatus ([comm_status]): RPC failures are reported through
 	// a status return instead of an exception environment.
 	CommStatus bool
+	// Pos is the source position of the operation's PDL declaration,
+	// when one was applied.
+	Pos idl.Pos
+	// At records the positions of explicitly applied operation
+	// attributes ("comm_status"), keyed by attribute name.
+	At map[string]idl.Pos
+}
+
+// MarkAt records that the named operation attribute was explicitly
+// applied at pos.
+func (o *OpPres) MarkAt(attr string, pos idl.Pos) {
+	if o.At == nil {
+		o.At = make(map[string]idl.Pos)
+	}
+	o.At[attr] = pos
+}
+
+// PosOf returns the recorded position of the named operation
+// attribute and whether it was explicitly applied.
+func (o *OpPres) PosOf(attr string) (idl.Pos, bool) {
+	p, ok := o.At[attr]
+	return p, ok
 }
 
 // ResultParam is the Params key for the operation result.
@@ -196,6 +256,25 @@ type Presentation struct {
 	// Trust is the connection-level trust this endpoint extends to
 	// its peer.
 	Trust Trust
+	// At records the positions of explicitly applied interface-level
+	// attributes ("leaky", "unprotected", ...), keyed by name.
+	At map[string]idl.Pos
+}
+
+// MarkAt records that the named interface attribute was explicitly
+// applied at pos.
+func (p *Presentation) MarkAt(attr string, pos idl.Pos) {
+	if p.At == nil {
+		p.At = make(map[string]idl.Pos)
+	}
+	p.At[attr] = pos
+}
+
+// PosOf returns the recorded position of the named interface
+// attribute and whether it was explicitly applied.
+func (p *Presentation) PosOf(attr string) (idl.Pos, bool) {
+	pos, ok := p.At[attr]
+	return pos, ok
 }
 
 // Default computes the standard presentation for iface under the
@@ -249,13 +328,21 @@ const (
 	InOut = ir.InOut
 )
 
-func isBufferType(t *ir.Type) bool {
+// IsBuffer reports whether t is a buffer-like wire type — one whose
+// local representation occupies storage that allocation, deallocation
+// and mutability annotations can meaningfully govern.
+func IsBuffer(t *ir.Type) bool {
+	if t == nil {
+		return false
+	}
 	switch t.Kind {
 	case ir.Bytes, ir.FixedBytes, ir.String, ir.Seq, ir.Array, ir.Struct:
 		return true
 	}
 	return false
 }
+
+func isBufferType(t *ir.Type) bool { return IsBuffer(t) }
 
 // Op returns the presentation of the named operation, or nil.
 func (p *Presentation) Op(name string) *OpPres { return p.Ops[name] }
@@ -267,16 +354,35 @@ func (p *Presentation) Clone() *Presentation {
 		Style:     p.Style,
 		Ops:       make(map[string]*OpPres, len(p.Ops)),
 		Trust:     p.Trust,
+		At:        clonePosMap(p.At),
 	}
 	for name, op := range p.Ops {
-		cp := &OpPres{Name: op.Name, Params: make(map[string]*ParamAttrs, len(op.Params)), CommStatus: op.CommStatus}
+		cp := &OpPres{
+			Name:       op.Name,
+			Params:     make(map[string]*ParamAttrs, len(op.Params)),
+			CommStatus: op.CommStatus,
+			Pos:        op.Pos,
+			At:         clonePosMap(op.At),
+		}
 		for pn, pa := range op.Params {
 			dup := *pa
+			dup.At = clonePosMap(pa.At)
 			cp.Params[pn] = &dup
 		}
 		q.Ops[name] = cp
 	}
 	return q
+}
+
+func clonePosMap(m map[string]idl.Pos) map[string]idl.Pos {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string]idl.Pos, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
 }
 
 // Validate checks the presentation's internal consistency against
@@ -289,14 +395,16 @@ func (p *Presentation) Validate() error {
 	for name, op := range p.Ops {
 		irOp := p.Interface.Op(name)
 		if irOp == nil {
-			return fmt.Errorf("pres: operation %q not in interface %s", name, p.Interface.Name)
+			return errAt(op.Pos, "pres: %s.%s: operation %q not in interface %s",
+				p.Interface.Name, name, name, p.Interface.Name)
 		}
 		for pn, pa := range op.Params {
+			ctx := fmt.Sprintf("%s.%s.%s", p.Interface.Name, name, pn)
 			var t *ir.Type
 			var dir ir.Direction
 			if pn == ResultParam {
 				if !irOp.HasResult() {
-					return fmt.Errorf("pres: %s.%s has no result to annotate", p.Interface.Name, name)
+					return errAt(pa.Pos, "pres: %s: operation has no result to annotate", ctx)
 				}
 				t, dir = irOp.Result, ir.Out
 			} else {
@@ -308,32 +416,54 @@ func (p *Presentation) Validate() error {
 					}
 				}
 				if !found {
-					return fmt.Errorf("pres: parameter %q not in %s.%s", pn, p.Interface.Name, name)
+					return errAt(pa.Pos, "pres: %s.%s: parameter %q not in operation", p.Interface.Name, name, pn)
 				}
 			}
-			if err := validateAttrs(irOp, pn, pa, t, dir); err != nil {
-				return fmt.Errorf("pres: %s.%s param %s: %w", p.Interface.Name, name, pn, err)
+			if err := validateAttrs(ctx, irOp, pa, t, dir); err != nil {
+				return err
 			}
 		}
 	}
 	return nil
 }
 
-func validateAttrs(op *ir.Operation, name string, a *ParamAttrs, t *ir.Type, dir ir.Direction) error {
+// errAt builds an error carrying pos when one was recorded; the zero
+// position falls back to an unpositioned error.
+func errAt(pos idl.Pos, format string, args ...any) error {
+	if pos.Line == 0 {
+		return fmt.Errorf(format, args...)
+	}
+	return idl.Errorf(pos, format, args...)
+}
+
+// attrPos picks the most precise recorded position for an attribute:
+// the attribute's own PDL position, else the parameter clause's.
+func attrPos(a *ParamAttrs, attr string) idl.Pos {
+	if p, ok := a.PosOf(attr); ok {
+		return p
+	}
+	return a.Pos
+}
+
+func validateAttrs(ctx string, op *ir.Operation, a *ParamAttrs, t *ir.Type, dir ir.Direction) error {
 	if a.Trashable && dir != ir.In && dir != ir.InOut {
-		return fmt.Errorf("trashable applies only to in parameters")
+		return errAt(attrPos(a, "trashable"), "pres: %s: trashable applies only to in parameters", ctx)
 	}
 	if a.Preserved && dir != ir.In && dir != ir.InOut {
-		return fmt.Errorf("preserved applies only to in parameters")
+		return errAt(attrPos(a, "preserved"), "pres: %s: preserved applies only to in parameters", ctx)
 	}
 	if a.Trashable && a.Preserved {
-		return fmt.Errorf("trashable and preserved are mutually exclusive")
+		return errAt(attrPos(a, "preserved"), "pres: %s: trashable and preserved are mutually exclusive", ctx)
 	}
 	if (a.Alloc != AllocAuto || a.Dealloc != DeallocDefault) && !isBufferType(t) {
-		return fmt.Errorf("allocation attributes require a buffer type, have %s", t.Signature())
+		pos := attrPos(a, "alloc")
+		if p, ok := a.PosOf("dealloc"); ok {
+			pos = p
+		}
+		return errAt(pos, "pres: %s: allocation attributes require a buffer type, have %s", ctx, t.Signature())
 	}
 	if a.NonUnique && t.Kind != ir.Port {
-		return fmt.Errorf("nonunique applies only to port parameters")
+		return errAt(attrPos(a, "nonunique"), "pres: %s: nonunique applies only to port parameters", ctx)
 	}
 	if a.LengthIs != "" {
 		var lt *ir.Type
@@ -343,12 +473,13 @@ func validateAttrs(op *ir.Operation, name string, a *ParamAttrs, t *ir.Type, dir
 			}
 		}
 		if lt == nil {
-			return fmt.Errorf("length_is(%s): no such parameter", a.LengthIs)
+			return errAt(attrPos(a, "length_is"), "pres: %s: length_is(%s): no such parameter", ctx, a.LengthIs)
 		}
 		switch lt.Kind {
 		case ir.Int32, ir.Uint32, ir.Int64, ir.Uint64:
 		default:
-			return fmt.Errorf("length_is(%s): parameter is %s, need integer", a.LengthIs, lt.Signature())
+			return errAt(attrPos(a, "length_is"), "pres: %s: length_is(%s): parameter is %s, need integer",
+				ctx, a.LengthIs, lt.Signature())
 		}
 	}
 	return nil
