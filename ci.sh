@@ -48,6 +48,9 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== bench smoke (compile + one iteration per benchmark)"
+go test -run='^$' -bench=. -benchtime=1x ./...
+
 echo "== flexc vet examples"
 vet_examples
 

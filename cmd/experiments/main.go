@@ -3,9 +3,10 @@
 // paper's reported numbers quoted for comparison.
 //
 //	go run ./cmd/experiments            # all figures
-//	go run ./cmd/experiments -fig 6     # one figure (2, 6, 7, 10, 11, 12, ports)
+//	go run ./cmd/experiments -fig 6     # one figure (2, 6, 7, 10, 11, 12, ports, marshal)
 //	go run ./cmd/experiments -quick     # smaller workloads, noisier
 //	go run ./cmd/experiments -csv       # machine-readable rows
+//	go run ./cmd/experiments -json      # also write BENCH_<fig>.json per figure
 //
 // Absolute numbers are modern-Go numbers; the reproduction target is
 // the shape of each comparison — which presentation wins and by
@@ -24,24 +25,33 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure to run: 2, 6, 7, 10, 11, 12, ports or all")
-		quick = flag.Bool("quick", false, "smaller workloads (faster, noisier)")
-		csv   = flag.Bool("csv", false, "emit comma-separated rows instead of aligned tables")
+		fig     = flag.String("fig", "all", "figure to run: 2, 6, 7, 10, 11, 12, ports, marshal or all")
+		quick   = flag.Bool("quick", false, "smaller workloads (faster, noisier)")
+		csv     = flag.Bool("csv", false, "emit comma-separated rows instead of aligned tables")
+		jsonOut = flag.Bool("json", false, "also write BENCH_<fig>.json (ns/op, allocs/op, B/op) per figure")
 	)
 	flag.Parse()
-	if err := run(*fig, *quick, *csv); err != nil {
+	if err := run(*fig, *quick, *csv, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, quick, csv bool) error {
+func run(fig string, quick, csv, jsonOut bool) error {
 	emit := func(t *experiments.Table) {
 		if csv {
 			fmt.Print(t.CSV(), "\n")
 		} else {
 			fmt.Print(t.Format(), "\n")
 		}
+	}
+	// emitJSON writes the figure's rows (and hot-path benchmark
+	// metrics, when it has one) to BENCH_<name>.json.
+	emitJSON := func(name string, t *experiments.Table, metrics []experiments.Metric) error {
+		if !jsonOut {
+			return nil
+		}
+		return experiments.WriteBenchJSON(name, t, metrics)
 	}
 	iters := 20000
 	fileSize := 8 << 20
@@ -64,7 +74,11 @@ func run(fig string, quick, csv bool) error {
 		if err != nil {
 			return err
 		}
-		emit(experiments.Fig2Table(rows))
+		t := experiments.Fig2Table(rows)
+		emit(t)
+		if err := emitJSON("fig2", t, nil); err != nil {
+			return err
+		}
 	}
 	if want("6") {
 		ran = true
@@ -72,10 +86,14 @@ func run(fig string, quick, csv bool) error {
 		if err != nil {
 			return err
 		}
-		emit(experiments.PipeTable(
+		t := experiments.PipeTable(
 			"Figure 6: basic pipe server over streamlined IPC (paper §4.2)",
 			"paper: [dealloc(never)] improves total run time 21% (4K) and 24% (8K)",
-			rows))
+			rows)
+		emit(t)
+		if err := emitJSON("fig6", t, nil); err != nil {
+			return err
+		}
 	}
 	if want("7") {
 		ran = true
@@ -83,10 +101,14 @@ func run(fig string, quick, csv bool) error {
 		if err != nil {
 			return err
 		}
-		emit(experiments.PipeTable(
+		t := experiments.PipeTable(
 			"Figure 7: pipe server over fbufs (paper §4.3)",
 			"paper: [special] improves throughput 92% (4K) and 160% (8K); BSD pipe shown for reference",
-			rows))
+			rows)
+		emit(t)
+		if err := emitJSON("fig7", t, nil); err != nil {
+			return err
+		}
 	}
 	if want("10") {
 		ran = true
@@ -94,10 +116,20 @@ func run(fig string, quick, csv bool) error {
 		if err != nil {
 			return err
 		}
-		emit(experiments.SemTable(
+		t := experiments.SemTable(
 			"Figure 10: copy vs borrow semantics, same-domain 1KB in param (paper §4.4.1)",
 			"paper: flexible matches the best fixed system in every group and needs no glue",
-			rows))
+			rows)
+		emit(t)
+		if jsonOut {
+			metrics, err := experiments.BenchFig10()
+			if err != nil {
+				return err
+			}
+			if err := emitJSON("fig10", t, metrics); err != nil {
+				return err
+			}
+		}
 	}
 	if want("11") {
 		ran = true
@@ -105,10 +137,20 @@ func run(fig string, quick, csv bool) error {
 		if err != nil {
 			return err
 		}
-		emit(experiments.SemTable(
+		t := experiments.SemTable(
 			"Figure 11: allocation semantics, same-domain 1KB out param (paper §4.4.2)",
 			"paper: flexible minimizes copying and eliminates glue; fixed systems are terrible when mismatched",
-			rows))
+			rows)
+		emit(t)
+		if jsonOut {
+			metrics, err := experiments.BenchFig11()
+			if err != nil {
+				return err
+			}
+			if err := emitJSON("fig11", t, metrics); err != nil {
+				return err
+			}
+		}
 	}
 	if want("ports") {
 		ran = true
@@ -116,7 +158,11 @@ func run(fig string, quick, csv bool) error {
 		if err != nil {
 			return err
 		}
-		emit(experiments.PortTable(rows))
+		t := experiments.PortTable(rows)
+		emit(t)
+		if err := emitJSON("ports", t, nil); err != nil {
+			return err
+		}
 	}
 	if want("12") {
 		ran = true
@@ -124,10 +170,27 @@ func run(fig string, quick, csv bool) error {
 		if err != nil {
 			return err
 		}
-		emit(experiments.Fig12Table(m))
+		t := experiments.Fig12Table(m)
+		emit(t)
+		if err := emitJSON("fig12", t, nil); err != nil {
+			return err
+		}
+	}
+	if want("marshal") {
+		ran = true
+		metrics, err := experiments.BenchMarshal()
+		if err != nil {
+			return err
+		}
+		t := experiments.MetricTable(
+			"Marshal: interpreted plan, 1KB round trip per codec", metrics)
+		emit(t)
+		if err := emitJSON("marshal", t, metrics); err != nil {
+			return err
+		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (want 2, 6, 7, 10, 11, 12, ports or all)", fig)
+		return fmt.Errorf("unknown figure %q (want 2, 6, 7, 10, 11, 12, ports, marshal or all)", fig)
 	}
 	return nil
 }

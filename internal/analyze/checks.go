@@ -103,6 +103,16 @@ var registry = map[string]CheckInfo{
 		Doc: "Allocation annotations govern buffer storage; scalars are copied by " +
 			"value and have no storage to manage.",
 	},
+	"FV013": {
+		ID: "FV013", Title: "pooled-client-needs-step-hooks", Severity: SevWarning,
+		Fix: "implement runtime.StepHooks (EncodeStep/DecodeStep) on the endpoint's hooks, or bind through the serial client",
+		Doc: "A presentation with [special] parameters is bound through the pooled " +
+			"parallel client, whose recycled per-call state runs marshal hooks " +
+			"concurrently: the hooks must implement the bind-time step interface " +
+			"(runtime.StepHooks), which also declares them re-entrant. " +
+			"NewParallelClient rejects plain SpecialHooks at bind time; this check " +
+			"flags the mismatch before it gets there.",
+	},
 }
 
 // Checks returns the full registry sorted by ID, for `flexc vet -list`

@@ -1,0 +1,50 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"flexrpc/internal/analyze"
+	"flexrpc/internal/runtime"
+)
+
+// plainHooks is a SpecialHooks implementation without the bind-time
+// step interface.
+type plainHooks struct{}
+
+func (plainHooks) EncodeSpecial(op, param string, enc runtime.Encoder, v runtime.Value) error {
+	return nil
+}
+func (plainHooks) DecodeSpecial(op, param string, dec runtime.Decoder) (runtime.Value, error) {
+	return nil, nil
+}
+
+// stepHooks adds the StepHooks re-entrancy declaration.
+type stepHooks struct{ plainHooks }
+
+func (stepHooks) EncodeStep(op, param string) runtime.EncodeStepFn { return nil }
+func (stepHooks) DecodeStep(op, param string) runtime.DecodeStepFn { return nil }
+
+func TestFV013PooledClientNeedsStepHooks(t *testing.T) {
+	iface := compileIface(t)
+	p := endpoint(t, iface, `interface FileIO { write([special] data); };`)
+
+	cases := []struct {
+		name string
+		ep   analyze.Endpoint
+		want bool
+	}{
+		{"pooled with plain hooks", analyze.Endpoint{Pres: p, PooledClient: true, Hooks: plainHooks{}}, true},
+		{"pooled with nil hooks", analyze.Endpoint{Pres: p, PooledClient: true}, true},
+		{"pooled with step hooks", analyze.Endpoint{Pres: p, PooledClient: true, Hooks: stepHooks{}}, false},
+		{"serial client with plain hooks", analyze.Endpoint{Pres: p, Hooks: plainHooks{}}, false},
+		{"pooled, no special params", analyze.Endpoint{Pres: endpoint(t, iface, ""), PooledClient: true, Hooks: plainHooks{}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := analyze.CheckEndpoints(iface, []analyze.Endpoint{tc.ep})
+			if got := hasID(diags, "FV013"); got != tc.want {
+				t.Errorf("FV013 reported = %v, want %v (diags %v)", got, tc.want, ids(diags))
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"flexrpc/internal/idl"
 	"flexrpc/internal/ir"
 	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
 )
 
 // checkEndpoint runs every single-endpoint check over one
@@ -22,6 +23,7 @@ func (c *checker) checkEndpoint(iface *ir.Interface, ep Endpoint) {
 		iface = p.Interface
 	}
 	c.checkTrust(ep)
+	c.checkPooledHooks(ep)
 	for _, opName := range sortedOpNames(p.Ops) {
 		op := p.Ops[opName]
 		irOp := iface.Op(opName)
@@ -58,6 +60,31 @@ func (c *checker) checkTrust(ep Endpoint) {
 	c.reportSev("FV005", sev, pos,
 		"%s: [%s] trust granted on network transport %s; the peer is outside every protection domain",
 		p.Interface.Name, attr, ep.Transport)
+}
+
+// checkPooledHooks is FV013: a presentation with [special]
+// parameters bound through the pooled parallel client needs hooks
+// implementing the re-entrant step interface.
+func (c *checker) checkPooledHooks(ep Endpoint) {
+	if !ep.PooledClient {
+		return
+	}
+	if _, ok := ep.Hooks.(runtime.StepHooks); ok {
+		return
+	}
+	p := ep.Pres
+	for _, opName := range sortedOpNames(p.Ops) {
+		op := p.Ops[opName]
+		for _, pn := range sortedParamNames(op.Params) {
+			a := op.Params[pn]
+			if !a.Special {
+				continue
+			}
+			c.report("FV013", attrPos(a, "special"),
+				"%s.%s.%s: [special] endpoint bound through the pooled parallel client, but its hooks (%T) do not implement runtime.StepHooks",
+				p.Interface.Name, opName, pn, ep.Hooks)
+		}
+	}
 }
 
 // checkParam runs the per-parameter lints. ctx pieces identify the

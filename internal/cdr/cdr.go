@@ -141,6 +141,12 @@ func (e *Encoder) PutOctetSeq(b []byte) {
 	e.buf = append(e.buf, b...)
 }
 
+// PutFixedOctets encodes a fixed array of octets as raw bytes — no
+// length word, no alignment — in one append.
+func (e *Encoder) PutFixedOctets(b []byte) {
+	e.buf = append(e.buf, b...)
+}
+
 // PutSeqLen encodes the element count of a general sequence; the
 // caller then encodes each element.
 func (e *Encoder) PutSeqLen(n int) { e.PutUint32(uint32(n)) }
@@ -158,6 +164,14 @@ type Decoder struct {
 // NewDecoder returns a Decoder for buf in the given byte order.
 func NewDecoder(buf []byte, order ByteOrder) *Decoder {
 	return &Decoder{buf: buf, order: order}
+}
+
+// Reset re-aims the decoder at a new buffer, rewinding it and keeping
+// the byte order. Hot paths use this to reuse one Decoder across
+// messages without allocating.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
 }
 
 // Remaining returns the number of unread bytes.
@@ -306,6 +320,28 @@ func (d *Decoder) OctetSeq() ([]byte, error) {
 	b := d.buf[d.off : d.off+int(n) : d.off+int(n)]
 	d.off += int(n)
 	return b, nil
+}
+
+// FixedOctets decodes n raw octets (no length word, no alignment).
+// The returned slice aliases the decoder's buffer.
+func (d *Decoder) FixedOctets(n int) ([]byte, error) {
+	if n < 0 || d.Remaining() < n {
+		return nil, ErrShortBuffer
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// FixedOctetsInto decodes len(dst) raw octets directly into dst in
+// one bulk copy, avoiding any intermediate allocation.
+func (d *Decoder) FixedOctetsInto(dst []byte) error {
+	if d.Remaining() < len(dst) {
+		return ErrShortBuffer
+	}
+	copy(dst, d.buf[d.off:])
+	d.off += len(dst)
+	return nil
 }
 
 // SeqLen decodes a sequence element count.

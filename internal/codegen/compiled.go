@@ -303,10 +303,9 @@ func (g *gen) emitDecodeInto(target string, t *ir.Type, into, zeroRets, indent s
 		g.pf("%s%s = flexrpc.PortName(%s)\n", indent, target, tv)
 	case ir.Bytes:
 		if into != "" {
-			nv := g.nextTmp("n")
-			g.pf("%svar %s int\n", indent, nv)
-			g.pf("%s%s, err = dec.BytesInto(%s)\n%s", indent, nv, into, fail())
-			g.pf("%s%s = %s[:%s]\n", indent, target, into, nv)
+			// BytesInto lands the data in the caller's buffer when it
+			// fits and allocates (never truncates) otherwise.
+			g.pf("%s%s, err = dec.BytesInto(%s)\n%s", indent, target, into, fail())
 		} else {
 			// Move semantics: the consumer owns the result.
 			wv := g.nextTmp("w")

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"flexrpc/internal/core"
+	"flexrpc/internal/pres"
+	frt "flexrpc/internal/runtime"
+	"flexrpc/internal/transport/inproc"
+)
+
+// Benchmark-shaped metrics for the per-figure JSON emitted by
+// cmd/experiments -json: each figure's hot path measured under
+// testing.Benchmark, reporting the standard ns/op, allocs/op and
+// B/op triple so runs can be diffed mechanically across commits.
+
+// Metric is one hot-path measurement in benchmark units.
+type Metric struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// FigJSON is the machine-readable form of one figure: the printed
+// rows plus (when the figure has a per-call hot path) benchmark
+// metrics.
+type FigJSON struct {
+	Figure  string    `json:"figure"`
+	Title   string    `json:"title,omitempty"`
+	Headers []string  `json:"headers,omitempty"`
+	Rows    []RowJSON `json:"rows,omitempty"`
+	Metrics []Metric  `json:"metrics,omitempty"`
+}
+
+// RowJSON is one printed row.
+type RowJSON struct {
+	Label  string   `json:"label"`
+	Values []string `json:"values"`
+}
+
+// WriteBenchJSON writes BENCH_<fig>.json in the current directory.
+// t and metrics may each be nil.
+func WriteBenchJSON(fig string, t *Table, metrics []Metric) error {
+	out := FigJSON{Figure: fig, Metrics: metrics}
+	if t != nil {
+		out.Title = t.Title
+		out.Headers = t.Headers
+		for _, r := range t.Rows {
+			out.Rows = append(out.Rows, RowJSON{Label: r.Label, Values: r.Values})
+		}
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("BENCH_%s.json", fig)
+	return os.WriteFile(name, append(data, '\n'), 0o644)
+}
+
+// measure runs fn under testing.Benchmark and reports the triple.
+func measure(name string, fn func()) Metric {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fn()
+		}
+	})
+	return Metric{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
+		BytesPerOp:  float64(r.MemBytes) / float64(r.N),
+	}
+}
+
+// BenchFig10 measures the three systems of Figure 10 in the
+// all-requirements-relaxed group — the same hot paths as the
+// BenchmarkFig10Mutability sub-benchmarks.
+func BenchFig10() ([]Metric, error) {
+	compiled, err := core.Compile(core.Options{
+		Frontend: core.FrontendCORBA, Filename: "mut.idl", Source: mutIDL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	systems := []struct {
+		name              string
+		trashable, borrow bool
+	}{
+		{"fixedcopy", false, false},
+		{"fixedborrow", false, true},
+		{"flexible", true, false},
+	}
+	var out []Metric
+	for _, sys := range systems {
+		cp := compiled.DefaultPres(pres.StyleCORBA)
+		sp := compiled.DefaultPres(pres.StyleCORBA)
+		if sys.trashable {
+			cp.Op("put").Param("data").Trashable = true
+		}
+		if sys.borrow {
+			sp.Op("put").Param("data").Preserved = true
+		}
+		disp := frt.NewDispatcher(sp)
+		scratch := make([]byte, ParamSize)
+		disp.Handle("put", func(c *frt.Call) error {
+			buf := c.ArgBytes(0)
+			if !c.ArgPrivate(0) {
+				copy(scratch, buf)
+				buf = scratch
+			}
+			buf[0] ^= 0xFF
+			return nil
+		})
+		conn, err := inproc.Connect(cp, disp)
+		if err != nil {
+			return nil, err
+		}
+		args := []frt.Value{make([]byte, ParamSize)}
+		out = append(out, measure(sys.name, func() {
+			if _, _, err := conn.Invoke("put", args, nil, nil); err != nil {
+				panic(err)
+			}
+		}))
+	}
+	return out, nil
+}
+
+// BenchFig11 measures the three systems of Figure 11 in the
+// server-provides-the-buffer group — the same hot paths as the
+// BenchmarkFig11Alloc sub-benchmarks.
+func BenchFig11() ([]Metric, error) {
+	compiled, err := core.Compile(core.Options{
+		Frontend: core.FrontendCORBA, Filename: "alloc.idl", Source: allocIDL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	retained := make([]byte, ParamSize)
+	var out []Metric
+	for _, sys := range []string{"fixedcorba", "fixedmig", "flexible"} {
+		var cp, sp *pres.Presentation
+		switch sys {
+		case "fixedcorba":
+			cp, sp = compiled.DefaultPres(pres.StyleCORBA), compiled.DefaultPres(pres.StyleCORBA)
+		case "fixedmig":
+			cp, sp = compiled.DefaultPres(pres.StyleMIG), compiled.DefaultPres(pres.StyleMIG)
+		case "flexible":
+			cp, sp = compiled.DefaultPres(pres.StyleCORBA), compiled.DefaultPres(pres.StyleCORBA)
+			sa := sp.Op("fetch").Result()
+			sa.Alloc = pres.AllocCallee
+			sa.Dealloc = pres.DeallocNever
+			cp.Op("fetch").Result().Alloc = pres.AllocAuto
+		}
+		disp := frt.NewDispatcher(sp)
+		disp.Handle("fetch", func(c *frt.Call) error {
+			n := int(c.Arg(0).(uint32))
+			if buf := c.ResultBuffer(); buf != nil {
+				copy(buf, retained[:n])
+				c.SetResult(buf[:n])
+				return nil
+			}
+			if c.ResultMoved() {
+				dup := make([]byte, n)
+				copy(dup, retained[:n])
+				c.SetResult(dup)
+				return nil
+			}
+			c.SetResult(retained[:n])
+			return nil
+		})
+		conn, err := inproc.Connect(cp, disp)
+		if err != nil {
+			return nil, err
+		}
+		clientBuf := make([]byte, ParamSize)
+		args := []frt.Value{uint32(ParamSize)}
+		mig := sys == "fixedmig"
+		out = append(out, measure(sys, func() {
+			var retBuf []byte
+			if mig {
+				retBuf = clientBuf
+			}
+			if _, _, err := conn.Invoke("fetch", args, nil, retBuf); err != nil {
+				panic(err)
+			}
+		}))
+	}
+	return out, nil
+}
+
+// BenchMarshal measures the interpreted marshal plans on a 1 KB
+// round trip under both codecs — the BenchmarkMarshal hot path.
+func BenchMarshal() ([]Metric, error) {
+	compiled, err := core.Compile(core.Options{
+		Frontend: core.FrontendCORBA, Filename: "m.idl",
+		Source: `interface M { void put(in sequence<octet> data); };`,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Metric
+	for _, codec := range []frt.Codec{frt.XDRCodec, frt.CDRCodec} {
+		plan, err := frt.NewPlan(compiled.Pres, codec, nil)
+		if err != nil {
+			return nil, err
+		}
+		op := plan.Ops[0]
+		enc := codec.NewEncoder()
+		args := []frt.Value{make([]byte, 1024)}
+		out = append(out, measure(codec.Name(), func() {
+			enc.Reset()
+			if err := op.EncodeRequest(enc, args); err != nil {
+				panic(err)
+			}
+			if _, err := op.DecodeRequest(codec.NewDecoder(enc.Bytes())); err != nil {
+				panic(err)
+			}
+		}))
+	}
+	return out, nil
+}
+
+// MetricTable renders metrics as a printable table.
+func MetricTable(title string, ms []Metric) *Table {
+	t := &Table{Title: title, Headers: []string{"ns/op", "B/op", "allocs/op"}}
+	for _, m := range ms {
+		t.Rows = append(t.Rows, Row{Label: m.Name, Values: []string{
+			f1(m.NsPerOp), f1(m.BytesPerOp), f1(m.AllocsPerOp),
+		}})
+	}
+	return t
+}

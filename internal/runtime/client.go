@@ -36,40 +36,106 @@ type Invoker interface {
 
 // A Client executes calls by marshaling through a Plan onto a Conn.
 type Client struct {
-	plan   *Plan
-	conn   Conn
-	framed bool
+	plan     *Plan
+	conn     Conn
+	framed   bool
+	parallel bool
 
+	// Serial mode: one encoder/decoder/reply buffer behind a mutex.
 	mu       sync.Mutex
 	enc      Encoder
+	dec      ReusableDecoder
+	replyBuf []byte
+
+	// Parallel mode: per-call marshal state sharded through a pool.
+	states sync.Pool
+}
+
+// callState is the per-call marshal state a parallel client shards:
+// the encoder, a reusable reply decoder, and the reply landing
+// buffer, recycled across calls so the steady-state hot path
+// allocates nothing.
+type callState struct {
+	enc      Encoder
+	dec      ReusableDecoder
 	replyBuf []byte
 }
 
 // NewClient builds a marshal-based client for presentation p over
-// conn. hooks may be nil when no parameter is [special].
+// conn. hooks may be nil when no parameter is [special]. Calls are
+// serialized per client; see NewParallelClient for concurrent use.
 func NewClient(p *pres.Presentation, codec Codec, conn Conn, hooks SpecialHooks) (*Client, error) {
 	plan, err := NewPlan(p, codec, hooks)
 	if err != nil {
 		return nil, err
 	}
-	framed := true
-	if sf, ok := conn.(SelfFraming); ok && sf.SelfFraming() {
-		framed = false
+	return &Client{plan: plan, conn: conn, framed: connFramed(conn), enc: codec.NewEncoder()}, nil
+}
+
+// NewParallelClient builds a marshal-based client whose Invoke is
+// safe for concurrent use without a global mutex: marshal state is
+// sharded through a pool, so concurrent calls pipeline down to the
+// transport (which must itself accept concurrent Call invocations,
+// as the xid-multiplexed Sun RPC client does).
+//
+// Plans with [special] parameters require hooks implementing
+// StepHooks: the bind-time step form both avoids per-call name
+// dispatch and declares the hooks re-entrant. Plain SpecialHooks are
+// rejected here — at bind time, with a clear error — because the
+// serial client's one-call-at-a-time guarantee they may rely on no
+// longer holds.
+func NewParallelClient(p *pres.Presentation, codec Codec, conn Conn, hooks SpecialHooks) (*Client, error) {
+	plan, err := NewPlan(p, codec, hooks)
+	if err != nil {
+		return nil, err
 	}
-	return &Client{plan: plan, conn: conn, framed: framed, enc: codec.NewEncoder()}, nil
+	if hooks != nil && planHasSpecial(plan) {
+		if _, ok := hooks.(StepHooks); !ok {
+			return nil, fmt.Errorf("runtime: %s has [special] parameters; the parallel client requires hooks implementing StepHooks (re-entrant bind-time steps), have %T",
+				p.Interface.Name, hooks)
+		}
+	}
+	c := &Client{plan: plan, conn: conn, framed: connFramed(conn), parallel: true}
+	c.states.New = func() any { return &callState{enc: codec.NewEncoder()} }
+	return c, nil
+}
+
+func connFramed(conn Conn) bool {
+	if sf, ok := conn.(SelfFraming); ok && sf.SelfFraming() {
+		return false
+	}
+	return true
+}
+
+// planHasSpecial reports whether any parameter of any operation
+// carries the [special] attribute.
+func planHasSpecial(pl *Plan) bool {
+	for _, op := range pl.Ops {
+		for _, a := range op.pres.Params {
+			if a.Special {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Plan exposes the client's marshal plan (for tests and tooling).
 func (c *Client) Plan() *Plan { return c.plan }
 
 // Invoke implements Invoker: marshal the request, round-trip it,
-// unmarshal the reply. Calls are serialized per client.
+// unmarshal the reply. Serial clients serialize calls; parallel
+// clients (NewParallelClient) pipeline them.
 func (c *Client) Invoke(op string, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
 	idx := c.plan.OpIndex(op)
 	if idx < 0 {
 		return nil, nil, fmt.Errorf("runtime: unknown operation %q", op)
 	}
 	opPlan := c.plan.Ops[idx]
+
+	if c.parallel {
+		return c.invokeParallel(opPlan, idx, args, outBufs, retBuf)
+	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -84,7 +150,51 @@ func (c *Client) Invoke(op string, args []Value, outBufs [][]byte, retBuf []byte
 	if cap(reply) > cap(c.replyBuf) {
 		c.replyBuf = reply[:cap(reply)]
 	}
-	dec := c.plan.Codec.NewDecoder(reply)
+	dec := c.decoderFor(&c.dec, reply)
+	return c.finishCall(opPlan, dec, outBufs, retBuf)
+}
+
+// invokeParallel is Invoke with pooled per-call state instead of the
+// client mutex.
+func (c *Client) invokeParallel(opPlan *OpPlan, idx int, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
+	st := c.states.Get().(*callState)
+	st.enc.Reset()
+	if err := opPlan.EncodeRequest(st.enc, args); err != nil {
+		c.states.Put(st)
+		return nil, nil, err
+	}
+	reply, err := c.conn.Call(idx, st.enc.Bytes(), st.replyBuf)
+	if err != nil {
+		c.states.Put(st)
+		return nil, nil, err
+	}
+	if cap(reply) > cap(st.replyBuf) {
+		st.replyBuf = reply[:cap(reply)]
+	}
+	dec := c.decoderFor(&st.dec, reply)
+	outs, ret, err := c.finishCall(opPlan, dec, outBufs, retBuf)
+	c.states.Put(st)
+	return outs, ret, err
+}
+
+// decoderFor aims the cached reusable decoder (allocating it on
+// first use) at the reply, falling back to a fresh decoder for
+// codecs that do not support reuse.
+func (c *Client) decoderFor(slot *ReusableDecoder, reply []byte) Decoder {
+	if *slot == nil {
+		d := c.plan.Codec.NewDecoder(reply)
+		if rd, ok := d.(ReusableDecoder); ok {
+			*slot = rd
+		}
+		return d
+	}
+	(*slot).Reset(reply)
+	return *slot
+}
+
+// finishCall consumes the runtime status framing (when the transport
+// is not self-framing) and decodes the reply body.
+func (c *Client) finishCall(opPlan *OpPlan, dec Decoder, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
 	if c.framed {
 		status, err := dec.Uint32()
 		if err != nil {
@@ -119,11 +229,7 @@ func RawCall(conn Conn, codec Codec, opIdx int, req, replyBuf []byte) (Decoder, 
 		return nil, nil, err
 	}
 	dec := codec.NewDecoder(reply)
-	framed := true
-	if sf, ok := conn.(SelfFraming); ok && sf.SelfFraming() {
-		framed = false
-	}
-	if framed {
+	if connFramed(conn) {
 		status, err := dec.Uint32()
 		if err != nil {
 			return nil, nil, fmt.Errorf("runtime: truncated reply: %w", err)

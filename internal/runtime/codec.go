@@ -48,12 +48,24 @@ type Decoder interface {
 	Float32() (float32, error)
 	Float64() (float64, error)
 	String() (string, error)
-	Bytes() ([]byte, error)            // variable-length opaque (aliases input)
-	BytesInto(dst []byte) (int, error) // variable-length opaque into caller storage
+	Bytes() ([]byte, error) // variable-length opaque (aliases input)
+	// BytesInto decodes variable-length opaque data, landing it in dst
+	// when it fits (the result aliases dst) and in freshly allocated
+	// storage otherwise — never truncated. The caller owns the result
+	// either way.
+	BytesInto(dst []byte) ([]byte, error)
 	FixedBytes(n int) ([]byte, error)
 	FixedBytesInto(dst []byte) error
 	Len() (int, error)
 	Remaining() int
+}
+
+// A ReusableDecoder can be re-aimed at a new message, letting hot
+// paths pool decoders instead of allocating one per reply. Both
+// built-in codecs implement it.
+type ReusableDecoder interface {
+	Decoder
+	Reset(buf []byte)
 }
 
 // XDRCodec marshals in Sun XDR (RFC 4506).
@@ -66,7 +78,9 @@ func (xdrCodec) NewEncoder() Encoder {
 	return &xdrEncoder{}
 }
 func (xdrCodec) NewDecoder(buf []byte) Decoder {
-	return &xdrDecoder{d: xdr.NewDecoder(buf)}
+	x := &xdrDecoder{}
+	x.d.Reset(buf)
+	return x
 }
 
 type xdrEncoder struct {
@@ -87,30 +101,27 @@ func (x *xdrEncoder) PutLen(n int)           { x.e.PutArrayLen(n) }
 func (x *xdrEncoder) Bytes() []byte          { return x.e.Bytes() }
 func (x *xdrEncoder) Reset()                 { x.e.Reset() }
 
+// xdrDecoder holds the xdr.Decoder by value so one allocation covers
+// both the interface box and the decoder state.
 type xdrDecoder struct {
-	d *xdr.Decoder
+	d xdr.Decoder
 }
 
-func (x *xdrDecoder) Bool() (bool, error)       { return x.d.Bool() }
-func (x *xdrDecoder) Int32() (int32, error)     { return x.d.Int32() }
-func (x *xdrDecoder) Uint32() (uint32, error)   { return x.d.Uint32() }
-func (x *xdrDecoder) Int64() (int64, error)     { return x.d.Int64() }
-func (x *xdrDecoder) Uint64() (uint64, error)   { return x.d.Uint64() }
-func (x *xdrDecoder) Float32() (float32, error) { return x.d.Float32() }
-func (x *xdrDecoder) Float64() (float64, error) { return x.d.Float64() }
-func (x *xdrDecoder) String() (string, error)   { return x.d.String() }
-func (x *xdrDecoder) Bytes() ([]byte, error)    { return x.d.Opaque() }
-func (x *xdrDecoder) BytesInto(dst []byte) (int, error) {
-	b, err := x.d.Opaque()
-	if err != nil {
-		return 0, err
-	}
-	return copy(dst, b), nil
-}
-func (x *xdrDecoder) FixedBytes(n int) ([]byte, error) { return x.d.FixedOpaque(n) }
-func (x *xdrDecoder) FixedBytesInto(dst []byte) error  { return x.d.FixedOpaqueInto(dst) }
-func (x *xdrDecoder) Len() (int, error)                { return x.d.ArrayLen() }
-func (x *xdrDecoder) Remaining() int                   { return x.d.Remaining() }
+func (x *xdrDecoder) Reset(buf []byte)                     { x.d.Reset(buf) }
+func (x *xdrDecoder) Bool() (bool, error)                  { return x.d.Bool() }
+func (x *xdrDecoder) Int32() (int32, error)                { return x.d.Int32() }
+func (x *xdrDecoder) Uint32() (uint32, error)              { return x.d.Uint32() }
+func (x *xdrDecoder) Int64() (int64, error)                { return x.d.Int64() }
+func (x *xdrDecoder) Uint64() (uint64, error)              { return x.d.Uint64() }
+func (x *xdrDecoder) Float32() (float32, error)            { return x.d.Float32() }
+func (x *xdrDecoder) Float64() (float64, error)            { return x.d.Float64() }
+func (x *xdrDecoder) String() (string, error)              { return x.d.String() }
+func (x *xdrDecoder) Bytes() ([]byte, error)               { return x.d.Opaque() }
+func (x *xdrDecoder) BytesInto(dst []byte) ([]byte, error) { return x.d.OpaqueInto(dst) }
+func (x *xdrDecoder) FixedBytes(n int) ([]byte, error)     { return x.d.FixedOpaque(n) }
+func (x *xdrDecoder) FixedBytesInto(dst []byte) error      { return x.d.FixedOpaqueInto(dst) }
+func (x *xdrDecoder) Len() (int, error)                    { return x.d.ArrayLen() }
+func (x *xdrDecoder) Remaining() int                       { return x.d.Remaining() }
 
 // CDRCodec marshals in CORBA CDR, big-endian.
 var CDRCodec Codec = cdrCodec{order: cdr.BigEndian, name: "cdr"}
@@ -130,36 +141,36 @@ func (c cdrCodec) NewEncoder() Encoder {
 	return &cdrEncoder{e: cdr.NewEncoder(c.order)}
 }
 func (c cdrCodec) NewDecoder(buf []byte) Decoder {
-	return &cdrDecoder{d: cdr.NewDecoder(buf, c.order)}
+	d := &cdrDecoder{d: *cdr.NewDecoder(nil, c.order)}
+	d.d.Reset(buf)
+	return d
 }
 
 type cdrEncoder struct {
 	e *cdr.Encoder
 }
 
-func (c *cdrEncoder) PutBool(v bool)       { c.e.PutBool(v) }
-func (c *cdrEncoder) PutInt32(v int32)     { c.e.PutInt32(v) }
-func (c *cdrEncoder) PutUint32(v uint32)   { c.e.PutUint32(v) }
-func (c *cdrEncoder) PutInt64(v int64)     { c.e.PutInt64(v) }
-func (c *cdrEncoder) PutUint64(v uint64)   { c.e.PutUint64(v) }
-func (c *cdrEncoder) PutFloat32(v float32) { c.e.PutUint32(f32bits(v)) }
-func (c *cdrEncoder) PutFloat64(v float64) { c.e.PutUint64(f64bits(v)) }
-func (c *cdrEncoder) PutString(v string)   { c.e.PutString(v) }
-func (c *cdrEncoder) PutBytes(v []byte)    { c.e.PutOctetSeq(v) }
-func (c *cdrEncoder) PutFixedBytes(v []byte) {
-	// CDR fixed arrays of octets are raw bytes, no length.
-	for _, b := range v {
-		c.e.PutOctet(b)
-	}
-}
-func (c *cdrEncoder) PutLen(n int)  { c.e.PutSeqLen(n) }
-func (c *cdrEncoder) Bytes() []byte { return c.e.Bytes() }
-func (c *cdrEncoder) Reset()        { c.e.Reset() }
+func (c *cdrEncoder) PutBool(v bool)         { c.e.PutBool(v) }
+func (c *cdrEncoder) PutInt32(v int32)       { c.e.PutInt32(v) }
+func (c *cdrEncoder) PutUint32(v uint32)     { c.e.PutUint32(v) }
+func (c *cdrEncoder) PutInt64(v int64)       { c.e.PutInt64(v) }
+func (c *cdrEncoder) PutUint64(v uint64)     { c.e.PutUint64(v) }
+func (c *cdrEncoder) PutFloat32(v float32)   { c.e.PutUint32(f32bits(v)) }
+func (c *cdrEncoder) PutFloat64(v float64)   { c.e.PutUint64(f64bits(v)) }
+func (c *cdrEncoder) PutString(v string)     { c.e.PutString(v) }
+func (c *cdrEncoder) PutBytes(v []byte)      { c.e.PutOctetSeq(v) }
+func (c *cdrEncoder) PutFixedBytes(v []byte) { c.e.PutFixedOctets(v) }
+func (c *cdrEncoder) PutLen(n int)           { c.e.PutSeqLen(n) }
+func (c *cdrEncoder) Bytes() []byte          { return c.e.Bytes() }
+func (c *cdrEncoder) Reset()                 { c.e.Reset() }
 
+// cdrDecoder holds the cdr.Decoder by value so one allocation covers
+// both the interface box and the decoder state.
 type cdrDecoder struct {
-	d *cdr.Decoder
+	d cdr.Decoder
 }
 
+func (c *cdrDecoder) Reset(buf []byte)        { c.d.Reset(buf) }
 func (c *cdrDecoder) Bool() (bool, error)     { return c.d.Bool() }
 func (c *cdrDecoder) Int32() (int32, error)   { return c.d.Int32() }
 func (c *cdrDecoder) Uint32() (uint32, error) { return c.d.Uint32() }
@@ -175,29 +186,20 @@ func (c *cdrDecoder) Float64() (float64, error) {
 }
 func (c *cdrDecoder) String() (string, error) { return c.d.String() }
 func (c *cdrDecoder) Bytes() ([]byte, error)  { return c.d.OctetSeq() }
-func (c *cdrDecoder) BytesInto(dst []byte) (int, error) {
+func (c *cdrDecoder) BytesInto(dst []byte) ([]byte, error) {
 	b, err := c.d.OctetSeq()
 	if err != nil {
-		return 0, err
-	}
-	return copy(dst, b), nil
-}
-func (c *cdrDecoder) FixedBytes(n int) ([]byte, error) {
-	out := make([]byte, n)
-	if err := c.FixedBytesInto(out); err != nil {
 		return nil, err
 	}
+	if len(b) <= len(dst) {
+		n := copy(dst, b)
+		return dst[:n], nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
 	return out, nil
 }
-func (c *cdrDecoder) FixedBytesInto(dst []byte) error {
-	for i := range dst {
-		b, err := c.d.Octet()
-		if err != nil {
-			return err
-		}
-		dst[i] = b
-	}
-	return nil
-}
-func (c *cdrDecoder) Len() (int, error) { return c.d.SeqLen() }
-func (c *cdrDecoder) Remaining() int    { return c.d.Remaining() }
+func (c *cdrDecoder) FixedBytes(n int) ([]byte, error) { return c.d.FixedOctets(n) }
+func (c *cdrDecoder) FixedBytesInto(dst []byte) error  { return c.d.FixedOctetsInto(dst) }
+func (c *cdrDecoder) Len() (int, error)                { return c.d.SeqLen() }
+func (c *cdrDecoder) Remaining() int                   { return c.d.Remaining() }

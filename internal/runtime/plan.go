@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 
 	"flexrpc/internal/ir"
 	"flexrpc/internal/pres"
@@ -23,22 +24,85 @@ type SpecialHooks interface {
 	DecodeSpecial(op, param string, dec Decoder) (Value, error)
 }
 
+// An EncodeStepFn is one compiled marshal step: it encodes a single
+// parameter value, with the parameter's type, presentation attributes
+// and codec dispatch already resolved at bind time.
+type EncodeStepFn func(enc Encoder, v Value) error
+
+// A DecodeStepFn is one compiled unmarshal step.
+type DecodeStepFn func(dec Decoder) (Value, error)
+
+// StepHooks is the bind-time form of SpecialHooks: instead of a
+// name-keyed dispatch on every call, the plan compiler asks once per
+// [special] parameter for a compiled step closure and threads it into
+// the operation's step list. A StepHooks implementation also declares
+// that its hooks are re-entrant, which the pooled parallel client
+// (NewParallelClient) requires. Either method may return nil to fall
+// back to the corresponding SpecialHooks method for that parameter.
+type StepHooks interface {
+	SpecialHooks
+	EncodeStep(op, param string) EncodeStepFn
+	DecodeStep(op, param string) DecodeStepFn
+}
+
 // A Plan is the compiled marshal program for one endpoint: one
 // OpPlan per operation, honoring the endpoint's presentation.
+//
+// Compilation happens once, at bind time: every parameter's wire
+// type, presentation attributes, [special] hook and codec dispatch
+// are resolved into flat step lists — the moral equivalent of the
+// Mach combination signatures the paper describes in §4.5, threaded
+// code built per endpoint pair so the per-call path is a straight
+// loop with no map lookups and no type switches.
 type Plan struct {
 	Pres   *pres.Presentation
 	Codec  Codec
 	Ops    []*OpPlan
 	hooks  SpecialHooks
 	byName map[string]int
+
+	decPool sync.Pool // ReusableDecoder, for pooled server paths
 }
 
-// An OpPlan marshals one operation's requests and replies.
+// An OpPlan marshals one operation's requests and replies via its
+// compiled step lists.
 type OpPlan struct {
 	Idx  int
 	Op   *ir.Operation
 	pres *pres.OpPres
 	plan *Plan
+
+	reqEnc []encStep   // in/inout params, request encode
+	reqDec []decStep   // in/inout params, request decode (borrow)
+	repEnc []encStep   // out/inout params + result, reply encode
+	repDec []replyStep // out/inout params + result, reply decode
+	nOut   int         // out/inout param count (0 → DecodeReply outs == nil)
+}
+
+// encStep encodes one parameter (arg == -1 for the result).
+type encStep struct {
+	arg  int
+	name string
+	fn   EncodeStepFn
+}
+
+// decStep decodes one request parameter into its positional slot.
+type decStep struct {
+	arg  int
+	name string
+	fn   DecodeStepFn
+}
+
+// replyStep decodes one out parameter or the result (arg == -1).
+// When the presentation says the caller allocates ([alloc(caller)])
+// and the parameter is a byte buffer, intoFn lands the data in the
+// caller-provided buffer instead of fresh storage.
+type replyStep struct {
+	arg       int
+	name      string
+	callerBuf bool
+	fn        DecodeStepFn
+	intoFn    func(dec Decoder, dst []byte) (Value, error)
 }
 
 // NewPlan compiles marshal plans for every operation of p's
@@ -51,19 +115,11 @@ func NewPlan(p *pres.Presentation, codec Codec, hooks SpecialHooks) (*Plan, erro
 		if opPres == nil {
 			return nil, fmt.Errorf("runtime: presentation missing operation %q", op.Name)
 		}
-		if hooks == nil {
-			for _, prm := range op.Params {
-				if a, ok := opPres.Params[prm.Name]; ok && a.Special {
-					return nil, fmt.Errorf("runtime: %s.%s param %s is [special] but no hooks were provided",
-						p.Interface.Name, op.Name, prm.Name)
-				}
-			}
-			if a, ok := opPres.Params[pres.ResultParam]; ok && a.Special {
-				return nil, fmt.Errorf("runtime: %s.%s result is [special] but no hooks were provided",
-					p.Interface.Name, op.Name)
-			}
+		opPlan, err := pl.compileOp(i, op, opPres)
+		if err != nil {
+			return nil, err
 		}
-		pl.Ops = append(pl.Ops, &OpPlan{Idx: i, Op: op, pres: opPres, plan: pl})
+		pl.Ops = append(pl.Ops, opPlan)
 		pl.byName[op.Name] = i
 	}
 	return pl, nil
@@ -77,6 +133,25 @@ func (p *Plan) OpIndex(name string) int {
 	return -1
 }
 
+// AcquireDecoder returns a decoder positioned at body, reusing a
+// pooled one when the codec supports it. Pair with ReleaseDecoder.
+func (p *Plan) AcquireDecoder(body []byte) Decoder {
+	if d, ok := p.decPool.Get().(ReusableDecoder); ok {
+		d.Reset(body)
+		return d
+	}
+	return p.Codec.NewDecoder(body)
+}
+
+// ReleaseDecoder returns a decoder obtained from AcquireDecoder to
+// the pool once the decoded message is no longer referenced.
+func (p *Plan) ReleaseDecoder(d Decoder) {
+	if rd, ok := d.(ReusableDecoder); ok {
+		rd.Reset(nil)
+		p.decPool.Put(rd)
+	}
+}
+
 // attrs returns the presentation attributes for a parameter name,
 // or a zero value when unannotated.
 func (op *OpPlan) attrs(name string) *pres.ParamAttrs {
@@ -88,62 +163,484 @@ func (op *OpPlan) attrs(name string) *pres.ParamAttrs {
 
 var zeroAttrs pres.ParamAttrs
 
+// compileOp builds the four step lists for one operation.
+func (pl *Plan) compileOp(idx int, op *ir.Operation, opPres *pres.OpPres) (*OpPlan, error) {
+	o := &OpPlan{Idx: idx, Op: op, pres: opPres, plan: pl}
+	for i := range op.Params {
+		prm := &op.Params[i]
+		a := o.attrs(prm.Name)
+		enc, dec, into, err := pl.compileParam(op.Name, prm.Name, prm.Type, a)
+		if err != nil {
+			return nil, err
+		}
+		if prm.Dir == ir.In || prm.Dir == ir.InOut {
+			o.reqEnc = append(o.reqEnc, encStep{arg: i, name: prm.Name, fn: enc})
+			borrow := dec
+			if !a.Special {
+				borrow = compileDecodeBorrow(prm.Type)
+			}
+			o.reqDec = append(o.reqDec, decStep{arg: i, name: prm.Name, fn: borrow})
+		}
+		if prm.Dir == ir.Out || prm.Dir == ir.InOut {
+			o.nOut++
+			o.repEnc = append(o.repEnc, encStep{arg: i, name: prm.Name, fn: enc})
+			o.repDec = append(o.repDec, replyStep{
+				arg: i, name: prm.Name,
+				callerBuf: a.Alloc == pres.AllocCaller,
+				fn:        dec, intoFn: into,
+			})
+		}
+	}
+	if op.HasResult() {
+		a := o.attrs(pres.ResultParam)
+		enc, dec, into, err := pl.compileParam(op.Name, pres.ResultParam, op.Result, a)
+		if err != nil {
+			return nil, err
+		}
+		o.repEnc = append(o.repEnc, encStep{arg: -1, name: pres.ResultParam, fn: enc})
+		o.repDec = append(o.repDec, replyStep{
+			arg: -1, name: pres.ResultParam,
+			callerBuf: a.Alloc == pres.AllocCaller,
+			fn:        dec, intoFn: into,
+		})
+	}
+	return o, nil
+}
+
+// compileParam resolves one parameter into its encode step, its
+// own-storage decode step, and (for byte buffers) its decode-into
+// step. [special] parameters resolve to the hooks, preferring the
+// bind-time StepHooks form.
+func (pl *Plan) compileParam(opName, prmName string, t *ir.Type, a *pres.ParamAttrs) (EncodeStepFn, DecodeStepFn, func(Decoder, []byte) (Value, error), error) {
+	if a.Special {
+		if pl.hooks == nil {
+			what := "param " + prmName
+			if prmName == pres.ResultParam {
+				what = "result"
+			}
+			return nil, nil, nil, fmt.Errorf("runtime: %s.%s %s is [special] but no hooks were provided",
+				pl.Pres.Interface.Name, opName, what)
+		}
+		var enc EncodeStepFn
+		var dec DecodeStepFn
+		if sh, ok := pl.hooks.(StepHooks); ok {
+			enc = sh.EncodeStep(opName, prmName)
+			dec = sh.DecodeStep(opName, prmName)
+		}
+		hooks := pl.hooks
+		if enc == nil {
+			enc = func(e Encoder, v Value) error { return hooks.EncodeSpecial(opName, prmName, e, v) }
+		}
+		if dec == nil {
+			dec = func(d Decoder) (Value, error) { return hooks.DecodeSpecial(opName, prmName, d) }
+		}
+		return enc, dec, nil, nil
+	}
+	var into func(Decoder, []byte) (Value, error)
+	switch t.Kind {
+	case ir.Bytes:
+		into = func(dec Decoder, dst []byte) (Value, error) { return dec.BytesInto(dst) }
+	case ir.FixedBytes:
+		size := t.Size
+		ownFn := compileDecodeOwn(t)
+		into = func(dec Decoder, dst []byte) (Value, error) {
+			if len(dst) < size {
+				return ownFn(dec)
+			}
+			if err := dec.FixedBytesInto(dst[:size]); err != nil {
+				return nil, err
+			}
+			return dst[:size], nil
+		}
+	}
+	return compileEncode(t), compileDecodeOwn(t), into, nil
+}
+
+// compileEncode builds the encode step for wire type t: the type
+// switch runs here, once, at bind time; the returned closure performs
+// only the type assertion and the codec call.
+func compileEncode(t *ir.Type) EncodeStepFn {
+	if t == nil || t.Kind == ir.Void {
+		return func(enc Encoder, v Value) error {
+			if v != nil {
+				return fmt.Errorf("runtime: void value must be nil, have %T", v)
+			}
+			return nil
+		}
+	}
+	switch t.Kind {
+	case ir.Bool:
+		return func(enc Encoder, v Value) error {
+			b, ok := v.(bool)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutBool(b)
+			return nil
+		}
+	case ir.Int32, ir.Enum:
+		return func(enc Encoder, v Value) error {
+			n, ok := v.(int32)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutInt32(n)
+			return nil
+		}
+	case ir.Uint32:
+		return func(enc Encoder, v Value) error {
+			n, ok := v.(uint32)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutUint32(n)
+			return nil
+		}
+	case ir.Int64:
+		return func(enc Encoder, v Value) error {
+			n, ok := v.(int64)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutInt64(n)
+			return nil
+		}
+	case ir.Uint64:
+		return func(enc Encoder, v Value) error {
+			n, ok := v.(uint64)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutUint64(n)
+			return nil
+		}
+	case ir.Float32:
+		return func(enc Encoder, v Value) error {
+			f, ok := v.(float32)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutFloat32(f)
+			return nil
+		}
+	case ir.Float64:
+		return func(enc Encoder, v Value) error {
+			f, ok := v.(float64)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutFloat64(f)
+			return nil
+		}
+	case ir.String:
+		return func(enc Encoder, v Value) error {
+			s, ok := v.(string)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutString(s)
+			return nil
+		}
+	case ir.Bytes:
+		return func(enc Encoder, v Value) error {
+			b, ok := v.([]byte)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutBytes(b)
+			return nil
+		}
+	case ir.FixedBytes:
+		size := t.Size
+		return func(enc Encoder, v Value) error {
+			b, ok := v.([]byte)
+			if !ok {
+				return typeErr(t, v)
+			}
+			if len(b) != size {
+				return fmt.Errorf("runtime: fixed opaque needs %d bytes, have %d", size, len(b))
+			}
+			enc.PutFixedBytes(b)
+			return nil
+		}
+	case ir.Seq:
+		elem := compileEncode(t.Elem)
+		return func(enc Encoder, v Value) error {
+			vs, ok := v.([]Value)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutLen(len(vs))
+			for i, e := range vs {
+				if err := elem(enc, e); err != nil {
+					return fmt.Errorf("element %d: %w", i, err)
+				}
+			}
+			return nil
+		}
+	case ir.Array:
+		elem := compileEncode(t.Elem)
+		size := t.Size
+		return func(enc Encoder, v Value) error {
+			vs, ok := v.([]Value)
+			if !ok {
+				return typeErr(t, v)
+			}
+			if len(vs) != size {
+				return fmt.Errorf("runtime: array needs %d elements, have %d", size, len(vs))
+			}
+			for i, e := range vs {
+				if err := elem(enc, e); err != nil {
+					return fmt.Errorf("element %d: %w", i, err)
+				}
+			}
+			return nil
+		}
+	case ir.Struct:
+		fields := make([]EncodeStepFn, len(t.Fields))
+		names := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = compileEncode(f.Type)
+			names[i] = f.Name
+		}
+		structName := t.Name
+		return func(enc Encoder, v Value) error {
+			vs, ok := v.([]Value)
+			if !ok {
+				return typeErr(t, v)
+			}
+			if len(vs) != len(fields) {
+				return fmt.Errorf("runtime: struct %s needs %d fields, have %d", structName, len(fields), len(vs))
+			}
+			for i, fn := range fields {
+				if err := fn(enc, vs[i]); err != nil {
+					return fmt.Errorf("field %s: %w", names[i], err)
+				}
+			}
+			return nil
+		}
+	case ir.Port:
+		return func(enc Encoder, v Value) error {
+			p, ok := v.(PortName)
+			if !ok {
+				return typeErr(t, v)
+			}
+			enc.PutUint32(uint32(p))
+			return nil
+		}
+	}
+	return func(Encoder, Value) error {
+		return fmt.Errorf("runtime: cannot marshal kind %v", t.Kind)
+	}
+}
+
+// compileDecodeScalar handles the kinds whose decode is identical for
+// borrow and own semantics, or nil for the buffer-bearing kinds.
+func compileDecodeScalar(t *ir.Type) DecodeStepFn {
+	if t == nil || t.Kind == ir.Void {
+		return func(Decoder) (Value, error) { return nil, nil }
+	}
+	switch t.Kind {
+	case ir.Bool:
+		return func(dec Decoder) (Value, error) { return dec.Bool() }
+	case ir.Int32, ir.Enum:
+		return func(dec Decoder) (Value, error) { return dec.Int32() }
+	case ir.Uint32:
+		return func(dec Decoder) (Value, error) { return dec.Uint32() }
+	case ir.Int64:
+		return func(dec Decoder) (Value, error) { return dec.Int64() }
+	case ir.Uint64:
+		return func(dec Decoder) (Value, error) { return dec.Uint64() }
+	case ir.Float32:
+		return func(dec Decoder) (Value, error) { return dec.Float32() }
+	case ir.Float64:
+		return func(dec Decoder) (Value, error) { return dec.Float64() }
+	case ir.String:
+		return func(dec Decoder) (Value, error) { return dec.String() }
+	case ir.Port:
+		return func(dec Decoder) (Value, error) {
+			v, err := dec.Uint32()
+			return PortName(v), err
+		}
+	}
+	return nil
+}
+
+// compileDecodeBorrow builds the decode step for server-side in
+// parameters: byte buffers alias the request message — the CORBA
+// server mapping: in parameters are valid for the duration of the
+// call, and a work function that retains them must copy. This is
+// what lets a server receive bulk data with exactly one kernel copy
+// on the request path.
+func compileDecodeBorrow(t *ir.Type) DecodeStepFn {
+	if fn := compileDecodeScalar(t); fn != nil {
+		return fn
+	}
+	switch t.Kind {
+	case ir.Bytes:
+		return func(dec Decoder) (Value, error) { return dec.Bytes() }
+	case ir.FixedBytes:
+		size := t.Size
+		return func(dec Decoder) (Value, error) { return dec.FixedBytes(size) }
+	case ir.Seq:
+		elem := compileDecodeBorrow(t.Elem)
+		return compileSeqDecode(elem)
+	case ir.Array:
+		elem := compileDecodeBorrow(t.Elem)
+		return compileArrayDecode(elem, t.Size)
+	case ir.Struct:
+		fields := make([]DecodeStepFn, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = compileDecodeBorrow(f.Type)
+		}
+		return compileStructDecode(fields)
+	}
+	return compileDecodeOwn(t)
+}
+
+// compileDecodeOwn builds the decode step for values the consumer
+// will own (client-side replies, default move semantics): byte
+// buffers land in fresh storage.
+func compileDecodeOwn(t *ir.Type) DecodeStepFn {
+	if fn := compileDecodeScalar(t); fn != nil {
+		return fn
+	}
+	switch t.Kind {
+	case ir.Bytes:
+		return func(dec Decoder) (Value, error) {
+			b, err := dec.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			out := make([]byte, len(b))
+			copy(out, b)
+			return out, nil
+		}
+	case ir.FixedBytes:
+		size := t.Size
+		return func(dec Decoder) (Value, error) {
+			out := make([]byte, size)
+			if err := dec.FixedBytesInto(out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	case ir.Seq:
+		elem := compileDecodeOwn(t.Elem)
+		return compileSeqDecode(elem)
+	case ir.Array:
+		elem := compileDecodeOwn(t.Elem)
+		return compileArrayDecode(elem, t.Size)
+	case ir.Struct:
+		fields := make([]DecodeStepFn, len(t.Fields))
+		for i, f := range t.Fields {
+			fields[i] = compileDecodeOwn(f.Type)
+		}
+		return compileStructDecode(fields)
+	}
+	kind := t.Kind
+	return func(Decoder) (Value, error) {
+		return nil, fmt.Errorf("runtime: cannot unmarshal kind %v", kind)
+	}
+}
+
+func compileSeqDecode(elem DecodeStepFn) DecodeStepFn {
+	return func(dec Decoder) (Value, error) {
+		n, err := decodeSeqLen(dec)
+		if err != nil {
+			return nil, err
+		}
+		vs := make([]Value, n)
+		for i := range vs {
+			if vs[i], err = elem(dec); err != nil {
+				return nil, err
+			}
+		}
+		return vs, nil
+	}
+}
+
+func compileArrayDecode(elem DecodeStepFn, size int) DecodeStepFn {
+	return func(dec Decoder) (Value, error) {
+		vs := make([]Value, size)
+		var err error
+		for i := range vs {
+			if vs[i], err = elem(dec); err != nil {
+				return nil, err
+			}
+		}
+		return vs, nil
+	}
+}
+
+func compileStructDecode(fields []DecodeStepFn) DecodeStepFn {
+	return func(dec Decoder) (Value, error) {
+		vs := make([]Value, len(fields))
+		var err error
+		for i, fn := range fields {
+			if vs[i], err = fn(dec); err != nil {
+				return nil, err
+			}
+		}
+		return vs, nil
+	}
+}
+
 // EncodeRequest marshals the in and inout arguments. args is indexed
 // by parameter position; out-only positions are ignored.
 func (op *OpPlan) EncodeRequest(enc Encoder, args []Value) error {
 	if len(args) != len(op.Op.Params) {
 		return fmt.Errorf("runtime: %s takes %d params, have %d values", op.Op.Name, len(op.Op.Params), len(args))
 	}
-	for i, prm := range op.Op.Params {
-		if prm.Dir == ir.Out {
-			continue
-		}
-		if err := op.encodeParam(enc, prm.Name, prm.Type, args[i]); err != nil {
-			return fmt.Errorf("%s param %s: %w", op.Op.Name, prm.Name, err)
+	for i := range op.reqEnc {
+		st := &op.reqEnc[i]
+		if err := st.fn(enc, args[st.arg]); err != nil {
+			return fmt.Errorf("%s param %s: %w", op.Op.Name, st.name, err)
 		}
 	}
 	return nil
 }
 
 // DecodeRequest unmarshals the in and inout arguments into a
-// positional value slice. Byte buffers alias the request message —
-// the CORBA server mapping: in parameters are valid for the duration
-// of the call, and a work function that retains them must copy.
-// This is what lets a server receive bulk data with exactly one
-// kernel copy on the request path.
+// positional value slice (see DecodeRequestInto for the semantics).
 func (op *OpPlan) DecodeRequest(dec Decoder) ([]Value, error) {
 	args := make([]Value, len(op.Op.Params))
-	for i, prm := range op.Op.Params {
-		if prm.Dir == ir.Out {
-			continue
-		}
-		var v Value
-		var err error
-		if op.attrs(prm.Name).Special {
-			v, err = op.plan.hooks.DecodeSpecial(op.Op.Name, prm.Name, dec)
-		} else {
-			v, err = decodeValueBorrow(dec, prm.Type)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%s param %s: %w", op.Op.Name, prm.Name, err)
-		}
-		args[i] = v
+	if err := op.DecodeRequestInto(dec, args); err != nil {
+		return nil, err
 	}
 	return args, nil
 }
 
+// DecodeRequestInto unmarshals the in and inout arguments into args,
+// which must have one slot per parameter. Byte buffers alias the
+// request message — the CORBA server mapping: in parameters are valid
+// for the duration of the call, and a work function that retains them
+// must copy. Pooled server paths use this to land arguments directly
+// in a recycled Call without an intermediate slice.
+func (op *OpPlan) DecodeRequestInto(dec Decoder, args []Value) error {
+	for i := range op.reqDec {
+		st := &op.reqDec[i]
+		v, err := st.fn(dec)
+		if err != nil {
+			return fmt.Errorf("%s param %s: %w", op.Op.Name, st.name, err)
+		}
+		args[st.arg] = v
+	}
+	return nil
+}
+
 // EncodeReply marshals the out/inout values and the result.
 func (op *OpPlan) EncodeReply(enc Encoder, outs []Value, ret Value) error {
-	for i, prm := range op.Op.Params {
-		if prm.Dir == ir.In {
-			continue
+	for i := range op.repEnc {
+		st := &op.repEnc[i]
+		v := ret
+		if st.arg >= 0 {
+			v = outs[st.arg]
 		}
-		if err := op.encodeParam(enc, prm.Name, prm.Type, outs[i]); err != nil {
-			return fmt.Errorf("%s out param %s: %w", op.Op.Name, prm.Name, err)
-		}
-	}
-	if op.Op.HasResult() {
-		if err := op.encodeParam(enc, pres.ResultParam, op.Op.Result, ret); err != nil {
+		if err := st.fn(enc, v); err != nil {
+			if st.arg >= 0 {
+				return fmt.Errorf("%s out param %s: %w", op.Op.Name, st.name, err)
+			}
 			return fmt.Errorf("%s result: %w", op.Op.Name, err)
 		}
 	}
@@ -156,134 +653,48 @@ func (op *OpPlan) EncodeReply(enc Encoder, outs []Value, ret Value) error {
 // presentation says the caller allocates; retBuf does the same for
 // the result. The returned values alias those buffers when they are
 // used — the stub unmarshals directly into the caller's storage
-// instead of allocating (§4.1's optimization).
+// instead of allocating (§4.1's optimization). outs is nil when the
+// operation has no out or inout parameters.
 func (op *OpPlan) DecodeReply(dec Decoder, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
-	outs := make([]Value, len(op.Op.Params))
-	for i, prm := range op.Op.Params {
-		if prm.Dir == ir.In {
-			continue
-		}
-		var buf []byte
-		if outBufs != nil && op.attrs(prm.Name).Alloc == pres.AllocCaller {
-			buf = outBufs[i]
-		}
-		v, err := op.decodeParam(dec, prm.Name, prm.Type, buf)
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s out param %s: %w", op.Op.Name, prm.Name, err)
-		}
-		outs[i] = v
+	var outs []Value
+	if op.nOut > 0 {
+		outs = make([]Value, len(op.Op.Params))
 	}
 	var ret Value
-	if op.Op.HasResult() {
-		var buf []byte
-		if op.attrs(pres.ResultParam).Alloc == pres.AllocCaller {
-			buf = retBuf
+	for i := range op.repDec {
+		st := &op.repDec[i]
+		var v Value
+		var err error
+		if st.intoFn != nil && st.callerBuf {
+			var buf []byte
+			if st.arg >= 0 {
+				if outBufs != nil {
+					buf = outBufs[st.arg]
+				}
+			} else {
+				buf = retBuf
+			}
+			if buf != nil {
+				v, err = st.intoFn(dec, buf)
+			} else {
+				v, err = st.fn(dec)
+			}
+		} else {
+			v, err = st.fn(dec)
 		}
-		v, err := op.decodeParam(dec, pres.ResultParam, op.Op.Result, buf)
 		if err != nil {
+			if st.arg >= 0 {
+				return nil, nil, fmt.Errorf("%s out param %s: %w", op.Op.Name, st.name, err)
+			}
 			return nil, nil, fmt.Errorf("%s result: %w", op.Op.Name, err)
 		}
-		ret = v
+		if st.arg >= 0 {
+			outs[st.arg] = v
+		} else {
+			ret = v
+		}
 	}
 	return outs, ret, nil
-}
-
-func (op *OpPlan) encodeParam(enc Encoder, name string, t *ir.Type, v Value) error {
-	if op.attrs(name).Special {
-		return op.plan.hooks.EncodeSpecial(op.Op.Name, name, enc, v)
-	}
-	return encodeValue(enc, t, v)
-}
-
-func (op *OpPlan) decodeParam(dec Decoder, name string, t *ir.Type, into []byte) (Value, error) {
-	if op.attrs(name).Special {
-		return op.plan.hooks.DecodeSpecial(op.Op.Name, name, dec)
-	}
-	if into != nil && (t.Kind == ir.Bytes || t.Kind == ir.FixedBytes) {
-		return decodeBytesInto(dec, t, into)
-	}
-	return decodeValue(dec, t)
-}
-
-// decodeBytesInto lands a byte-buffer value in caller storage,
-// falling back to allocation when it does not fit.
-func decodeBytesInto(dec Decoder, t *ir.Type, dst []byte) (Value, error) {
-	if t.Kind == ir.FixedBytes {
-		if len(dst) < t.Size {
-			return decodeValue(dec, t)
-		}
-		if err := dec.FixedBytesInto(dst[:t.Size]); err != nil {
-			return nil, err
-		}
-		return dst[:t.Size], nil
-	}
-	n, err := dec.BytesInto(dst)
-	if err != nil {
-		return nil, err
-	}
-	return dst[:n], nil
-}
-
-// encodeValue marshals v (wire type t) with the default rules.
-func encodeValue(enc Encoder, t *ir.Type, v Value) error {
-	if err := CheckValue(t, v); err != nil {
-		return err
-	}
-	return encodeChecked(enc, t, v)
-}
-
-func encodeChecked(enc Encoder, t *ir.Type, v Value) error {
-	if t == nil || t.Kind == ir.Void {
-		return nil
-	}
-	switch t.Kind {
-	case ir.Bool:
-		enc.PutBool(v.(bool))
-	case ir.Int32, ir.Enum:
-		enc.PutInt32(v.(int32))
-	case ir.Uint32:
-		enc.PutUint32(v.(uint32))
-	case ir.Int64:
-		enc.PutInt64(v.(int64))
-	case ir.Uint64:
-		enc.PutUint64(v.(uint64))
-	case ir.Float32:
-		enc.PutFloat32(v.(float32))
-	case ir.Float64:
-		enc.PutFloat64(v.(float64))
-	case ir.String:
-		enc.PutString(v.(string))
-	case ir.Bytes:
-		enc.PutBytes(v.([]byte))
-	case ir.FixedBytes:
-		enc.PutFixedBytes(v.([]byte))
-	case ir.Seq:
-		vs := v.([]Value)
-		enc.PutLen(len(vs))
-		for _, e := range vs {
-			if err := encodeChecked(enc, t.Elem, e); err != nil {
-				return err
-			}
-		}
-	case ir.Array:
-		for _, e := range v.([]Value) {
-			if err := encodeChecked(enc, t.Elem, e); err != nil {
-				return err
-			}
-		}
-	case ir.Struct:
-		vs := v.([]Value)
-		for i, f := range t.Fields {
-			if err := encodeChecked(enc, f.Type, vs[i]); err != nil {
-				return err
-			}
-		}
-	case ir.Port:
-		enc.PutUint32(uint32(v.(PortName)))
-	default:
-		return fmt.Errorf("runtime: cannot marshal kind %v", t.Kind)
-	}
-	return nil
 }
 
 // decodeSeqLen reads a sequence element count and bounds it by the
@@ -299,114 +710,4 @@ func decodeSeqLen(dec Decoder) (int, error) {
 		return 0, fmt.Errorf("runtime: sequence of %d elements exceeds %d remaining bytes", n, dec.Remaining())
 	}
 	return n, nil
-}
-
-// decodeValueBorrow unmarshals a value whose byte buffers may alias
-// the input message (server-side in parameters).
-func decodeValueBorrow(dec Decoder, t *ir.Type) (Value, error) {
-	switch t.Kind {
-	case ir.Bytes:
-		return dec.Bytes()
-	case ir.FixedBytes:
-		return dec.FixedBytes(t.Size)
-	case ir.Seq:
-		n, err := decodeSeqLen(dec)
-		if err != nil {
-			return nil, err
-		}
-		vs := make([]Value, n)
-		for i := range vs {
-			if vs[i], err = decodeValueBorrow(dec, t.Elem); err != nil {
-				return nil, err
-			}
-		}
-		return vs, nil
-	case ir.Struct:
-		vs := make([]Value, len(t.Fields))
-		var err error
-		for i, f := range t.Fields {
-			if vs[i], err = decodeValueBorrow(dec, f.Type); err != nil {
-				return nil, err
-			}
-		}
-		return vs, nil
-	default:
-		return decodeValue(dec, t)
-	}
-}
-
-// decodeValue unmarshals a value of wire type t with the default
-// rules.
-func decodeValue(dec Decoder, t *ir.Type) (Value, error) {
-	if t == nil || t.Kind == ir.Void {
-		return nil, nil
-	}
-	switch t.Kind {
-	case ir.Bool:
-		return dec.Bool()
-	case ir.Int32, ir.Enum:
-		return dec.Int32()
-	case ir.Uint32:
-		return dec.Uint32()
-	case ir.Int64:
-		return dec.Int64()
-	case ir.Uint64:
-		return dec.Uint64()
-	case ir.Float32:
-		return dec.Float32()
-	case ir.Float64:
-		return dec.Float64()
-	case ir.String:
-		return dec.String()
-	case ir.Bytes:
-		// Default presentation: the stub allocates fresh storage
-		// the consumer will own (move semantics).
-		b, err := dec.Bytes()
-		if err != nil {
-			return nil, err
-		}
-		out := make([]byte, len(b))
-		copy(out, b)
-		return out, nil
-	case ir.FixedBytes:
-		out := make([]byte, t.Size)
-		if err := dec.FixedBytesInto(out); err != nil {
-			return nil, err
-		}
-		return out, nil
-	case ir.Seq:
-		n, err := decodeSeqLen(dec)
-		if err != nil {
-			return nil, err
-		}
-		vs := make([]Value, n)
-		for i := range vs {
-			if vs[i], err = decodeValue(dec, t.Elem); err != nil {
-				return nil, err
-			}
-		}
-		return vs, nil
-	case ir.Array:
-		vs := make([]Value, t.Size)
-		var err error
-		for i := range vs {
-			if vs[i], err = decodeValue(dec, t.Elem); err != nil {
-				return nil, err
-			}
-		}
-		return vs, nil
-	case ir.Struct:
-		vs := make([]Value, len(t.Fields))
-		var err error
-		for i, f := range t.Fields {
-			if vs[i], err = decodeValue(dec, f.Type); err != nil {
-				return nil, err
-			}
-		}
-		return vs, nil
-	case ir.Port:
-		v, err := dec.Uint32()
-		return PortName(v), err
-	}
-	return nil, fmt.Errorf("runtime: cannot unmarshal kind %v", t.Kind)
 }

@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"flexrpc/internal/ir"
 	"flexrpc/internal/pres"
@@ -120,6 +121,7 @@ type Dispatcher struct {
 	Pres     *pres.Presentation
 	handlers map[string]Handler
 	hooks    SpecialHooks
+	callPool sync.Pool
 }
 
 // NewDispatcher creates a dispatcher serving p's interface under
@@ -163,6 +165,49 @@ func (d *Dispatcher) NewCall(op *ir.Operation) *Call {
 	}
 }
 
+// AcquireCall is NewCall with recycling: the Call and its slices come
+// from a pool, so the steady-state invocation path allocates nothing.
+// Pair with ReleaseCall once the call's values are no longer needed.
+func (d *Dispatcher) AcquireCall(op *ir.Operation) *Call {
+	c, _ := d.callPool.Get().(*Call)
+	if c == nil {
+		c = &Call{}
+	}
+	n := len(op.Params)
+	c.Op = op
+	c.opPres = d.Pres.Op(op.Name)
+	if cap(c.in) < n {
+		c.in = make([]Value, n)
+		c.inPrivate = make([]bool, n)
+		c.outs = make([]Value, n)
+		c.outBufs = make([][]byte, n)
+	} else {
+		c.in = c.in[:n]
+		c.inPrivate = c.inPrivate[:n]
+		c.outs = c.outs[:n]
+		c.outBufs = c.outBufs[:n]
+	}
+	return c
+}
+
+// ReleaseCall returns a Call obtained from AcquireCall to the pool,
+// dropping every reference it holds so pooled storage does not pin
+// user buffers.
+func (d *Dispatcher) ReleaseCall(c *Call) {
+	for i := range c.in {
+		c.in[i] = nil
+		c.inPrivate[i] = false
+		c.outs[i] = nil
+		c.outBufs[i] = nil
+	}
+	c.Op = nil
+	c.opPres = nil
+	c.ret = nil
+	c.retBuf = nil
+	c.afterReply = c.afterReply[:0]
+	d.callPool.Put(c)
+}
+
 // Reply status words on the wire between runtime client and
 // dispatcher.
 const (
@@ -172,20 +217,23 @@ const (
 
 // ServeMessage handles one marshaled request arriving from a
 // message transport: decode under the server plan, invoke, encode
-// the reply (status word first) into enc.
+// the reply (status word first) into enc. The Call and decoder are
+// pooled, so the steady-state path allocates only what the decoded
+// argument values themselves need.
 func (d *Dispatcher) ServeMessage(plan *Plan, opIdx int, body []byte, enc Encoder) {
 	if opIdx < 0 || opIdx >= len(plan.Ops) {
 		encodeFailure(enc, fmt.Sprintf("bad operation index %d", opIdx))
 		return
 	}
 	op := plan.Ops[opIdx]
-	args, err := op.DecodeRequest(plan.Codec.NewDecoder(body))
-	if err != nil {
+	dec := plan.AcquireDecoder(body)
+	call := d.AcquireCall(op.Op)
+	defer d.ReleaseCall(call)
+	defer plan.ReleaseDecoder(dec)
+	if err := op.DecodeRequestInto(dec, call.in); err != nil {
 		encodeFailure(enc, err.Error())
 		return
 	}
-	call := d.NewCall(op.Op)
-	copy(call.in, args)
 	for i := range call.inPrivate {
 		// Data that crossed a protection boundary is always private.
 		call.inPrivate[i] = true
@@ -211,12 +259,13 @@ func (d *Dispatcher) ServeMessageRaw(plan *Plan, opIdx int, body []byte, enc Enc
 		return fmt.Errorf("runtime: bad operation index %d", opIdx)
 	}
 	op := plan.Ops[opIdx]
-	args, err := op.DecodeRequest(plan.Codec.NewDecoder(body))
-	if err != nil {
+	dec := plan.AcquireDecoder(body)
+	call := d.AcquireCall(op.Op)
+	defer d.ReleaseCall(call)
+	defer plan.ReleaseDecoder(dec)
+	if err := op.DecodeRequestInto(dec, call.in); err != nil {
 		return err
 	}
-	call := d.NewCall(op.Op)
-	copy(call.in, args)
 	for i := range call.inPrivate {
 		call.inPrivate[i] = true
 	}

@@ -1,6 +1,7 @@
 package sunrpc
 
 import (
+	"encoding/binary"
 	"fmt"
 	"net"
 	"sync"
@@ -9,59 +10,209 @@ import (
 )
 
 // A Client issues Sun RPC calls for one program/version over a
-// stream connection. Calls are serialized; the engine keeps one
-// request outstanding at a time, as the kernel NFS clients of the
-// era did per connection.
+// stream connection. Concurrent calls pipeline: each call is tagged
+// with a fresh xid, writes are serialized, and replies are matched to
+// callers by xid, so many calls can be in flight on one connection at
+// once — the multiplexing RFC 1057 xids exist for.
+//
+// The reply reader is demand-driven: it runs only while calls are
+// outstanding and parks otherwise, so a connection can be shared with
+// other readers (or other Clients) between call bursts.
 type Client struct {
-	mu      sync.Mutex
-	conn    net.Conn
-	prog    uint32
-	vers    uint32
+	conn net.Conn
+	prog uint32
+	vers uint32
+
+	// wmu serializes request marshaling and record writes; a record's
+	// header and fragments must not interleave with another call's.
+	wmu sync.Mutex
+	enc xdr.Encoder
+
+	// pmu guards the pending map, the xid counter, the reader state
+	// and the sticky transport error.
+	pmu     sync.Mutex
+	pending map[uint32]*pendingCall
 	nextXID uint32
-	enc     xdr.Encoder
-	recBuf  []byte
+	reading bool
+	err     error
+
+	callPool sync.Pool // *pendingCall
+	bufPool  sync.Pool // *[]byte record buffers
+}
+
+// pendingCall is one in-flight call awaiting its reply record.
+type pendingCall struct {
+	done chan struct{}
+	rec  []byte  // reply record (valid when err is nil)
+	buf  *[]byte // pooled backing buffer box for rec
+	err  error
 }
 
 // NewClient returns a client speaking prog/vers over conn.
 func NewClient(conn net.Conn, prog, vers uint32) *Client {
-	return &Client{conn: conn, prog: prog, vers: vers, nextXID: 1}
+	return &Client{
+		conn:    conn,
+		prog:    prog,
+		vers:    vers,
+		nextXID: 1,
+		pending: make(map[uint32]*pendingCall),
+	}
+}
+
+func (c *Client) getCall() *pendingCall {
+	if pc, ok := c.callPool.Get().(*pendingCall); ok {
+		pc.rec, pc.buf, pc.err = nil, nil, nil
+		return pc
+	}
+	return &pendingCall{done: make(chan struct{}, 1)}
+}
+
+func (c *Client) getBuf() *[]byte {
+	if bp, ok := c.bufPool.Get().(*[]byte); ok {
+		return bp
+	}
+	return new([]byte)
 }
 
 // Call invokes proc: encodeArgs appends the argument body,
 // decodeRes consumes the result body. decodeRes runs only on a
-// successful accepted reply.
+// successful accepted reply. Call is safe for concurrent use;
+// concurrent calls share the connection in flight.
 func (c *Client) Call(proc uint32, encodeArgs func(*xdr.Encoder), decodeRes func(*xdr.Decoder) error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	pc := c.getCall()
 
+	// Register before writing so the reply cannot arrive unclaimed,
+	// and make sure a reader is running to claim it.
+	c.pmu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.pmu.Unlock()
+		c.callPool.Put(pc)
+		return err
+	}
 	xid := c.nextXID
 	c.nextXID++
+	c.pending[xid] = pc
+	if !c.reading {
+		c.reading = true
+		go c.readLoop()
+	}
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
 	c.enc.Reset()
 	encodeCall(&c.enc, CallHeader{XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc})
 	if encodeArgs != nil {
 		encodeArgs(&c.enc)
 	}
-	if err := writeRecord(c.conn, c.enc.Bytes()); err != nil {
+	err := writeRecord(c.conn, c.enc.Bytes())
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		_, still := c.pending[xid]
+		delete(c.pending, xid)
+		c.pmu.Unlock()
+		if !still {
+			// The reader resolved this call before the write error
+			// surfaced; drain its signal so the pooled call is clean.
+			<-pc.done
+			if pc.buf != nil {
+				*pc.buf = pc.rec[:cap(pc.rec)]
+				c.bufPool.Put(pc.buf)
+				pc.rec, pc.buf = nil, nil
+			}
+		}
+		c.callPool.Put(pc)
 		return fmt.Errorf("sunrpc: send: %w", err)
 	}
-	rec, err := readRecord(c.conn, c.recBuf)
-	if err != nil {
-		return fmt.Errorf("sunrpc: receive: %w", err)
-	}
-	c.recBuf = rec[:cap(rec)]
-	d := xdr.NewDecoder(rec)
-	replyXID, err := decodeReply(d)
-	if err != nil {
+
+	<-pc.done
+	if pc.err != nil {
+		err := pc.err
+		c.callPool.Put(pc)
 		return err
 	}
-	if replyXID != xid {
-		return fmt.Errorf("%w: got %d, want %d", ErrXIDMismatch, replyXID, xid)
+
+	var d xdr.Decoder
+	d.Reset(pc.rec)
+	replyXID, err := decodeReply(&d)
+	if err == nil && replyXID != xid {
+		// Cannot happen — the reader demuxed on this xid — but keep
+		// the check as a cheap invariant.
+		err = fmt.Errorf("%w: got %d, want %d", ErrXIDMismatch, replyXID, xid)
 	}
-	if decodeRes != nil {
-		return decodeRes(d)
+	if err == nil && decodeRes != nil {
+		err = decodeRes(&d)
 	}
-	return nil
+	// The reply record is fully consumed: recycle its buffer.
+	*pc.buf = pc.rec[:cap(pc.rec)]
+	c.bufPool.Put(pc.buf)
+	pc.rec, pc.buf = nil, nil
+	c.callPool.Put(pc)
+	return err
 }
 
-// Close closes the underlying connection.
+// readLoop drains reply records while calls are pending, matching
+// each to its caller by xid. It exits as soon as the pending set is
+// empty, leaving the connection free for other readers.
+func (c *Client) readLoop() {
+	for {
+		c.pmu.Lock()
+		if len(c.pending) == 0 || c.err != nil {
+			c.reading = false
+			c.pmu.Unlock()
+			return
+		}
+		c.pmu.Unlock()
+
+		bufp := c.getBuf()
+		rec, err := readRecord(c.conn, *bufp)
+		if err != nil {
+			c.bufPool.Put(bufp)
+			c.failAll(fmt.Errorf("sunrpc: receive: %w", err))
+			return
+		}
+		if len(rec) < 4 {
+			*bufp = rec[:cap(rec)]
+			c.bufPool.Put(bufp)
+			c.failAll(fmt.Errorf("%w: reply record of %d bytes", ErrBadMessage, len(rec)))
+			return
+		}
+		xid := binary.BigEndian.Uint32(rec[:4])
+
+		c.pmu.Lock()
+		pc, ok := c.pending[xid]
+		if !ok {
+			c.pmu.Unlock()
+			*bufp = rec[:cap(rec)]
+			c.bufPool.Put(bufp)
+			// A reply nothing asked for means the stream is out of
+			// sync; every outstanding call is now unanswerable.
+			c.failAll(fmt.Errorf("%w: got %d", ErrXIDMismatch, xid))
+			return
+		}
+		delete(c.pending, xid)
+		c.pmu.Unlock()
+
+		*bufp = rec[:cap(rec)]
+		pc.rec, pc.buf = rec, bufp
+		pc.done <- struct{}{}
+	}
+}
+
+// failAll marks the client broken and unblocks every outstanding
+// call with err.
+func (c *Client) failAll(err error) {
+	c.pmu.Lock()
+	c.err = err
+	c.reading = false
+	for xid, pc := range c.pending {
+		delete(c.pending, xid)
+		pc.err = err
+		pc.done <- struct{}{}
+	}
+	c.pmu.Unlock()
+}
+
+// Close closes the underlying connection; outstanding calls fail.
 func (c *Client) Close() error { return c.conn.Close() }

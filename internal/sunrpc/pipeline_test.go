@@ -1,0 +1,134 @@
+package sunrpc
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"flexrpc/internal/xdr"
+)
+
+// TestPipelinedCallsInterleave proves the client keeps several calls
+// in flight on one connection and matches replies to callers by xid:
+// the server collects four complete call records before answering any
+// of them — in reverse arrival order — which only a pipelined,
+// xid-demultiplexing client can survive.
+func TestPipelinedCallsInterleave(t *testing.T) {
+	const calls = 4
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	defer sc.Close()
+
+	go func() {
+		type req struct {
+			xid uint32
+			arg int32
+		}
+		var reqs []req
+		var buf []byte
+		for len(reqs) < calls {
+			rec, err := readRecord(sc, buf)
+			if err != nil {
+				return
+			}
+			buf = rec[:cap(rec)]
+			var d xdr.Decoder
+			d.Reset(rec)
+			h, err := decodeCall(&d)
+			if err != nil {
+				return
+			}
+			v, err := d.Int32()
+			if err != nil {
+				return
+			}
+			reqs = append(reqs, req{xid: h.XID, arg: v})
+		}
+		// All four calls are now provably outstanding at once.
+		// Answer newest-first so correctness depends on xid
+		// matching, not on reply order.
+		var e xdr.Encoder
+		for i := len(reqs) - 1; i >= 0; i-- {
+			e.Reset()
+			encodeAcceptedReply(&e, reqs[i].xid, Success)
+			e.PutInt32(reqs[i].arg * 10)
+			if err := writeRecord(sc, e.Bytes()); err != nil {
+				return
+			}
+		}
+	}()
+
+	c := NewClient(cc, testProg, testVers)
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arg := int32(i + 1)
+			var got int32
+			err := c.Call(procEcho,
+				func(e *xdr.Encoder) { e.PutInt32(arg) },
+				func(d *xdr.Decoder) error {
+					v, err := d.Int32()
+					got = v
+					return err
+				})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got != arg*10 {
+				errs[i] = fmt.Errorf("call %d: got %d, want %d", i, got, arg*10)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestReadRecordSteadyStateNoAllocs checks that a long sequence of
+// same-sized messages read through a reused buffer settles into zero
+// allocations per record — growth is geometric, not linear.
+func TestReadRecordSteadyStateNoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are not meaningful under the race detector")
+	}
+	msg := bytes.Repeat([]byte{0x5A}, 1500)
+	var stream bytes.Buffer
+	const n = 90
+	for i := 0; i < n; i++ {
+		if err := writeRecord(&stream, msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream.Bytes())
+
+	rec, err := readRecord(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := rec[:cap(rec)]
+	first := &scratch[0]
+
+	allocs := testing.AllocsPerRun(80, func() {
+		rec, err := readRecord(r, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &rec[0] != first {
+			t.Fatal("readRecord abandoned the reusable buffer")
+		}
+		scratch = rec[:cap(rec)]
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state readRecord allocates %.1f times per message", allocs)
+	}
+}

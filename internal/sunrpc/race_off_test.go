@@ -1,0 +1,5 @@
+//go:build !race
+
+package sunrpc
+
+const raceEnabled = false

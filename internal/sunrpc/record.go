@@ -49,26 +49,26 @@ func writeRecord(w io.Writer, data []byte) error {
 }
 
 // readRecord reads one record-marked message, reassembling
-// fragments. buf is reused when large enough.
+// fragments. buf is reused when large enough. Fragment headers are
+// read into buf's spare capacity, not a local array — a local would
+// escape through the io.Reader and put one allocation on every
+// message.
 func readRecord(r io.Reader, buf []byte) ([]byte, error) {
-	var hdr [4]byte
 	out := buf[:0]
 	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		out = growRecord(out, 4)
+		hdr := out[len(out) : len(out)+4]
+		if _, err := io.ReadFull(r, hdr); err != nil {
 			return nil, err
 		}
-		word := binary.BigEndian.Uint32(hdr[:])
+		word := binary.BigEndian.Uint32(hdr)
 		last := word&lastFragFlag != 0
 		n := int(word &^ lastFragFlag)
 		if len(out)+n > maxRecord {
 			return nil, fmt.Errorf("%w: record exceeds %d bytes", ErrBadMessage, maxRecord)
 		}
 		start := len(out)
-		if cap(out) < start+n {
-			grown := make([]byte, start, start+n)
-			copy(grown, out)
-			out = grown
-		}
+		out = growRecord(out, n)
 		out = out[:start+n]
 		if _, err := io.ReadFull(r, out[start:]); err != nil {
 			return nil, err
@@ -77,4 +77,25 @@ func readRecord(r io.Reader, buf []byte) ([]byte, error) {
 			return out, nil
 		}
 	}
+}
+
+// growRecord ensures n bytes of spare capacity past len(out),
+// growing geometrically so a k-fragment record costs O(log k)
+// allocations, and a caller reusing the returned buffer
+// (rec[:cap(rec)]) stops allocating once it has seen its
+// steady-state message size.
+func growRecord(out []byte, n int) []byte {
+	if cap(out)-len(out) >= n {
+		return out
+	}
+	newCap := 2 * cap(out)
+	if newCap < len(out)+n {
+		newCap = len(out) + n
+	}
+	if newCap < 512 {
+		newCap = 512
+	}
+	grown := make([]byte, len(out), newCap)
+	copy(grown, out)
+	return grown
 }

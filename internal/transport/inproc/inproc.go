@@ -1,16 +1,18 @@
 // Package inproc is the same-domain transport (paper §4.4): when
 // client and server share a protection domain, RPC short-circuits to
 // a direct invocation with no marshaling, but the stubs must still
-// honor both endpoints' presentations. At each call the engine
-// derives the invocation semantics — copy vs borrow for in
-// parameters, who provides the buffer for out parameters — from the
-// two sides' presentation attributes, copying only when the
-// attributes require it.
+// honor both endpoints' presentations.
 //
-// Semantics are computed per invocation, as in the paper's
-// implementation ("even with the current 'dumb' implementation, we
-// found the additional overhead of this computation to be
-// negligible").
+// The invocation semantics — copy vs borrow for in parameters, who
+// provides the buffer for out parameters — are derived from the two
+// sides' presentation attributes once, at Connect time, into a flat
+// per-operation step list: the same-domain analogue of the Mach
+// combination signatures the paper describes in §4.5. Presentations
+// are part of the binding, so a presentation changed after Connect
+// requires a new Connect, exactly as a re-bind would over a message
+// transport. The per-call path is then a straight loop over
+// precomputed decisions, with pooled Call frames, so a null call and
+// a borrow-mode bulk call allocate nothing.
 package inproc
 
 import (
@@ -26,6 +28,32 @@ import (
 type Conn struct {
 	clientPres *pres.Presentation
 	disp       *runtime.Dispatcher
+	binds      map[string]*opBind
+}
+
+// opBind is one operation's compiled invocation program: every
+// negotiation the engine would otherwise redo per call, resolved at
+// bind time.
+type opBind struct {
+	op     *ir.Operation
+	params []paramBind
+	nOut   int // out/inout param count
+
+	hasResult bool
+	resType   *ir.Type
+	resOut    runtime.OutSemantics
+}
+
+// paramBind carries the negotiated transfer decisions for one
+// parameter position.
+type paramBind struct {
+	idx     int
+	typ     *ir.Type
+	isIn    bool
+	isOut   bool
+	in      runtime.InSemantics
+	out     runtime.OutSemantics
+	private bool // SetIn private flag under borrow semantics
 }
 
 // Connect binds a client presentation to a dispatcher in the same
@@ -37,7 +65,46 @@ func Connect(clientPres *pres.Presentation, disp *runtime.Dispatcher) (*Conn, er
 		return nil, fmt.Errorf("inproc: contract mismatch:\n  client %s\n  server %s",
 			clientPres.Interface.Signature(), disp.Pres.Interface.Signature())
 	}
-	return &Conn{clientPres: clientPres, disp: disp}, nil
+	c := &Conn{clientPres: clientPres, disp: disp, binds: make(map[string]*opBind)}
+	for i := range clientPres.Interface.Ops {
+		irOp := &clientPres.Interface.Ops[i]
+		c.binds[irOp.Name] = c.compileOp(irOp)
+	}
+	return c, nil
+}
+
+// compileOp negotiates every parameter of one operation against both
+// presentations, once.
+func (c *Conn) compileOp(irOp *ir.Operation) *opBind {
+	cop := c.clientPres.Op(irOp.Name)
+	sop := c.disp.Pres.Op(irOp.Name)
+	b := &opBind{op: irOp}
+	for i := range irOp.Params {
+		prm := &irOp.Params[i]
+		ca := attrsOf(cop, prm.Name)
+		sa := attrsOf(sop, prm.Name)
+		pb := paramBind{
+			idx:   i,
+			typ:   prm.Type,
+			isIn:  prm.Dir == ir.In || prm.Dir == ir.InOut,
+			isOut: prm.Dir == ir.Out || prm.Dir == ir.InOut,
+		}
+		if pb.isIn {
+			pb.in = runtime.NegotiateIn(ca, sa)
+			pb.private = ca.Trashable
+		}
+		if pb.isOut {
+			pb.out = runtime.NegotiateOut(ca, sa)
+			b.nOut++
+		}
+		b.params = append(b.params, pb)
+	}
+	if irOp.HasResult() {
+		b.hasResult = true
+		b.resType = irOp.Result
+		b.resOut = runtime.NegotiateOut(attrsOf(cop, pres.ResultParam), attrsOf(sop, pres.ResultParam))
+	}
+	return b
 }
 
 var zeroAttrs pres.ParamAttrs
@@ -52,66 +119,59 @@ func attrsOf(op *pres.OpPres, name string) *pres.ParamAttrs {
 	return &zeroAttrs
 }
 
-// Invoke implements runtime.Invoker with a direct, negotiated call.
+// Invoke implements runtime.Invoker with a direct call under the
+// bind-time negotiated semantics. outs is nil when the operation has
+// no out or inout parameters.
 func (c *Conn) Invoke(op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
-	irOp := c.clientPres.Interface.Op(op)
-	if irOp == nil {
+	b, ok := c.binds[op]
+	if !ok {
 		return nil, nil, fmt.Errorf("inproc: unknown operation %q", op)
 	}
-	if len(args) != len(irOp.Params) {
-		return nil, nil, fmt.Errorf("inproc: %s takes %d params, have %d", op, len(irOp.Params), len(args))
+	if len(args) != len(b.op.Params) {
+		return nil, nil, fmt.Errorf("inproc: %s takes %d params, have %d", op, len(b.op.Params), len(args))
 	}
-	cop := c.clientPres.Op(op)
-	sop := c.disp.Pres.Op(op)
 
-	call := c.disp.NewCall(irOp)
-	// Per-invocation semantics computation, one parameter at a time.
-	for i, prm := range irOp.Params {
-		ca := attrsOf(cop, prm.Name)
-		sa := attrsOf(sop, prm.Name)
-		if prm.Dir == ir.In || prm.Dir == ir.InOut {
-			switch runtime.NegotiateIn(ca, sa) {
-			case runtime.InCopy:
-				call.SetIn(i, runtime.CopyValue(prm.Type, args[i]), true)
-			case runtime.InBorrow:
-				call.SetIn(i, args[i], ca.Trashable)
+	call := c.disp.AcquireCall(b.op)
+	for i := range b.params {
+		pb := &b.params[i]
+		if pb.isIn {
+			if pb.in == runtime.InCopy {
+				call.SetIn(pb.idx, runtime.CopyValue(pb.typ, args[pb.idx]), true)
+			} else {
+				call.SetIn(pb.idx, args[pb.idx], pb.private)
 			}
 		}
-		if prm.Dir == ir.Out || prm.Dir == ir.InOut {
-			if runtime.NegotiateOut(ca, sa) == runtime.OutCallerBuffer && outBufs != nil {
-				call.SetOutBuffer(i, outBufs[i])
-			}
+		if pb.isOut && pb.out == runtime.OutCallerBuffer && outBufs != nil {
+			call.SetOutBuffer(pb.idx, outBufs[pb.idx])
 		}
 	}
-	if irOp.HasResult() {
-		ca := attrsOf(cop, pres.ResultParam)
-		sa := attrsOf(sop, pres.ResultParam)
-		if runtime.NegotiateOut(ca, sa) == runtime.OutCallerBuffer {
-			call.SetResultBuffer(retBuf)
-		}
+	if b.hasResult && b.resOut == runtime.OutCallerBuffer {
+		call.SetResultBuffer(retBuf)
 	}
 
 	if err := c.disp.Invoke(call); err != nil {
+		c.disp.ReleaseCall(call)
 		return nil, nil, err
 	}
 
 	// Deliver out values, copying only where both sides insisted on
 	// their own buffer.
-	outs := make([]runtime.Value, len(irOp.Params))
-	for i, prm := range irOp.Params {
-		if prm.Dir == ir.In {
-			continue
+	var outs []runtime.Value
+	if b.nOut > 0 {
+		outs = make([]runtime.Value, len(b.op.Params))
+		for i := range b.params {
+			pb := &b.params[i]
+			if !pb.isOut {
+				continue
+			}
+			outs[pb.idx] = deliverOut(pb.typ, call.Out(pb.idx), pb.out, bufAt(outBufs, pb.idx))
 		}
-		ca := attrsOf(cop, prm.Name)
-		sa := attrsOf(sop, prm.Name)
-		outs[i] = c.deliverOut(prm.Type, call.Out(i), runtime.NegotiateOut(ca, sa), bufAt(outBufs, i))
 	}
 	var ret runtime.Value
-	if irOp.HasResult() {
-		ca := attrsOf(cop, pres.ResultParam)
-		sa := attrsOf(sop, pres.ResultParam)
-		ret = c.deliverOut(irOp.Result, call.Result(), runtime.NegotiateOut(ca, sa), retBuf)
+	if b.hasResult {
+		ret = deliverOut(b.resType, call.Result(), b.resOut, retBuf)
 	}
+	c.disp.ReleaseCall(call)
 	return outs, ret, nil
 }
 
@@ -124,7 +184,7 @@ func bufAt(bufs [][]byte, i int) []byte {
 
 // deliverOut hands one out value to the client under the negotiated
 // semantics.
-func (c *Conn) deliverOut(t *ir.Type, v runtime.Value, sem runtime.OutSemantics, clientBuf []byte) runtime.Value {
+func deliverOut(t *ir.Type, v runtime.Value, sem runtime.OutSemantics, clientBuf []byte) runtime.Value {
 	if sem != runtime.OutCopy {
 		// Stub-alloc, server-buffer and caller-buffer semantics all
 		// deliver by reference in the same domain.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package inproc
+
+const raceEnabled = false

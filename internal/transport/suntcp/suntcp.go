@@ -6,6 +6,7 @@ package suntcp
 
 import (
 	"net"
+	"sync"
 
 	"flexrpc/internal/ir"
 	"flexrpc/internal/pres"
@@ -83,19 +84,24 @@ func (c *Conn) Close() error { return c.rpc.Close() }
 func (c *Conn) SelfFraming() bool { return true }
 
 // NewServer builds a Sun RPC server that dispatches through disp
-// under the server plan. Call ServeConn/Serve on the result.
+// under the server plan. Call ServeConn/Serve on the result. Reply
+// encoders are pooled across requests and procedures.
 func NewServer(disp *runtime.Dispatcher, plan *runtime.Plan) *sunrpc.Server {
 	prog, vers := progVers(disp.Pres.Interface)
 	srv := sunrpc.NewServer(prog, vers)
+	encPool := &sync.Pool{New: func() any { return plan.Codec.NewEncoder() }}
 	for i := range plan.Ops {
 		idx := i
 		op := plan.Ops[i].Op
 		srv.Register(procFor(op, idx), func(args *xdr.Decoder, reply *xdr.Encoder) error {
-			enc := plan.Codec.NewEncoder()
+			enc := encPool.Get().(runtime.Encoder)
+			enc.Reset()
 			if err := disp.ServeMessageRaw(plan, idx, args.Rest(), enc); err != nil {
+				encPool.Put(enc)
 				return err
 			}
 			reply.PutRaw(enc.Bytes())
+			encPool.Put(enc)
 			return nil
 		})
 	}

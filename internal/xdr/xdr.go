@@ -160,6 +160,13 @@ func NewDecoder(buf []byte) *Decoder {
 	return &Decoder{buf: buf}
 }
 
+// Reset re-aims the decoder at a new buffer, rewinding it. Hot paths
+// use this to reuse one Decoder across messages without allocating.
+func (d *Decoder) Reset(buf []byte) {
+	d.buf = buf
+	d.off = 0
+}
+
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
 
@@ -287,6 +294,24 @@ func (d *Decoder) Opaque() ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d", ErrLengthOverflow, n)
 	}
 	return d.FixedOpaque(int(n))
+}
+
+// OpaqueInto decodes variable-length opaque data into dst when it
+// fits, returning dst resliced to the data length; when the data is
+// larger than dst it is returned in freshly allocated storage instead,
+// never truncated. Either way the caller owns the result.
+func (d *Decoder) OpaqueInto(dst []byte) ([]byte, error) {
+	b, err := d.Opaque()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) <= len(dst) {
+		n := copy(dst, b)
+		return dst[:n], nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
 }
 
 // OpaqueCopy decodes variable-length opaque data into freshly
