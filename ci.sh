@@ -1,6 +1,7 @@
 #!/bin/sh
 # CI driver. `./ci.sh` runs the full gate (same as `make ci`);
-# `./ci.sh vet-examples` runs only the flexvet sweep over examples/.
+# `./ci.sh vet-examples` runs only the flexvet sweep over examples/;
+# `./ci.sh fuzz-smoke` runs only the short fuzz pass.
 set -eu
 
 cd "$(dirname "$0")"
@@ -26,8 +27,23 @@ vet_examples() {
 	done
 }
 
+fuzz_smoke() {
+	# Short coverage-guided runs over the network-facing decoders.
+	# `go test -fuzz` takes one target per invocation, so list them.
+	go test -run='^$' -fuzz=FuzzDecoder -fuzztime=10s ./internal/xdr
+	go test -run='^$' -fuzz=FuzzDecoder -fuzztime=10s ./internal/cdr
+	go test -run='^$' -fuzz=FuzzReadRecord -fuzztime=10s ./internal/sunrpc
+	go test -run='^$' -fuzz=FuzzDecodeMessage -fuzztime=10s ./internal/runtime
+	go test -run='^$' -fuzz=FuzzServeMessage -fuzztime=10s ./internal/runtime
+}
+
 if [ "${1:-}" = "vet-examples" ]; then
 	vet_examples
+	exit 0
+fi
+
+if [ "${1:-}" = "fuzz-smoke" ]; then
+	fuzz_smoke
 	exit 0
 fi
 
@@ -50,6 +66,9 @@ go test -race ./...
 
 echo "== bench smoke (compile + one iteration per benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "== fuzz smoke"
+fuzz_smoke
 
 echo "== flexc vet examples"
 vet_examples

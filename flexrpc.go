@@ -134,6 +134,53 @@ type (
 	Decoder = runtime.Decoder
 )
 
+// Re-exported robustness-layer types (deadlines, retries,
+// at-most-once execution; see DESIGN.md §6).
+type (
+	// ContextConn is a Conn honoring per-call deadlines natively.
+	ContextConn = runtime.ContextConn
+	// ContextInvoker is an Invoker with per-call deadlines.
+	ContextInvoker = runtime.ContextInvoker
+	// RetryPolicy bounds the retry loop (backoff, jitter, attempts).
+	RetryPolicy = runtime.RetryPolicy
+	// RobustOptions configure a RobustConn.
+	RobustOptions = runtime.RobustOptions
+	// RobustConn wraps a Conn with framing, CRCs, deadlines and
+	// idempotency-aware retry; pair with a SessionServer.
+	RobustConn = runtime.RobustConn
+	// SessionServer is the server half of the session layer.
+	SessionServer = runtime.SessionServer
+	// ReplyCache memoizes replies for at-most-once execution.
+	ReplyCache = runtime.ReplyCache
+	// PanicError reports a recovered server work-function panic.
+	PanicError = runtime.PanicError
+)
+
+// NewRobustConn wraps a transport connection with the client half of
+// the session layer for presentation p.
+func NewRobustConn(inner Conn, p *Presentation, opts RobustOptions) *RobustConn {
+	return runtime.NewRobustConn(inner, p, opts)
+}
+
+// NewReplyCache returns an at-most-once reply cache retaining up to
+// capacity completed replies.
+func NewReplyCache(capacity int) *ReplyCache { return runtime.NewReplyCache(capacity) }
+
+// NewSessionServer builds the server half of the session layer over
+// disp, compiling disp's marshal plan for codec. cache may be nil,
+// which disables duplicate suppression.
+func NewSessionServer(disp *Dispatcher, codec Codec, hooks SpecialHooks, cache *ReplyCache) (*SessionServer, error) {
+	plan, err := runtime.NewPlan(disp.Pres, codec, hooks)
+	if err != nil {
+		return nil, err
+	}
+	return runtime.NewSessionServer(disp, plan, cache), nil
+}
+
+// Retryable reports whether a failed call may safely be retried
+// under the session layer.
+func Retryable(err error) bool { return runtime.Retryable(err) }
+
 // Wire codecs.
 var (
 	// XDRCodec marshals in Sun XDR.

@@ -113,6 +113,18 @@ var registry = map[string]CheckInfo{
 			"NewParallelClient rejects plain SpecialHooks at bind time; this check " +
 			"flags the mismatch before it gets there.",
 	},
+	"FV014": {
+		ID: "FV014", Title: "idempotent-moves-ownership", Severity: SevWarning,
+		Fix: "drop [idempotent] and rely on the at-most-once reply cache, or stop moving ownership in the signature",
+		Doc: "An [idempotent] operation may be retransmitted and re-executed " +
+			"without duplicate suppression, so re-execution must be harmless — " +
+			"but this operation's signature moves buffer ownership: an in " +
+			"parameter the stub frees after marshaling ([dealloc(always)]) " +
+			"would be double-freed by the retransmit's marshal, and a " +
+			"callee-allocated out buffer ([alloc(callee)]) is allocated once " +
+			"per execution with only one delivery. Either effect makes the " +
+			"retry observable, contradicting the annotation.",
+	},
 }
 
 // Checks returns the full registry sorted by ID, for `flexc vet -list`

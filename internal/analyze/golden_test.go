@@ -71,6 +71,10 @@ var goldenCases = []struct {
 		client: "interface FileIO {\n    read([dealloc(never)] count);\n};\n",
 	},
 	{
+		name:   "fv014_idempotent_moves_ownership",
+		client: "interface FileIO {\n    [idempotent] write([dealloc(always)] data);\n    [idempotent] read([alloc(callee)] return);\n};\n",
+	},
+	{
 		name:   "clean_figure5",
 		client: "interface FileIO {\n    read([dealloc(never)] return);\n};\n",
 		server: "interface FileIO {\n    write([preserved] data);\n};\n",

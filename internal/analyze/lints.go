@@ -32,6 +32,9 @@ func (c *checker) checkEndpoint(iface *ir.Interface, ep Endpoint) {
 				p.Interface.Name, opName, iface.Name)
 			continue
 		}
+		if op.Idempotent {
+			c.checkIdempotent(p.Interface.Name, opName, irOp, op)
+		}
 		for _, pn := range sortedParamNames(op.Params) {
 			a := op.Params[pn]
 			t, dir, ok := resolveParam(irOp, pn)
@@ -41,6 +44,31 @@ func (c *checker) checkEndpoint(iface *ir.Interface, ep Endpoint) {
 				continue
 			}
 			c.checkParam(p.Interface.Name, opName, pn, irOp, a, t, dir)
+		}
+	}
+}
+
+// checkIdempotent is FV014: an [idempotent] operation whose
+// signature moves buffer ownership. The runtime retries such an
+// operation without consulting the reply cache, so a retransmitted
+// execution must be invisible — ownership moves are not.
+func (c *checker) checkIdempotent(iface, opName string, irOp *ir.Operation, op *pres.OpPres) {
+	for _, pn := range sortedParamNames(op.Params) {
+		a := op.Params[pn]
+		t, dir, ok := resolveParam(irOp, pn)
+		if !ok || !pres.IsBuffer(t) {
+			continue // FV007 covers dangling names
+		}
+		ctx := iface + "." + opName + "." + pn
+		isIn := dir == ir.In || dir == ir.InOut
+		isOut := dir == ir.Out || dir == ir.InOut
+		if isIn && a.Dealloc == pres.DeallocAlways && a.Explicit("dealloc") {
+			c.report("FV014", attrPos(a, "dealloc"),
+				"%s: [idempotent] operation transfers the caller's buffer ([dealloc(always)]); a retry's re-marshal would double-free it", ctx)
+		}
+		if isOut && a.Alloc == pres.AllocCallee && a.Explicit("alloc") {
+			c.report("FV014", attrPos(a, "alloc"),
+				"%s: [idempotent] operation hands out a callee-allocated buffer ([alloc(callee)]); a retried execution allocates again with only one delivery", ctx)
 		}
 	}
 }

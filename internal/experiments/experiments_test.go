@@ -218,6 +218,38 @@ func TestPortTransferShape(t *testing.T) {
 	}
 }
 
+func TestFigFaultsShape(t *testing.T) {
+	tab, err := FigFaults(FaultsConfig{Calls: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(label string) Row {
+		for _, r := range tab.Rows {
+			if r.Label == label {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return Row{}
+	}
+	// With retries on, the session layer must mask every injected
+	// loss; 400 calls at 8 attempts each makes failure astronomically
+	// unlikely, so demand perfection.
+	for _, label := range []string{"loss 1% retries on", "loss 5% retries on"} {
+		if v := get(label).Values[0]; v != "100.0" {
+			t.Errorf("%s: success %s%%, want 100.0", label, v)
+		}
+	}
+	// With retries off, 5% loss must actually lose calls — otherwise
+	// the injector is not injecting.
+	if v := get("loss 5% retries off").Values[0]; v == "100.0" {
+		t.Error("5% loss with retries off lost nothing: fault injection broken")
+	}
+}
+
 func TestBestOfPicksMinimum(t *testing.T) {
 	calls := 0
 	durs := []time.Duration{5 * time.Millisecond, 2 * time.Millisecond, 9 * time.Millisecond}

@@ -274,6 +274,8 @@ func (d *opDecl) apply(out *pres.Presentation, strict bool) error {
 		switch a.name {
 		case "comm_status":
 			op.CommStatus = true
+		case "idempotent":
+			op.Idempotent = true
 		default:
 			return idl.Errorf(a.pos, "pdl: unknown operation attribute %q", a.name)
 		}

@@ -206,6 +206,13 @@ type OpPres struct {
 	// CommStatus ([comm_status]): RPC failures are reported through
 	// a status return instead of an exception environment.
 	CommStatus bool
+	// Idempotent ([idempotent]): re-executing the operation is
+	// harmless, so a retrying client may retransmit it without
+	// server-side duplicate suppression. Like every presentation
+	// attribute it never changes the network contract — the wire
+	// messages of an idempotent op are byte-identical to an
+	// unannotated one.
+	Idempotent bool
 	// Pos is the source position of the operation's PDL declaration,
 	// when one was applied.
 	Pos idl.Pos
@@ -361,6 +368,7 @@ func (p *Presentation) Clone() *Presentation {
 			Name:       op.Name,
 			Params:     make(map[string]*ParamAttrs, len(op.Params)),
 			CommStatus: op.CommStatus,
+			Idempotent: op.Idempotent,
 			Pos:        op.Pos,
 			At:         clonePosMap(op.At),
 		}

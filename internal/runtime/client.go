@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -134,7 +135,7 @@ func (c *Client) Invoke(op string, args []Value, outBufs [][]byte, retBuf []byte
 	opPlan := c.plan.Ops[idx]
 
 	if c.parallel {
-		return c.invokeParallel(opPlan, idx, args, outBufs, retBuf)
+		return c.invokeParallel(nil, opPlan, idx, args, outBufs, retBuf)
 	}
 
 	c.mu.Lock()
@@ -155,15 +156,15 @@ func (c *Client) Invoke(op string, args []Value, outBufs [][]byte, retBuf []byte
 }
 
 // invokeParallel is Invoke with pooled per-call state instead of the
-// client mutex.
-func (c *Client) invokeParallel(opPlan *OpPlan, idx int, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
+// client mutex. ctx may be nil (no deadline).
+func (c *Client) invokeParallel(ctx context.Context, opPlan *OpPlan, idx int, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
 	st := c.states.Get().(*callState)
 	st.enc.Reset()
 	if err := opPlan.EncodeRequest(st.enc, args); err != nil {
 		c.states.Put(st)
 		return nil, nil, err
 	}
-	reply, err := c.conn.Call(idx, st.enc.Bytes(), st.replyBuf)
+	reply, err := CallConn(ctx, c.conn, idx, st.enc.Bytes(), st.replyBuf)
 	if err != nil {
 		c.states.Put(st)
 		return nil, nil, err
@@ -182,7 +183,7 @@ func (c *Client) invokeParallel(opPlan *OpPlan, idx int, args []Value, outBufs [
 // codecs that do not support reuse.
 func (c *Client) decoderFor(slot *ReusableDecoder, reply []byte) Decoder {
 	if *slot == nil {
-		d := c.plan.Codec.NewDecoder(reply)
+		d := c.plan.limitDecoder(c.plan.Codec.NewDecoder(reply))
 		if rd, ok := d.(ReusableDecoder); ok {
 			*slot = rd
 		}

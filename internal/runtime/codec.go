@@ -68,6 +68,15 @@ type ReusableDecoder interface {
 	Reset(buf []byte)
 }
 
+// A LimitedDecoder can bound how large any single variable-length
+// item (opaque, string, element count) it decodes may claim to be,
+// so a hostile length prefix cannot force a huge allocation. Both
+// built-in codecs implement it; n == 0 restores the codec default.
+type LimitedDecoder interface {
+	Decoder
+	SetMaxLength(n uint32)
+}
+
 // XDRCodec marshals in Sun XDR (RFC 4506).
 var XDRCodec Codec = xdrCodec{}
 
@@ -122,6 +131,7 @@ func (x *xdrDecoder) FixedBytes(n int) ([]byte, error)     { return x.d.FixedOpa
 func (x *xdrDecoder) FixedBytesInto(dst []byte) error      { return x.d.FixedOpaqueInto(dst) }
 func (x *xdrDecoder) Len() (int, error)                    { return x.d.ArrayLen() }
 func (x *xdrDecoder) Remaining() int                       { return x.d.Remaining() }
+func (x *xdrDecoder) SetMaxLength(n uint32)                { x.d.MaxLength = n }
 
 // CDRCodec marshals in CORBA CDR, big-endian.
 var CDRCodec Codec = cdrCodec{order: cdr.BigEndian, name: "cdr"}
@@ -203,3 +213,4 @@ func (c *cdrDecoder) FixedBytes(n int) ([]byte, error) { return c.d.FixedOctets(
 func (c *cdrDecoder) FixedBytesInto(dst []byte) error  { return c.d.FixedOctetsInto(dst) }
 func (c *cdrDecoder) Len() (int, error)                { return c.d.SeqLen() }
 func (c *cdrDecoder) Remaining() int                   { return c.d.Remaining() }
+func (c *cdrDecoder) SetMaxLength(n uint32)            { c.d.MaxLength = n }

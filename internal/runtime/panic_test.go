@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// A panicking handler must turn into an error reply — and the
+// dispatcher must keep serving afterward. A panic taking down the
+// whole server would let one bad request deny service to every
+// connected client.
+func TestHandlerPanicBecomesErrorReply(t *testing.T) {
+	p := richPres(t)
+	d := NewDispatcher(p)
+	boom := true
+	d.Handle("mix", func(c *Call) error {
+		if boom {
+			panic("kaboom")
+		}
+		c.SetResult(c.Arg(0))
+		return nil
+	})
+	plan, err := NewPlan(p, XDRCodec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := plan.Ops[plan.OpIndex("mix")]
+	item := []Value{int32(1), "widget", []Value{int32(9), int32(8)}}
+	args := []Value{item, []byte("payload"), "text", 2.5, true, PortName(7)}
+	reqEnc := XDRCodec.NewEncoder()
+	if err := op.EncodeRequest(reqEnc, args); err != nil {
+		t.Fatal(err)
+	}
+	body := reqEnc.Bytes()
+
+	enc := XDRCodec.NewEncoder()
+	d.ServeMessage(plan, plan.OpIndex("mix"), body, enc)
+	dec := XDRCodec.NewDecoder(enc.Bytes())
+	status, err := dec.Uint32()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status == replyOK {
+		t.Fatal("panicking handler produced an OK reply")
+	}
+	msg, err := dec.String()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "panicked") || !strings.Contains(msg, "kaboom") {
+		t.Fatalf("error reply %q does not name the panic", msg)
+	}
+
+	// The same dispatcher keeps serving once the handler behaves.
+	boom = false
+	enc.Reset()
+	d.ServeMessage(plan, plan.OpIndex("mix"), body, enc)
+	dec = XDRCodec.NewDecoder(enc.Bytes())
+	if status, _ := dec.Uint32(); status != replyOK {
+		t.Fatalf("dispatcher stopped serving after a recovered panic: status %d", status)
+	}
+}
+
+// The raw (self-framing) path reports the panic as a *PanicError so
+// transports can map it onto their own error channel.
+func TestHandlerPanicRawPath(t *testing.T) {
+	p := richPres(t)
+	d := NewDispatcher(p)
+	d.Handle("blob", func(c *Call) error {
+		var xs []byte
+		_ = xs[4] // index out of range
+		return nil
+	})
+	plan, err := NewPlan(p, XDRCodec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqEnc := XDRCodec.NewEncoder()
+	if err := plan.Ops[plan.OpIndex("blob")].EncodeRequest(reqEnc, []Value{uint32(3)}); err != nil {
+		t.Fatal(err)
+	}
+	enc := XDRCodec.NewEncoder()
+	err = d.ServeMessageRaw(plan, plan.OpIndex("blob"), reqEnc.Bytes(), enc)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if pe.Op != "blob" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError missing context: op=%q stack=%d bytes", pe.Op, len(pe.Stack))
+	}
+}

@@ -61,8 +61,22 @@ type Plan struct {
 	hooks  SpecialHooks
 	byName map[string]int
 
+	// maxDecode bounds any single variable-length item the plan's
+	// decoders accept (see LimitedDecoder); hostile length prefixes
+	// fail instead of forcing a huge allocation. A trusted peer
+	// ([leaky, unprotected] — the paper's trust model, same ladder
+	// FV005 lints against) gets the relaxed bound.
+	maxDecode uint32
+
 	decPool sync.Pool // ReusableDecoder, for pooled server paths
 }
+
+// Decode bounds applied by NewPlan according to the presentation's
+// trust level; override with SetMaxDecode.
+const (
+	DefaultMaxDecode uint32 = 16 << 20
+	TrustedMaxDecode uint32 = 256 << 20
+)
 
 // An OpPlan marshals one operation's requests and replies via its
 // compiled step lists.
@@ -109,6 +123,10 @@ type replyStep struct {
 // interface. hooks may be nil when no parameter is [special].
 func NewPlan(p *pres.Presentation, codec Codec, hooks SpecialHooks) (*Plan, error) {
 	pl := &Plan{Pres: p, Codec: codec, hooks: hooks, byName: make(map[string]int)}
+	pl.maxDecode = DefaultMaxDecode
+	if p.Trust >= pres.TrustFull {
+		pl.maxDecode = TrustedMaxDecode
+	}
 	for i := range p.Interface.Ops {
 		op := &p.Interface.Ops[i]
 		opPres := p.Op(op.Name)
@@ -133,14 +151,30 @@ func (p *Plan) OpIndex(name string) int {
 	return -1
 }
 
+// SetMaxDecode overrides the plan's decode bound (0 restores the
+// codec default). Call before the plan is shared across goroutines.
+func (p *Plan) SetMaxDecode(n uint32) { p.maxDecode = n }
+
+// MaxDecode reports the plan's decode bound.
+func (p *Plan) MaxDecode() uint32 { return p.maxDecode }
+
+// limitDecoder applies the plan's decode bound to d when the codec
+// supports limiting.
+func (p *Plan) limitDecoder(d Decoder) Decoder {
+	if ld, ok := d.(LimitedDecoder); ok {
+		ld.SetMaxLength(p.maxDecode)
+	}
+	return d
+}
+
 // AcquireDecoder returns a decoder positioned at body, reusing a
 // pooled one when the codec supports it. Pair with ReleaseDecoder.
 func (p *Plan) AcquireDecoder(body []byte) Decoder {
 	if d, ok := p.decPool.Get().(ReusableDecoder); ok {
 		d.Reset(body)
-		return d
+		return p.limitDecoder(d)
 	}
-	return p.Codec.NewDecoder(body)
+	return p.limitDecoder(p.Codec.NewDecoder(body))
 }
 
 // ReleaseDecoder returns a decoder obtained from AcquireDecoder to

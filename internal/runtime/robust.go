@@ -1,0 +1,418 @@
+package runtime
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexrpc/internal/pres"
+)
+
+// The robustness layer: a session protocol between RobustConn
+// (client) and SessionServer (server) that makes calls safe to retry
+// over lossy transports. It rides beneath the presentation — the
+// marshaled bodies it carries are byte-identical with or without it —
+// and above any Conn, so the same layer covers inproc loopbacks,
+// netsim pipes, and Sun RPC streams.
+//
+// Session frames are fixed big-endian binary, independent of the
+// marshal codec (the body keeps whatever codec the plan chose):
+//
+//	request: cid(4) seq(4) flags(4) crc32(body)(4) body...
+//	reply:   status(4) crc32(body)(4) body...
+//
+// cid identifies the client instance, seq the logical call; a retry
+// retransmits the same (cid, seq), which is what lets the server's
+// ReplyCache suppress duplicate execution. flags bit 0 marks the
+// operation [idempotent], telling the server caching is unnecessary.
+// The CRC lets the client distinguish a corrupted reply (retryable —
+// the server may or may not have executed, but the cache makes the
+// retry safe) from a clean reply carrying an application error (not
+// retryable: the server definitely executed).
+const (
+	robustReqHeader = 16
+	robustRepHeader = 8
+
+	flagIdempotent = 1 << 0
+
+	sessOK         = 0 // body is the dispatcher's reply (status framing + results)
+	sessBadRequest = 1 // request frame failed its CRC; body empty; retry
+)
+
+// ErrCorruptReply reports a session reply that failed its length or
+// CRC check; the call may be retried (the reply cache suppresses
+// double execution for non-idempotent operations).
+var ErrCorruptReply = errors.New("runtime: corrupt session reply")
+
+// ErrBadRequestFrame reports that the server received this call's
+// request frame corrupted and did not execute it; always retryable.
+var ErrBadRequestFrame = errors.New("runtime: request frame corrupted in transit")
+
+// Retryable reports whether a failed call may be safely retried by a
+// client using the session layer: transport faults, timeouts, and
+// corruption are retryable; a *RemoteError is not (the server
+// executed and replied), and a canceled context is not (the caller
+// gave up).
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	return !errors.Is(err, context.Canceled)
+}
+
+// A RetryPolicy bounds the retry loop: capped exponential backoff
+// with jitter, and an optional per-attempt timeout carved out of the
+// call's deadline.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	// Zero means the default of 4.
+	MaxAttempts int
+	// AttemptTimeout bounds each individual attempt; zero means the
+	// attempt runs until the call's own deadline.
+	AttemptTimeout time.Duration
+	// BaseBackoff is the delay before the first retry (default 1ms);
+	// each subsequent delay is multiplied by Multiplier (default 2)
+	// and capped at MaxBackoff (default 100ms). The actual sleep is
+	// jittered uniformly over [d/2, d).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	Multiplier  float64
+	// Seed makes the jitter deterministic for tests; zero seeds from
+	// an arbitrary fixed value.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// RobustOptions configure a RobustConn.
+type RobustOptions struct {
+	// ClientID identifies this client instance in the at-most-once
+	// cache key; distinct concurrent clients of one server must use
+	// distinct IDs.
+	ClientID uint32
+	// AtMostOnce declares that the server wraps its dispatcher in a
+	// SessionServer with a ReplyCache, making every operation safe to
+	// retry. When false, only [idempotent]-annotated operations
+	// retry; everything else gets a single attempt.
+	AtMostOnce bool
+	Policy     RetryPolicy
+}
+
+// A RobustConn wraps a Conn with the client half of the session
+// layer: framing with CRCs, deadlines, and idempotency-aware retry.
+// The peer must unwrap frames with a SessionServer. RobustConn is
+// deliberately not SelfFraming: the dispatcher's status framing rides
+// inside the session body, so application errors are cached and
+// replayed like any other reply.
+type RobustConn struct {
+	inner  Conn
+	cid    uint32
+	seq    atomic.Uint32
+	idem   []bool // by op index: may retry without the cache
+	atMost bool
+	policy RetryPolicy
+
+	rmu sync.Mutex // guards rng
+	rng *rand.Rand
+
+	frames sync.Pool // *[]byte request frame buffers
+}
+
+// NewRobustConn wraps inner for presentation p. The idempotency of
+// each operation comes from p's [idempotent] annotations.
+func NewRobustConn(inner Conn, p *pres.Presentation, opts RobustOptions) *RobustConn {
+	idem := make([]bool, len(p.Interface.Ops))
+	for i := range p.Interface.Ops {
+		if op := p.Op(p.Interface.Ops[i].Name); op != nil {
+			idem[i] = op.Idempotent
+		}
+	}
+	seed := opts.Policy.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &RobustConn{
+		inner:  inner,
+		cid:    opts.ClientID,
+		idem:   idem,
+		atMost: opts.AtMostOnce,
+		policy: opts.Policy.withDefaults(),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Call implements Conn.
+func (r *RobustConn) Call(opIdx int, req, replyBuf []byte) ([]byte, error) {
+	return r.CallContext(context.Background(), opIdx, req, replyBuf)
+}
+
+// Close closes the wrapped transport.
+func (r *RobustConn) Close() error { return r.inner.Close() }
+
+// CallContext implements ContextConn: frame the request, send it,
+// verify the reply, retrying per the policy when the operation (or
+// the at-most-once session) allows. Retries retransmit the same
+// sequence number, so the server replays rather than re-executes.
+func (r *RobustConn) CallContext(ctx context.Context, opIdx int, req, replyBuf []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	idem := opIdx >= 0 && opIdx < len(r.idem) && r.idem[opIdx]
+	attempts := r.policy.MaxAttempts
+	if !r.atMost && !idem {
+		attempts = 1
+	}
+
+	seq := r.seq.Add(1)
+	var flags uint32
+	if idem {
+		flags |= flagIdempotent
+	}
+
+	fb, _ := r.frames.Get().(*[]byte)
+	if fb == nil {
+		fb = new([]byte)
+	}
+	frame := *fb
+	need := robustReqHeader + len(req)
+	if cap(frame) < need {
+		frame = make([]byte, need)
+	}
+	frame = frame[:need]
+	binary.BigEndian.PutUint32(frame[0:4], r.cid)
+	binary.BigEndian.PutUint32(frame[4:8], seq)
+	binary.BigEndian.PutUint32(frame[8:12], flags)
+	binary.BigEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(req))
+	copy(frame[robustReqHeader:], req)
+
+	var reply []byte
+	var err error
+	backoff := r.policy.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			break
+		}
+		reply, err = r.callOnce(ctx, opIdx, frame, replyBuf)
+		if err == nil || !Retryable(err) || attempt >= attempts {
+			break
+		}
+		if serr := r.sleep(ctx, backoff); serr != nil {
+			break
+		}
+		backoff = time.Duration(float64(backoff) * r.policy.Multiplier)
+		if backoff > r.policy.MaxBackoff {
+			backoff = r.policy.MaxBackoff
+		}
+	}
+	*fb = frame[:0]
+	r.frames.Put(fb)
+	return reply, err
+}
+
+// callOnce performs one attempt under the per-attempt timeout and
+// verifies the session reply.
+func (r *RobustConn) callOnce(ctx context.Context, opIdx int, frame, replyBuf []byte) ([]byte, error) {
+	actx := ctx
+	var cancel context.CancelFunc
+	if r.policy.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, r.policy.AttemptTimeout)
+	}
+	reply, err := CallConn(actx, r.inner, opIdx, frame, replyBuf)
+	if cancel != nil {
+		cancel()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(reply) < robustRepHeader {
+		return nil, fmt.Errorf("%w: %d-byte frame", ErrCorruptReply, len(reply))
+	}
+	status := binary.BigEndian.Uint32(reply[0:4])
+	sum := binary.BigEndian.Uint32(reply[4:8])
+	body := reply[robustRepHeader:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrCorruptReply
+	}
+	switch status {
+	case sessOK:
+		return body, nil
+	case sessBadRequest:
+		return nil, ErrBadRequestFrame
+	default:
+		return nil, fmt.Errorf("%w: unknown status %d", ErrCorruptReply, status)
+	}
+}
+
+// sleep waits one jittered backoff interval or until ctx expires.
+func (r *RobustConn) sleep(ctx context.Context, d time.Duration) error {
+	r.rmu.Lock()
+	jittered := d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
+	r.rmu.Unlock()
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// A ReplyCache is the server half of at-most-once execution: it
+// memoizes one reply frame per (client id, sequence) key, and
+// single-flights concurrent duplicates — a retransmit that arrives
+// while the original is still executing waits for that execution
+// instead of starting another. Completed entries are evicted FIFO
+// beyond the capacity.
+type ReplyCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*cacheEntry
+	order   []uint64
+}
+
+type cacheEntry struct {
+	done  chan struct{}
+	frame []byte // immutable once done is closed
+}
+
+// DefaultReplyCacheSize bounds the cache when NewReplyCache is given
+// a non-positive capacity.
+const DefaultReplyCacheSize = 4096
+
+// NewReplyCache returns a cache retaining up to capacity completed
+// replies (DefaultReplyCacheSize when capacity <= 0).
+func NewReplyCache(capacity int) *ReplyCache {
+	if capacity <= 0 {
+		capacity = DefaultReplyCacheSize
+	}
+	return &ReplyCache{cap: capacity, entries: make(map[uint64]*cacheEntry)}
+}
+
+// do returns the cached reply for key, executing exec exactly once
+// per key; duplicates wait for the first execution to finish.
+func (c *ReplyCache) do(key uint64, exec func() []byte) []byte {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.frame
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.frame = exec()
+	close(e.done)
+
+	c.mu.Lock()
+	c.order = append(c.order, key)
+	for len(c.order) > c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.mu.Unlock()
+	return e.frame
+}
+
+// Len reports how many completed replies the cache currently holds.
+func (c *ReplyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
+
+// A SessionServer is the server half of the session layer: it
+// unwraps request frames, drives the dispatcher, and wraps replies,
+// consulting a ReplyCache so retransmitted non-idempotent calls
+// replay their original reply instead of re-executing.
+type SessionServer struct {
+	disp  *Dispatcher
+	plan  *Plan
+	cache *ReplyCache
+
+	encs sync.Pool // Encoder
+}
+
+// NewSessionServer wraps disp/plan. cache may be nil, which disables
+// duplicate suppression (clients must then only retry idempotent
+// operations).
+func NewSessionServer(disp *Dispatcher, plan *Plan, cache *ReplyCache) *SessionServer {
+	return &SessionServer{disp: disp, plan: plan, cache: cache}
+}
+
+// Handle processes one request frame and returns the reply frame.
+// The returned slice is shared (it may be replayed to a later
+// retransmit): transports must copy it onto the wire and never
+// modify it.
+func (s *SessionServer) Handle(ctx context.Context, opIdx int, frame []byte) []byte {
+	if len(frame) < robustReqHeader {
+		return badRequestFrame()
+	}
+	cid := binary.BigEndian.Uint32(frame[0:4])
+	seq := binary.BigEndian.Uint32(frame[4:8])
+	flags := binary.BigEndian.Uint32(frame[8:12])
+	sum := binary.BigEndian.Uint32(frame[12:16])
+	body := frame[robustReqHeader:]
+	if crc32.ChecksumIEEE(body) != sum {
+		// Damaged in transit: tell the client to retransmit. Not
+		// cached — the retry must reach the dispatcher.
+		return badRequestFrame()
+	}
+	if flags&flagIdempotent != 0 || s.cache == nil {
+		return s.exec(ctx, opIdx, body)
+	}
+	key := uint64(cid)<<32 | uint64(seq)
+	return s.cache.do(key, func() []byte { return s.exec(ctx, opIdx, body) })
+}
+
+// exec dispatches one request body and builds a fresh reply frame.
+func (s *SessionServer) exec(ctx context.Context, opIdx int, body []byte) []byte {
+	enc, _ := s.encs.Get().(Encoder)
+	if enc == nil {
+		enc = s.plan.Codec.NewEncoder()
+	}
+	enc.Reset()
+	s.disp.ServeMessageContext(ctx, s.plan, opIdx, body, enc)
+	out := enc.Bytes()
+	rep := make([]byte, robustRepHeader+len(out))
+	binary.BigEndian.PutUint32(rep[0:4], sessOK)
+	binary.BigEndian.PutUint32(rep[4:8], crc32.ChecksumIEEE(out))
+	copy(rep[robustRepHeader:], out)
+	s.encs.Put(enc)
+	return rep
+}
+
+func badRequestFrame() []byte {
+	rep := make([]byte, robustRepHeader)
+	binary.BigEndian.PutUint32(rep[0:4], sessBadRequest)
+	// crc32 of the empty body is 0; the zeroed word already matches.
+	return rep
+}

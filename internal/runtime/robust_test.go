@@ -12,7 +12,7 @@ import (
 // bytes must return an error, never panic and never loop — the
 // property a network-facing unmarshaler lives or dies by.
 
-func richPres(t *testing.T) *pres.Presentation {
+func richPres(t testing.TB) *pres.Presentation {
 	t.Helper()
 	f, err := corba.Parse("r.idl", `
 		struct item { long id; string name; sequence<long> scores; };

@@ -1,8 +1,10 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"flexrpc/internal/ir"
@@ -28,7 +30,23 @@ type Call struct {
 	retBuf     []byte
 	opPres     *pres.OpPres
 	afterReply []func()
+	ctx        context.Context
 }
+
+// Context returns the context the call was dispatched under:
+// transports that plumb per-call deadlines (InvokeContext,
+// ServeMessageContext) install it so work functions can observe
+// cancellation; everywhere else it is context.Background().
+func (c *Call) Context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
+// SetContext installs the dispatch context; transports call this
+// before Invoke.
+func (c *Call) SetContext(ctx context.Context) { c.ctx = ctx }
 
 // AfterReply schedules fn to run once the reply has been marshaled —
 // the stub's deallocation point. A [dealloc(never)] server uses this
@@ -142,12 +160,38 @@ func (d *Dispatcher) Handle(op string, h Handler) {
 	d.handlers[op] = h
 }
 
-// Invoke runs the work function for a fully prepared Call.
+// A PanicError reports a server work function that panicked; the
+// dispatcher converts the panic into an RPC error reply so one bad
+// request cannot take the whole server process down.
+type PanicError struct {
+	Op    string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runtime: handler %s panicked: %v", e.Op, e.Value)
+}
+
+// Invoke runs the work function for a fully prepared Call. A
+// panicking work function is recovered into a *PanicError: the
+// transport turns it into an error reply and keeps serving.
 func (d *Dispatcher) Invoke(c *Call) error {
 	h, ok := d.handlers[c.Op.Name]
 	if !ok {
 		return fmt.Errorf("%w: %s", errNoHandler, c.Op.Name)
 	}
+	return invokeRecover(h, c)
+}
+
+// invokeRecover isolates the recover so Invoke's own frame stays
+// defer-free on the zero-alloc hot path.
+func invokeRecover(h Handler, c *Call) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Op: c.Op.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	return h(c)
 }
 
@@ -204,6 +248,7 @@ func (d *Dispatcher) ReleaseCall(c *Call) {
 	c.opPres = nil
 	c.ret = nil
 	c.retBuf = nil
+	c.ctx = nil
 	c.afterReply = c.afterReply[:0]
 	d.callPool.Put(c)
 }
@@ -221,6 +266,14 @@ const (
 // pooled, so the steady-state path allocates only what the decoded
 // argument values themselves need.
 func (d *Dispatcher) ServeMessage(plan *Plan, opIdx int, body []byte, enc Encoder) {
+	d.ServeMessageContext(nil, plan, opIdx, body, enc)
+}
+
+// ServeMessageContext is ServeMessage with a dispatch context: work
+// functions observe it through Call.Context, so a client deadline
+// that a session transport forwards can cancel server-side work. ctx
+// may be nil (treated as Background).
+func (d *Dispatcher) ServeMessageContext(ctx context.Context, plan *Plan, opIdx int, body []byte, enc Encoder) {
 	if opIdx < 0 || opIdx >= len(plan.Ops) {
 		encodeFailure(enc, fmt.Sprintf("bad operation index %d", opIdx))
 		return
@@ -228,6 +281,7 @@ func (d *Dispatcher) ServeMessage(plan *Plan, opIdx int, body []byte, enc Encode
 	op := plan.Ops[opIdx]
 	dec := plan.AcquireDecoder(body)
 	call := d.AcquireCall(op.Op)
+	call.ctx = ctx
 	defer d.ReleaseCall(call)
 	defer plan.ReleaseDecoder(dec)
 	if err := op.DecodeRequestInto(dec, call.in); err != nil {
@@ -255,12 +309,19 @@ func (d *Dispatcher) ServeMessage(plan *Plan, opIdx int, body []byte, enc Encode
 // status word is emitted; decode, application, and marshal errors
 // are returned for the transport's own error channel.
 func (d *Dispatcher) ServeMessageRaw(plan *Plan, opIdx int, body []byte, enc Encoder) error {
+	return d.ServeMessageRawContext(nil, plan, opIdx, body, enc)
+}
+
+// ServeMessageRawContext is ServeMessageRaw with a dispatch context
+// (see ServeMessageContext). ctx may be nil.
+func (d *Dispatcher) ServeMessageRawContext(ctx context.Context, plan *Plan, opIdx int, body []byte, enc Encoder) error {
 	if opIdx < 0 || opIdx >= len(plan.Ops) {
 		return fmt.Errorf("runtime: bad operation index %d", opIdx)
 	}
 	op := plan.Ops[opIdx]
 	dec := plan.AcquireDecoder(body)
 	call := d.AcquireCall(op.Op)
+	call.ctx = ctx
 	defer d.ReleaseCall(call)
 	defer plan.ReleaseDecoder(dec)
 	if err := op.DecodeRequestInto(dec, call.in); err != nil {

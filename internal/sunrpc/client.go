@@ -1,13 +1,23 @@
 package sunrpc
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 
 	"flexrpc/internal/xdr"
 )
+
+// ErrClientClosed is the sticky error calls observe after Close.
+var ErrClientClosed = errors.New("sunrpc: client closed")
+
+// abandonedCap bounds the abandoned-xid set; past it the set is
+// cleared, accepting that a reply to a very old abandoned call would
+// then desynchronize the stream (and be handled by failAll).
+const abandonedCap = 4096
 
 // A Client issues Sun RPC calls for one program/version over a
 // stream connection. Concurrent calls pipeline: each call is tagged
@@ -23,18 +33,26 @@ type Client struct {
 	prog uint32
 	vers uint32
 
+	// MaxMessageSize bounds received reply records; zero means
+	// DefaultMaxRecord. Set before the first call.
+	MaxMessageSize int
+
 	// wmu serializes request marshaling and record writes; a record's
 	// header and fragments must not interleave with another call's.
+	// It also serializes redials (lock order: wmu before pmu).
 	wmu sync.Mutex
 	enc xdr.Encoder
 
-	// pmu guards the pending map, the xid counter, the reader state
-	// and the sticky transport error.
-	pmu     sync.Mutex
-	pending map[uint32]*pendingCall
-	nextXID uint32
-	reading bool
-	err     error
+	// pmu guards the pending map, the xid counter, the reader state,
+	// the sticky transport error, the abandoned set and closed flag.
+	pmu       sync.Mutex
+	pending   map[uint32]*pendingCall
+	nextXID   uint32
+	reading   bool
+	err       error
+	closed    bool
+	abandoned map[uint32]struct{}
+	redial    func() (net.Conn, error)
 
 	callPool sync.Pool // *pendingCall
 	bufPool  sync.Pool // *[]byte record buffers
@@ -59,6 +77,23 @@ func NewClient(conn net.Conn, prog, vers uint32) *Client {
 	}
 }
 
+// SetRedial installs a dial function used to replace the connection
+// after a transport failure (failAll): the next call redials through
+// it instead of returning the sticky error, so a client survives a
+// server restart or a mid-stream disconnect.
+func (c *Client) SetRedial(dial func() (net.Conn, error)) {
+	c.pmu.Lock()
+	c.redial = dial
+	c.pmu.Unlock()
+}
+
+func (c *Client) maxRecord() int {
+	if c.MaxMessageSize > 0 {
+		return c.MaxMessageSize
+	}
+	return DefaultMaxRecord
+}
+
 func (c *Client) getCall() *pendingCall {
 	if pc, ok := c.callPool.Get().(*pendingCall); ok {
 		pc.rec, pc.buf, pc.err = nil, nil, nil
@@ -79,11 +114,37 @@ func (c *Client) getBuf() *[]byte {
 // successful accepted reply. Call is safe for concurrent use;
 // concurrent calls share the connection in flight.
 func (c *Client) Call(proc uint32, encodeArgs func(*xdr.Encoder), decodeRes func(*xdr.Decoder) error) error {
+	return c.call(nil, proc, encodeArgs, decodeRes)
+}
+
+// CallContext is Call with a per-call deadline: when ctx expires
+// before the reply arrives, the call returns ctx.Err() and its xid is
+// abandoned — the demux reader discards the late reply when (if) it
+// arrives instead of treating it as stream desync. The connection and
+// the other in-flight calls are unaffected.
+func (c *Client) CallContext(ctx context.Context, proc uint32, encodeArgs func(*xdr.Encoder), decodeRes func(*xdr.Decoder) error) error {
+	return c.call(ctx, proc, encodeArgs, decodeRes)
+}
+
+func (c *Client) call(ctx context.Context, proc uint32, encodeArgs func(*xdr.Encoder), decodeRes func(*xdr.Decoder) error) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	pc := c.getCall()
 
 	// Register before writing so the reply cannot arrive unclaimed,
 	// and make sure a reader is running to claim it.
 	c.pmu.Lock()
+	if c.err != nil && !c.closed && c.redial != nil {
+		c.pmu.Unlock()
+		if err := c.maybeRedial(); err != nil {
+			c.callPool.Put(pc)
+			return err
+		}
+		c.pmu.Lock()
+	}
 	if c.err != nil {
 		err := c.err
 		c.pmu.Unlock()
@@ -108,25 +169,44 @@ func (c *Client) Call(proc uint32, encodeArgs func(*xdr.Encoder), decodeRes func
 	err := writeRecord(c.conn, c.enc.Bytes())
 	c.wmu.Unlock()
 	if err != nil {
-		c.pmu.Lock()
-		_, still := c.pending[xid]
-		delete(c.pending, xid)
-		c.pmu.Unlock()
-		if !still {
+		// A failed write may have left a partial record on the wire:
+		// the stream is poisoned for every call, not just this one.
+		// Marking the client broken also arms the redial hook.
+		c.failAll(fmt.Errorf("sunrpc: send: %w", err))
+		<-pc.done
+		err = pc.err
+		if err == nil {
 			// The reader resolved this call before the write error
-			// surfaced; drain its signal so the pooled call is clean.
-			<-pc.done
-			if pc.buf != nil {
-				*pc.buf = pc.rec[:cap(pc.rec)]
-				c.bufPool.Put(pc.buf)
-				pc.rec, pc.buf = nil, nil
-			}
+			// surfaced; the reply is genuine, but report the failure.
+			c.recycleReply(pc)
+			err = errors.New("sunrpc: send failed after reply")
 		}
 		c.callPool.Put(pc)
-		return fmt.Errorf("sunrpc: send: %w", err)
+		return err
 	}
 
-	<-pc.done
+	if ctx != nil && ctx.Done() != nil {
+		select {
+		case <-pc.done:
+		case <-ctx.Done():
+			c.pmu.Lock()
+			if _, still := c.pending[xid]; still {
+				// The reader has not claimed this xid (and now never
+				// will): abandon it so the late reply is discarded.
+				delete(c.pending, xid)
+				c.abandon(xid)
+				c.pmu.Unlock()
+				c.callPool.Put(pc)
+				return ctx.Err()
+			}
+			c.pmu.Unlock()
+			// The reply raced the cancellation; use it.
+			<-pc.done
+		}
+	} else {
+		<-pc.done
+	}
+
 	if pc.err != nil {
 		err := pc.err
 		c.callPool.Put(pc)
@@ -145,17 +225,79 @@ func (c *Client) Call(proc uint32, encodeArgs func(*xdr.Encoder), decodeRes func
 		err = decodeRes(&d)
 	}
 	// The reply record is fully consumed: recycle its buffer.
-	*pc.buf = pc.rec[:cap(pc.rec)]
-	c.bufPool.Put(pc.buf)
-	pc.rec, pc.buf = nil, nil
+	c.recycleReply(pc)
 	c.callPool.Put(pc)
 	return err
+}
+
+// recycleReply returns a resolved call's reply buffer to the pool.
+func (c *Client) recycleReply(pc *pendingCall) {
+	if pc.buf != nil {
+		*pc.buf = pc.rec[:cap(pc.rec)]
+		c.bufPool.Put(pc.buf)
+		pc.rec, pc.buf = nil, nil
+	}
+}
+
+// abandon records xid as cancelled; pmu must be held.
+func (c *Client) abandon(xid uint32) {
+	if c.abandoned == nil {
+		c.abandoned = make(map[uint32]struct{})
+	}
+	if len(c.abandoned) >= abandonedCap {
+		clear(c.abandoned)
+	}
+	c.abandoned[xid] = struct{}{}
+}
+
+// maybeRedial replaces a failed connection through the redial hook.
+// It holds wmu for the duration so no writer observes the swap
+// mid-record (lock order wmu, then pmu).
+func (c *Client) maybeRedial() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.pmu.Lock()
+	if c.err == nil {
+		// Another caller already redialed while we waited on wmu.
+		c.pmu.Unlock()
+		return nil
+	}
+	if c.closed || c.redial == nil {
+		err := c.err
+		c.pmu.Unlock()
+		return err
+	}
+	dial := c.redial
+	old := c.conn
+	c.pmu.Unlock()
+
+	nc, err := dial()
+	if err != nil {
+		return fmt.Errorf("sunrpc: redial: %w", err)
+	}
+	c.pmu.Lock()
+	if c.closed {
+		c.pmu.Unlock()
+		nc.Close()
+		return ErrClientClosed
+	}
+	c.conn = nc
+	c.err = nil
+	c.abandoned = nil
+	c.pmu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
 }
 
 // readLoop drains reply records while calls are pending, matching
 // each to its caller by xid. It exits as soon as the pending set is
 // empty, leaving the connection free for other readers.
 func (c *Client) readLoop() {
+	c.pmu.Lock()
+	conn := c.conn
+	c.pmu.Unlock()
 	for {
 		c.pmu.Lock()
 		if len(c.pending) == 0 || c.err != nil {
@@ -166,7 +308,7 @@ func (c *Client) readLoop() {
 		c.pmu.Unlock()
 
 		bufp := c.getBuf()
-		rec, err := readRecord(c.conn, *bufp)
+		rec, err := readRecordLimit(conn, *bufp, c.maxRecord())
 		if err != nil {
 			c.bufPool.Put(bufp)
 			c.failAll(fmt.Errorf("sunrpc: receive: %w", err))
@@ -183,6 +325,15 @@ func (c *Client) readLoop() {
 		c.pmu.Lock()
 		pc, ok := c.pending[xid]
 		if !ok {
+			if _, was := c.abandoned[xid]; was {
+				// A late reply to a deadline-expired call: discard it
+				// and keep reading. The stream is still in sync.
+				delete(c.abandoned, xid)
+				c.pmu.Unlock()
+				*bufp = rec[:cap(rec)]
+				c.bufPool.Put(bufp)
+				continue
+			}
 			c.pmu.Unlock()
 			*bufp = rec[:cap(rec)]
 			c.bufPool.Put(bufp)
@@ -201,10 +352,13 @@ func (c *Client) readLoop() {
 }
 
 // failAll marks the client broken and unblocks every outstanding
-// call with err.
+// call with err. The first sticky error wins: a Close racing a
+// transport failure stays ErrClientClosed.
 func (c *Client) failAll(err error) {
 	c.pmu.Lock()
-	c.err = err
+	if c.err == nil {
+		c.err = err
+	}
 	c.reading = false
 	for xid, pc := range c.pending {
 		delete(c.pending, xid)
@@ -214,5 +368,22 @@ func (c *Client) failAll(err error) {
 	c.pmu.Unlock()
 }
 
-// Close closes the underlying connection; outstanding calls fail.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the underlying connection and deterministically fails
+// every outstanding call with ErrClientClosed — callers never block
+// on a reply that will not come, even if the reader goroutine has not
+// yet observed the closed connection.
+func (c *Client) Close() error {
+	c.pmu.Lock()
+	c.closed = true
+	if c.err == nil {
+		c.err = ErrClientClosed
+	}
+	conn := c.conn
+	for xid, pc := range c.pending {
+		delete(c.pending, xid)
+		pc.err = ErrClientClosed
+		pc.done <- struct{}{}
+	}
+	c.pmu.Unlock()
+	return conn.Close()
+}

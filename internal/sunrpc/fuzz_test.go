@@ -1,0 +1,51 @@
+package sunrpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadRecord feeds arbitrary bytes to the record-marking reader.
+// Length words in the input are attacker-controlled, so the reader
+// must never panic, never return a record past its limit, and —
+// because growth is chunked — never allocate far beyond the bytes
+// actually present.
+func FuzzReadRecord(f *testing.F) {
+	var good bytes.Buffer
+	if err := writeRecord(&good, []byte("hello, sun rpc record marking")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	// A two-fragment record, hand-built.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x02, 'h', 'i', 0x80, 0x00, 0x00, 0x01, '!'})
+	// A hostile length word with no data behind it.
+	f.Add([]byte{0x7f, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+
+	const limit = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := readRecordLimit(bytes.NewReader(data), nil, limit)
+		if err != nil {
+			return
+		}
+		if len(rec) > limit {
+			t.Fatalf("record of %d bytes exceeds limit %d", len(rec), limit)
+		}
+		if len(rec) > len(data) {
+			t.Fatalf("record of %d bytes from %d input bytes", len(rec), len(data))
+		}
+		// A record the reader accepts must round-trip through the
+		// writer and back.
+		var out bytes.Buffer
+		if err := writeRecord(&out, rec); err != nil {
+			t.Fatal(err)
+		}
+		again, err := readRecordLimit(bytes.NewReader(out.Bytes()), nil, limit)
+		if err != nil {
+			t.Fatalf("round-trip failed: %v", err)
+		}
+		if !bytes.Equal(rec, again) {
+			t.Fatal("round-trip changed the record")
+		}
+	})
+}

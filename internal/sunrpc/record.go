@@ -16,9 +16,10 @@ const (
 	maxFragment  = 1 << 20 // fragments we emit; larger messages split
 )
 
-// maxRecord bounds the total size of a received record, protecting
-// the reader from corrupt length words.
-const maxRecord = 64 << 20
+// DefaultMaxRecord bounds the total size of a received record when
+// the reader was not given an explicit limit, protecting it from
+// corrupt length words.
+const DefaultMaxRecord = 64 << 20
 
 // writeRecord sends data as a record-marked message, splitting it
 // into fragments of at most maxFragment bytes.
@@ -54,6 +55,18 @@ func writeRecord(w io.Writer, data []byte) error {
 // escape through the io.Reader and put one allocation on every
 // message.
 func readRecord(r io.Reader, buf []byte) ([]byte, error) {
+	return readRecordLimit(r, buf, DefaultMaxRecord)
+}
+
+// readRecordLimit is readRecord bounded to limit total bytes
+// (DefaultMaxRecord when limit <= 0). A fragment's length word is
+// attacker-controlled until its bytes actually arrive, so the buffer
+// grows at most one bounded chunk ahead of received data — a hostile
+// length prefix cannot force a huge allocation up front.
+func readRecordLimit(r io.Reader, buf []byte, limit int) ([]byte, error) {
+	if limit <= 0 {
+		limit = DefaultMaxRecord
+	}
 	out := buf[:0]
 	for {
 		out = growRecord(out, 4)
@@ -64,14 +77,20 @@ func readRecord(r io.Reader, buf []byte) ([]byte, error) {
 		word := binary.BigEndian.Uint32(hdr)
 		last := word&lastFragFlag != 0
 		n := int(word &^ lastFragFlag)
-		if len(out)+n > maxRecord {
-			return nil, fmt.Errorf("%w: record exceeds %d bytes", ErrBadMessage, maxRecord)
+		if n > limit || len(out)+n > limit {
+			return nil, fmt.Errorf("%w: record exceeds %d bytes", ErrBadMessage, limit)
 		}
-		start := len(out)
-		out = growRecord(out, n)
-		out = out[:start+n]
-		if _, err := io.ReadFull(r, out[start:]); err != nil {
-			return nil, err
+		for n > 0 {
+			chunk := n
+			if chunk > maxFragment {
+				chunk = maxFragment
+			}
+			out = growRecord(out, chunk)
+			out = out[:len(out)+chunk]
+			if _, err := io.ReadFull(r, out[len(out)-chunk:]); err != nil {
+				return nil, err
+			}
+			n -= chunk
 		}
 		if last {
 			return out, nil

@@ -24,6 +24,10 @@ type Server struct {
 	prog     uint32
 	vers     uint32
 	handlers map[uint32]ProcHandler
+
+	// MaxMessageSize bounds received request records; zero means
+	// DefaultMaxRecord. Set before serving.
+	MaxMessageSize int
 }
 
 // NewServer creates a server for prog/vers. Procedure 0 (the null
@@ -43,10 +47,14 @@ func (s *Server) Register(proc uint32, h ProcHandler) {
 // ServeConn processes calls from conn until it closes, returning nil
 // on clean EOF.
 func (s *Server) ServeConn(conn net.Conn) error {
+	limit := s.MaxMessageSize
+	if limit <= 0 {
+		limit = DefaultMaxRecord
+	}
 	var enc xdr.Encoder
 	var recBuf []byte
 	for {
-		rec, err := readRecord(conn, recBuf)
+		rec, err := readRecordLimit(conn, recBuf, limit)
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 				return nil

@@ -1,0 +1,277 @@
+// Package faultconn injects transport faults — drops, delays,
+// duplicates, truncations, byte corruption, mid-call disconnects —
+// under a seeded deterministic schedule. It wraps either a
+// runtime.Conn (message-level faults, usable over inproc loopbacks
+// and session servers) or a net.Conn (byte-level faults, usable
+// under netsim and suntcp), so the same fault profile exercises every
+// layer of the stack. The point is testing the robustness layer:
+// with a fixed seed a failing run replays exactly.
+package faultconn
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"flexrpc/internal/runtime"
+)
+
+// ErrDropped reports a message the schedule discarded; with no
+// deadline on the call there is nothing to wait for, so the loss
+// surfaces immediately.
+var ErrDropped = errors.New("faultconn: message dropped")
+
+// ErrDisconnected reports a scheduled mid-call disconnect.
+var ErrDisconnected = errors.New("faultconn: connection torn down")
+
+// A Profile sets per-call fault probabilities (each in [0, 1]) and
+// the latency range for delayed calls. The zero Profile injects
+// nothing.
+type Profile struct {
+	// Seed makes the schedule deterministic; zero means seed 1.
+	Seed int64
+
+	DropRequest float64 // request lost; the server never executes
+	DropReply   float64 // server executed, reply lost
+	Duplicate   float64 // request retransmitted; server sees it twice
+	Corrupt     float64 // one reply byte flipped
+	Truncate    float64 // reply cut short
+	Disconnect  float64 // connection torn down mid-call
+	Delay       float64 // added latency, uniform in [DelayMin, DelayMax]
+
+	DelayMin time.Duration
+	DelayMax time.Duration
+}
+
+// Counts tallies injected faults, for assertions that a test
+// actually exercised what it claims to.
+type Counts struct {
+	Calls           int64
+	DroppedRequests int64
+	DroppedReplies  int64
+	Duplicates      int64
+	Corrupted       int64
+	Truncated       int64
+	Disconnects     int64
+	Delays          int64
+}
+
+// A Schedule draws fault decisions from a seeded source. One
+// schedule may drive many wrapped connections; draws are serialized.
+type Schedule struct {
+	p Profile
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts Counts
+}
+
+// New returns a deterministic schedule for p.
+func New(p Profile) *Schedule {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Schedule{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Counts returns the faults injected so far.
+func (s *Schedule) Counts() Counts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
+}
+
+// decision is one call's drawn faults. All randomness is drawn in a
+// single locked step so concurrent calls cannot interleave draws and
+// perturb the deterministic sequence mid-call.
+type decision struct {
+	dropRequest bool
+	dropReply   bool
+	duplicate   bool
+	corrupt     bool
+	truncate    bool
+	disconnect  bool
+	delay       time.Duration
+	corruptPos  int
+	corruptBit  byte
+}
+
+func (s *Schedule) draw() decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts.Calls++
+	roll := func(p float64) bool { return p > 0 && s.rng.Float64() < p }
+	var d decision
+	if d.disconnect = roll(s.p.Disconnect); d.disconnect {
+		s.counts.Disconnects++
+	}
+	if d.dropRequest = roll(s.p.DropRequest); d.dropRequest {
+		s.counts.DroppedRequests++
+	}
+	if d.dropReply = roll(s.p.DropReply); d.dropReply {
+		s.counts.DroppedReplies++
+	}
+	if d.duplicate = roll(s.p.Duplicate); d.duplicate {
+		s.counts.Duplicates++
+	}
+	if d.corrupt = roll(s.p.Corrupt); d.corrupt {
+		s.counts.Corrupted++
+		d.corruptPos = s.rng.Intn(1 << 16)
+		d.corruptBit = 1 << uint(s.rng.Intn(8))
+	}
+	if d.truncate = roll(s.p.Truncate); d.truncate {
+		s.counts.Truncated++
+	}
+	if roll(s.p.Delay) {
+		s.counts.Delays++
+		span := s.p.DelayMax - s.p.DelayMin
+		d.delay = s.p.DelayMin
+		if span > 0 {
+			d.delay += time.Duration(s.rng.Int63n(int64(span)))
+		}
+	}
+	return d
+}
+
+// A Conn wraps a runtime.Conn with message-level fault injection.
+type Conn struct {
+	inner runtime.Conn
+	sched *Schedule
+}
+
+// Wrap returns inner with s's faults applied per call.
+func (s *Schedule) Wrap(inner runtime.Conn) *Conn {
+	return &Conn{inner: inner, sched: s}
+}
+
+// SelfFraming passes the wrapped transport's framing through.
+func (c *Conn) SelfFraming() bool {
+	if sf, ok := c.inner.(runtime.SelfFraming); ok {
+		return sf.SelfFraming()
+	}
+	return false
+}
+
+// Call implements runtime.Conn.
+func (c *Conn) Call(opIdx int, req, replyBuf []byte) ([]byte, error) {
+	return c.CallContext(nil, opIdx, req, replyBuf)
+}
+
+// Close closes the wrapped transport.
+func (c *Conn) Close() error { return c.inner.Close() }
+
+// CallContext implements runtime.ContextConn, applying this call's
+// drawn faults around the inner transport.
+func (c *Conn) CallContext(ctx context.Context, opIdx int, req, replyBuf []byte) ([]byte, error) {
+	d := c.sched.draw()
+	if d.delay > 0 {
+		if err := sleepCtx(ctx, d.delay); err != nil {
+			return nil, err
+		}
+	}
+	if d.disconnect {
+		c.inner.Close()
+		return nil, ErrDisconnected
+	}
+	if d.dropRequest {
+		// The request vanished before the server saw it; like a real
+		// lost datagram, nothing will ever answer.
+		return nil, awaitLoss(ctx)
+	}
+	reply, err := runtime.CallConn(ctx, c.inner, opIdx, req, replyBuf)
+	if err != nil {
+		return nil, err
+	}
+	if d.duplicate {
+		// A retransmit reaching the server after the original: the
+		// server processes it (or its reply cache suppresses it) and
+		// the duplicate's reply is discarded. replyBuf must not be
+		// offered — the primary reply may be sitting in it.
+		_, _ = runtime.CallConn(ctx, c.inner, opIdx, req, nil)
+	}
+	if d.dropReply {
+		// The server executed, but the caller never hears.
+		return nil, awaitLoss(ctx)
+	}
+	if d.truncate && len(reply) > 0 {
+		reply = reply[:len(reply)/2]
+	}
+	if d.corrupt && len(reply) > 0 {
+		// Copy before flipping: the reply may alias server-side
+		// storage (a cached reply frame) that must stay pristine.
+		tampered := make([]byte, len(reply))
+		copy(tampered, reply)
+		tampered[d.corruptPos%len(tampered)] ^= d.corruptBit
+		reply = tampered
+	}
+	return reply, nil
+}
+
+// awaitLoss models a lost message: with a deadline the caller waits
+// it out; without one the loss surfaces immediately (tests that
+// inject drops without deadlines would otherwise hang).
+func awaitLoss(ctx context.Context) error {
+	if ctx != nil && ctx.Done() != nil {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	return ErrDropped
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// A NetConn wraps a net.Conn with byte-level fault injection on
+// writes: delays, corruption (never the 4-byte record-marking header,
+// which could wedge a blocking reader), and truncation — which cuts
+// the write short and tears the connection down, the stream analogue
+// of a mid-call disconnect.
+type NetConn struct {
+	net.Conn
+	sched *Schedule
+}
+
+// WrapNet returns inner with s's faults applied per write.
+func (s *Schedule) WrapNet(inner net.Conn) net.Conn {
+	return &NetConn{Conn: inner, sched: s}
+}
+
+func (n *NetConn) Write(p []byte) (int, error) {
+	d := n.sched.draw()
+	if d.delay > 0 {
+		time.Sleep(d.delay)
+	}
+	if d.disconnect {
+		n.Conn.Close()
+		return 0, ErrDisconnected
+	}
+	if d.truncate && len(p) > 4 {
+		_, _ = n.Conn.Write(p[:len(p)/2])
+		n.Conn.Close()
+		return 0, ErrDisconnected
+	}
+	if d.corrupt && len(p) > 5 {
+		tampered := make([]byte, len(p))
+		copy(tampered, p)
+		pos := 4 + d.corruptPos%(len(p)-4)
+		tampered[pos] ^= d.corruptBit
+		p = tampered
+	}
+	return n.Conn.Write(p)
+}

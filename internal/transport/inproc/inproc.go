@@ -16,6 +16,7 @@
 package inproc
 
 import (
+	"context"
 	"fmt"
 
 	"flexrpc/internal/ir"
@@ -123,6 +124,23 @@ func attrsOf(op *pres.OpPres, name string) *pres.ParamAttrs {
 // bind-time negotiated semantics. outs is nil when the operation has
 // no out or inout parameters.
 func (c *Conn) Invoke(op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	return c.invoke(nil, op, args, outBufs, retBuf)
+}
+
+// InvokeContext implements runtime.ContextInvoker: in the same
+// domain there is no transport to time out, so the context's role is
+// a pre-flight expiry check plus delivery to the work function via
+// Call.Context — a cooperative handler observes cancellation itself.
+func (c *Conn) InvokeContext(ctx context.Context, op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return c.invoke(ctx, op, args, outBufs, retBuf)
+}
+
+func (c *Conn) invoke(ctx context.Context, op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
 	b, ok := c.binds[op]
 	if !ok {
 		return nil, nil, fmt.Errorf("inproc: unknown operation %q", op)
@@ -132,6 +150,9 @@ func (c *Conn) Invoke(op string, args []runtime.Value, outBufs [][]byte, retBuf 
 	}
 
 	call := c.disp.AcquireCall(b.op)
+	if ctx != nil {
+		call.SetContext(ctx)
+	}
 	for i := range b.params {
 		pb := &b.params[i]
 		if pb.isIn {

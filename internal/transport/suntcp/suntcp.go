@@ -5,6 +5,7 @@
 package suntcp
 
 import (
+	"context"
 	"net"
 	"sync"
 
@@ -54,25 +55,46 @@ func Dial(nc net.Conn, p *pres.Presentation) *Conn {
 // Call implements runtime.Conn: the marshaled body rides as the Sun
 // RPC argument and the reply body is handed back verbatim.
 func (c *Conn) Call(opIdx int, req []byte, replyBuf []byte) ([]byte, error) {
+	return c.CallContext(nil, opIdx, req, replyBuf)
+}
+
+// CallContext implements runtime.ContextConn: the deadline
+// propagates into the Sun RPC client, which abandons the xid on
+// expiry without desynchronizing the shared reply stream.
+func (c *Conn) CallContext(ctx context.Context, opIdx int, req []byte, replyBuf []byte) ([]byte, error) {
 	op := &c.iface.Ops[opIdx]
 	var body []byte
-	err := c.rpc.Call(procFor(op, opIdx),
-		func(e *xdr.Encoder) { e.PutRaw(req) },
-		func(d *xdr.Decoder) error {
-			raw := d.Rest()
-			if cap(replyBuf) >= len(raw) {
-				body = replyBuf[:len(raw)]
-			} else {
-				body = make([]byte, len(raw))
-			}
-			copy(body, raw)
-			return nil
-		})
+	encodeArgs := func(e *xdr.Encoder) { e.PutRaw(req) }
+	decodeRes := func(d *xdr.Decoder) error {
+		raw := d.Rest()
+		if cap(replyBuf) >= len(raw) {
+			body = replyBuf[:len(raw)]
+		} else {
+			body = make([]byte, len(raw))
+		}
+		copy(body, raw)
+		return nil
+	}
+	var err error
+	if ctx == nil || ctx.Done() == nil {
+		err = c.rpc.Call(procFor(op, opIdx), encodeArgs, decodeRes)
+	} else {
+		err = c.rpc.CallContext(ctx, procFor(op, opIdx), encodeArgs, decodeRes)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return body, nil
 }
+
+// SetRedial installs a dial function the Sun RPC client uses to
+// replace the connection after a transport failure (see
+// sunrpc.Client.SetRedial).
+func (c *Conn) SetRedial(dial func() (net.Conn, error)) { c.rpc.SetRedial(dial) }
+
+// RPC exposes the underlying Sun RPC client (e.g. to configure
+// MaxMessageSize).
+func (c *Conn) RPC() *sunrpc.Client { return c.rpc }
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.rpc.Close() }
