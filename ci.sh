@@ -28,13 +28,18 @@ vet_examples() {
 }
 
 fuzz_smoke() {
-	# Short coverage-guided runs over the network-facing decoders.
-	# `go test -fuzz` takes one target per invocation, so list them.
-	go test -run='^$' -fuzz=FuzzDecoder -fuzztime=10s ./internal/xdr
-	go test -run='^$' -fuzz=FuzzDecoder -fuzztime=10s ./internal/cdr
-	go test -run='^$' -fuzz=FuzzReadRecord -fuzztime=10s ./internal/sunrpc
-	go test -run='^$' -fuzz=FuzzDecodeMessage -fuzztime=10s ./internal/runtime
-	go test -run='^$' -fuzz=FuzzServeMessage -fuzztime=10s ./internal/runtime
+	# Short coverage-guided runs over the network-facing decoders and
+	# the stats snapshot codecs. `go test -fuzz` takes one target per
+	# invocation, so list them. FUZZTIME overrides the per-target
+	# budget (e.g. FUZZTIME=2m ./ci.sh fuzz-smoke for a deeper pass).
+	fuzztime="${FUZZTIME:-10s}"
+	go test -run='^$' -fuzz=FuzzDecoder -fuzztime="$fuzztime" ./internal/xdr
+	go test -run='^$' -fuzz=FuzzDecoder -fuzztime="$fuzztime" ./internal/cdr
+	go test -run='^$' -fuzz=FuzzReadRecord -fuzztime="$fuzztime" ./internal/sunrpc
+	go test -run='^$' -fuzz=FuzzDecodeMessage -fuzztime="$fuzztime" ./internal/runtime
+	go test -run='^$' -fuzz=FuzzServeMessage -fuzztime="$fuzztime" ./internal/runtime
+	go test -run='^$' -fuzz=FuzzHistogramCodec -fuzztime="$fuzztime" ./internal/stats
+	go test -run='^$' -fuzz=FuzzTraceCodec -fuzztime="$fuzztime" ./internal/stats
 }
 
 if [ "${1:-}" = "vet-examples" ]; then

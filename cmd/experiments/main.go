@@ -183,7 +183,7 @@ func run(fig string, quick, csv, jsonOut bool) error {
 			return err
 		}
 		t := experiments.MetricTable(
-			"Marshal: interpreted plan, 1KB round trip per codec", metrics)
+			"Marshal: interpreted plan, 1KB echo round trip per codec", metrics)
 		emit(t)
 		if err := emitJSON("marshal", t, metrics); err != nil {
 			return err

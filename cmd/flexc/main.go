@@ -15,9 +15,19 @@
 // The vet subcommand runs flexvet, the cross-endpoint presentation
 // analyzer and annotation lint pass; see `flexc vet -list` for the
 // check registry.
+//
+// The stats subcommand compiles an interface, drives N calls per
+// operation through the marshal runtime against default handlers,
+// and dumps the observability layer's expvar-style counters —
+// per-op calls and latency, copy/alloc/wire meters, and (with
+// -trace) the per-call trace ring:
+//
+//	flexc stats -calls 1000 -payload 1024 fileio.idl
+//	flexc stats -pdl client.pdl -json fileio.idl
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,8 +37,10 @@ import (
 	"flexrpc/internal/analyze"
 	"flexrpc/internal/codegen"
 	"flexrpc/internal/core"
+	"flexrpc/internal/ir"
 	"flexrpc/internal/pdl"
 	"flexrpc/internal/pres"
+	frt "flexrpc/internal/runtime"
 )
 
 func main() {
@@ -41,6 +53,9 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	if len(args) > 0 && args[0] == "vet" {
 		return runVet(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "stats" {
+		return runStats(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("flexc", flag.ContinueOnError)
 	var (
@@ -223,6 +238,139 @@ func runVet(args []string, stdout io.Writer) error {
 	return nil
 }
 
+// statsLoop is the stats subcommand's transport: a serial loopback
+// that hands each marshaled request to the dispatcher and returns
+// the marshaled reply, so the full encode/decode path — and with it
+// every meter — runs in-process.
+type statsLoop struct {
+	disp *frt.Dispatcher
+	plan *frt.Plan
+	enc  frt.Encoder
+}
+
+func (l *statsLoop) Call(opIdx int, req, replyBuf []byte) ([]byte, error) {
+	l.enc.Reset()
+	l.disp.ServeMessage(l.plan, opIdx, req, l.enc)
+	return append(replyBuf[:0], l.enc.Bytes()...), nil
+}
+
+func (l *statsLoop) Close() error { return nil }
+
+// runStats is the `flexc stats` subcommand: compile the interface,
+// install default handlers that answer every operation with zero
+// values, drive -calls marshaled round trips per operation, and dump
+// the client endpoint's counters.
+func runStats(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flexc stats", flag.ContinueOnError)
+	var (
+		frontend  = fs.String("frontend", "corba", "IDL front-end: corba, sun or mig")
+		ifaceName = fs.String("interface", "", "interface to drive (required when the file has several)")
+		pdlFile   = fs.String("pdl", "", "PDL file modifying the presentation")
+		style     = fs.String("style", "", "default presentation style: corba, sun or mig")
+		calls     = fs.Int("calls", 100, "calls per operation")
+		payload   = fs.Int("payload", 64, "bytes per sequence<octet> in-argument")
+		traceCap  = fs.Int("trace", 0, "trace ring capacity (0 disables call tracing)")
+		jsonOut   = fs.Bool("json", false, "emit the snapshot as JSON instead of expvar text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: flexc stats [flags] <idl-file>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fe, err := core.FrontendByName(*frontend)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Frontend:  fe,
+		Filename:  fs.Arg(0),
+		Source:    string(src),
+		Interface: *ifaceName,
+	}
+	if opts.Style, err = parseStyle(*style); err != nil {
+		return err
+	}
+	if *pdlFile != "" {
+		pdlSrc, err := os.ReadFile(*pdlFile)
+		if err != nil {
+			return err
+		}
+		opts.PDL = string(pdlSrc)
+		opts.PDLFilename = *pdlFile
+	}
+	compiled, err := core.Compile(opts)
+	if err != nil {
+		return err
+	}
+
+	disp := frt.NewDispatcher(compiled.Pres)
+	for i := range compiled.Iface.Ops {
+		op := &compiled.Iface.Ops[i]
+		disp.Handle(op.Name, func(c *frt.Call) error {
+			for j := range op.Params {
+				prm := &op.Params[j]
+				if prm.Dir == ir.Out || prm.Dir == ir.InOut {
+					c.SetOut(j, frt.ZeroValue(prm.Type))
+				}
+			}
+			if op.HasResult() {
+				c.SetResult(frt.ZeroValue(op.Result))
+			}
+			return nil
+		})
+	}
+	plan, err := frt.NewPlan(compiled.Pres, frt.XDRCodec, nil)
+	if err != nil {
+		return err
+	}
+	client, err := frt.NewClient(compiled.Pres, frt.XDRCodec, &statsLoop{
+		disp: disp, plan: plan, enc: frt.XDRCodec.NewEncoder(),
+	}, nil)
+	if err != nil {
+		return err
+	}
+	e := client.EnableStats()
+	if *traceCap > 0 {
+		e.EnableTracing(*traceCap)
+	}
+
+	for i := range compiled.Iface.Ops {
+		op := &compiled.Iface.Ops[i]
+		var callArgs []frt.Value
+		for j := range op.Params {
+			prm := &op.Params[j]
+			v := frt.ZeroValue(prm.Type)
+			if prm.Type.Kind == ir.Bytes && *payload > 0 &&
+				(prm.Dir == ir.In || prm.Dir == ir.InOut) {
+				v = make([]byte, *payload)
+			}
+			callArgs = append(callArgs, v)
+		}
+		for n := 0; n < *calls; n++ {
+			if _, _, err := client.Invoke(op.Name, callArgs, nil, nil); err != nil {
+				return fmt.Errorf("stats: %s: %w", op.Name, err)
+			}
+		}
+	}
+
+	snap := client.Stats()
+	if *jsonOut {
+		out, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", out)
+		return nil
+	}
+	fmt.Fprint(stdout, snap.Text())
+	return nil
+}
+
 // compileFor runs the front-end and default-presentation stages for
 // one endpoint's copy of the contract.
 func compileFor(path, frontend, iface string, style pres.Style) (*core.Compiled, error) {
@@ -308,6 +456,9 @@ func attrList(a *pres.ParamAttrs) string {
 	}
 	if a.NonUnique {
 		parts = append(parts, "nonunique")
+	}
+	if a.Traced {
+		parts = append(parts, "traced")
 	}
 	if a.LengthIs != "" {
 		parts = append(parts, "length_is("+a.LengthIs+")")

@@ -94,6 +94,55 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// ---- flexc stats -----------------------------------------------------
+
+func TestStatsTextDump(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `
+		interface F {
+			void nop();
+			sequence<octet> echo(in sequence<octet> data);
+		};`)
+	var out bytes.Buffer
+	if err := run([]string{"stats", "-calls", "25", "-payload", "128", "-trace", "8", idl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"op.nop.calls 25",
+		"op.echo.calls 25",
+		"op.echo.bytes_out",
+		"codec.encode.count 50",
+		"trace.events ",
+		"stage=send",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stats dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStatsJSONDump(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { long add(in long a, in long b); };`)
+	var out bytes.Buffer
+	if err := run([]string{"stats", "-json", "-calls", "10", idl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Ops []struct {
+			Name  string `json:"name"`
+			Calls uint64 `json:"calls"`
+		} `json:"ops"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(snap.Ops) != 1 || snap.Ops[0].Name != "add" || snap.Ops[0].Calls != 10 {
+		t.Fatalf("json snapshot = %+v", snap)
+	}
+}
+
 // ---- flexc vet -------------------------------------------------------
 
 func TestVetCleanInterface(t *testing.T) {

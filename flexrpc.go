@@ -40,6 +40,7 @@ import (
 	"flexrpc/internal/core"
 	"flexrpc/internal/pres"
 	"flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
 	"flexrpc/internal/transport/inproc"
 )
 
@@ -180,6 +181,37 @@ func NewSessionServer(disp *Dispatcher, codec Codec, hooks SpecialHooks, cache *
 // Retryable reports whether a failed call may safely be retried
 // under the session layer.
 func Retryable(err error) bool { return runtime.Retryable(err) }
+
+// Re-exported observability types (per-op counters, latency
+// histograms, copy/alloc meters, call tracing; see DESIGN.md §7).
+// Client.EnableStats, Dispatcher.EnableStats and the inproc Conn's
+// EnableStats attach an endpoint; with stats disabled every hot-path
+// hook is one nil check and zero allocations.
+type (
+	// StatsEndpoint accumulates one side's counters and meters.
+	StatsEndpoint = stats.Endpoint
+	// StatsSnapshot is a point-in-time copy of an endpoint, with an
+	// expvar-style Text rendering and a Merge for fan-in.
+	StatsSnapshot = stats.Snapshot
+	// TraceEvent is one recorded per-call trace stage.
+	TraceEvent = stats.TraceEvent
+	// Clock abstracts time for the session layer's backoff and
+	// deadlines; WallClock is the default, FakeClock drives tests.
+	Clock = runtime.Clock
+	// FakeClock is a deterministic Clock for testing retry schedules.
+	FakeClock = runtime.FakeClock
+)
+
+// WallClock is the real-time Clock the session layer uses by default.
+var WallClock = runtime.WallClock
+
+// NewFakeClock returns a deterministic Clock for tests.
+func NewFakeClock() *FakeClock { return runtime.NewFakeClock() }
+
+// NewStats builds a standalone stats endpoint over the given
+// operation names, for callers wiring several components to one
+// endpoint by hand.
+func NewStats(names []string) *StatsEndpoint { return stats.New(names) }
 
 // Wire codecs.
 var (

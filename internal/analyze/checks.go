@@ -113,6 +113,17 @@ var registry = map[string]CheckInfo{
 			"NewParallelClient rejects plain SpecialHooks at bind time; this check " +
 			"flags the mismatch before it gets there.",
 	},
+	"FV015": {
+		ID: "FV015", Title: "traced-special-allocates-on-pooled-path", Severity: SevWarning,
+		Fix: "drop [traced] from the [special] parameter, meter at the transport's wire meter instead, or bind through the serial client",
+		Doc: "[traced] meters a parameter by snapshotting the encoder position " +
+			"around its marshal step. A [special] hook is opaque user code, so " +
+			"the meter cannot piggyback on the compiled step's size knowledge; " +
+			"on the pooled parallel client, whose per-call encoder state is " +
+			"recycled concurrently, the wrapper must take a defensive buffer " +
+			"snapshot per call — an allocation on the otherwise zero-alloc " +
+			"pooled path.",
+	},
 	"FV014": {
 		ID: "FV014", Title: "idempotent-moves-ownership", Severity: SevWarning,
 		Fix: "drop [idempotent] and rely on the at-most-once reply cache, or stop moving ownership in the signature",

@@ -22,6 +22,7 @@ var goldenCases = []struct {
 	client    string
 	server    string // "" for single-endpoint cases
 	transport string
+	pooled    bool // bind the client endpoint through the pooled parallel client
 }{
 	{
 		name:   "fv002_use_after_transfer",
@@ -75,6 +76,11 @@ var goldenCases = []struct {
 		client: "interface FileIO {\n    [idempotent] write([dealloc(always)] data);\n    [idempotent] read([alloc(callee)] return);\n};\n",
 	},
 	{
+		name:   "fv015_traced_special_on_pooled",
+		client: "interface FileIO {\n    write([special, traced] data);\n};\n",
+		pooled: true,
+	},
+	{
 		name:   "clean_figure5",
 		client: "interface FileIO {\n    read([dealloc(never)] return);\n};\n",
 		server: "interface FileIO {\n    write([preserved] data);\n};\n",
@@ -89,7 +95,13 @@ func TestGolden(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			eps := []analyze.Endpoint{{Pres: client, Transport: tc.transport, Label: "client"}}
+			ep := analyze.Endpoint{Pres: client, Transport: tc.transport, Label: "client"}
+			if tc.pooled {
+				// Step hooks keep FV013 quiet so the golden file pins
+				// the pooled-path check under test alone.
+				ep.PooledClient, ep.Hooks = true, stepHooks{}
+			}
+			eps := []analyze.Endpoint{ep}
 			if tc.server != "" {
 				server, err := pdl.ApplyLoose(pres.Default(iface, pres.StyleCORBA), "server.pdl", tc.server)
 				if err != nil {

@@ -24,6 +24,7 @@ func (c *checker) checkEndpoint(iface *ir.Interface, ep Endpoint) {
 	}
 	c.checkTrust(ep)
 	c.checkPooledHooks(ep)
+	c.checkTracedSpecial(ep)
 	for _, opName := range sortedOpNames(p.Ops) {
 		op := p.Ops[opName]
 		irOp := iface.Op(opName)
@@ -111,6 +112,31 @@ func (c *checker) checkPooledHooks(ep Endpoint) {
 			c.report("FV013", attrPos(a, "special"),
 				"%s.%s.%s: [special] endpoint bound through the pooled parallel client, but its hooks (%T) do not implement runtime.StepHooks",
 				p.Interface.Name, opName, pn, ep.Hooks)
+		}
+	}
+}
+
+// checkTracedSpecial is FV015: a [traced] meter wrapped around a
+// [special] marshal hook on the pooled parallel client. The meter
+// brackets the hook's encoder output, and because the pooled client
+// recycles per-call encoder state concurrently, bracketing opaque
+// hook output forces a defensive per-call snapshot — an allocation on
+// the path the pool exists to keep allocation-free.
+func (c *checker) checkTracedSpecial(ep Endpoint) {
+	if !ep.PooledClient {
+		return
+	}
+	p := ep.Pres
+	for _, opName := range sortedOpNames(p.Ops) {
+		op := p.Ops[opName]
+		for _, pn := range sortedParamNames(op.Params) {
+			a := op.Params[pn]
+			if !a.Special || !a.Traced {
+				continue
+			}
+			c.report("FV015", attrPos(a, "traced", "special"),
+				"%s.%s.%s: [traced] meter around a [special] hook on the pooled parallel client forces a per-call buffer snapshot, costing an allocation on the pooled zero-alloc path",
+				p.Interface.Name, opName, pn)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"flexrpc/internal/core"
 	"flexrpc/internal/pres"
 	frt "flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
 	"flexrpc/internal/transport/inproc"
 )
 
@@ -17,12 +18,20 @@ import (
 // testing.Benchmark, reporting the standard ns/op, allocs/op and
 // B/op triple so runs can be diffed mechanically across commits.
 
-// Metric is one hot-path measurement in benchmark units.
+// Metric is one hot-path measurement in benchmark units, plus the
+// observability layer's per-op meters when the figure runs with
+// stats enabled: bytes the marshal plan copied and allocated, and
+// session-layer retries. Zero values are omitted from the JSON so
+// unmetered figures keep their old shape.
 type Metric struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
+
+	CopiedBytesPerOp  float64 `json:"copied_bytes_per_op,omitempty"`
+	AllocedBytesPerOp float64 `json:"alloced_bytes_per_op,omitempty"`
+	RetriesPerOp      float64 `json:"retries_per_op,omitempty"`
 }
 
 // FigJSON is the machine-readable form of one figure: the printed
@@ -194,12 +203,15 @@ func BenchFig11() ([]Metric, error) {
 	return out, nil
 }
 
-// BenchMarshal measures the interpreted marshal plans on a 1 KB
-// round trip under both codecs — the BenchmarkMarshal hot path.
+// BenchMarshal measures the interpreted marshal plans on a full 1 KB
+// echo round trip under both codecs: request encode, the server's
+// borrow-mode request decode (zero-copy, which the copy meter
+// witnesses), reply encode, and the client's own-storage reply decode
+// (where the one landing-buffer allocation and copy happen).
 func BenchMarshal() ([]Metric, error) {
 	compiled, err := core.Compile(core.Options{
 		Frontend: core.FrontendCORBA, Filename: "m.idl",
-		Source: `interface M { void put(in sequence<octet> data); };`,
+		Source: `interface M { sequence<octet> echo(in sequence<octet> data); };`,
 	})
 	if err != nil {
 		return nil, err
@@ -212,27 +224,63 @@ func BenchMarshal() ([]Metric, error) {
 		}
 		op := plan.Ops[0]
 		enc := codec.NewEncoder()
+		renc := codec.NewEncoder()
 		args := []frt.Value{make([]byte, 1024)}
-		out = append(out, measure(codec.Name(), func() {
+		roundTrip := func() {
 			enc.Reset()
 			if err := op.EncodeRequest(enc, args); err != nil {
 				panic(err)
 			}
-			if _, err := op.DecodeRequest(codec.NewDecoder(enc.Bytes())); err != nil {
+			in, err := op.DecodeRequest(codec.NewDecoder(enc.Bytes()))
+			if err != nil {
 				panic(err)
 			}
-		}))
+			renc.Reset()
+			if err := op.EncodeReply(renc, nil, in[0]); err != nil {
+				panic(err)
+			}
+			if _, _, err := op.DecodeReply(codec.NewDecoder(renc.Bytes()), nil, nil); err != nil {
+				panic(err)
+			}
+		}
+		m := measure(codec.Name(), roundTrip)
+		// A second, metered pass fills the copy/alloc columns: the
+		// timing above stays unmetered so ns/op carries no stats
+		// overhead.
+		e := stats.New([]string{"echo"})
+		plan.SetStats(e)
+		const meterIters = 1000
+		for i := 0; i < meterIters; i++ {
+			roundTrip()
+		}
+		plan.SetStats(nil)
+		snap := e.Snapshot()
+		m.CopiedBytesPerOp = float64(snap.Copy.Bytes) / meterIters
+		m.AllocedBytesPerOp = float64(snap.Alloc.Bytes) / meterIters
+		out = append(out, m)
 	}
 	return out, nil
 }
 
-// MetricTable renders metrics as a printable table.
+// MetricTable renders metrics as a printable table, adding the
+// copy/alloc meter columns when any metric carries them.
 func MetricTable(title string, ms []Metric) *Table {
-	t := &Table{Title: title, Headers: []string{"ns/op", "B/op", "allocs/op"}}
+	metered := false
 	for _, m := range ms {
-		t.Rows = append(t.Rows, Row{Label: m.Name, Values: []string{
-			f1(m.NsPerOp), f1(m.BytesPerOp), f1(m.AllocsPerOp),
-		}})
+		if m.CopiedBytesPerOp != 0 || m.AllocedBytesPerOp != 0 {
+			metered = true
+		}
+	}
+	t := &Table{Title: title, Headers: []string{"ns/op", "B/op", "allocs/op"}}
+	if metered {
+		t.Headers = append(t.Headers, "copied B/op", "alloced B/op")
+	}
+	for _, m := range ms {
+		values := []string{f1(m.NsPerOp), f1(m.BytesPerOp), f1(m.AllocsPerOp)}
+		if metered {
+			values = append(values, f1(m.CopiedBytesPerOp), f1(m.AllocedBytesPerOp))
+		}
+		t.Rows = append(t.Rows, Row{Label: m.Name, Values: values})
 	}
 	return t
 }

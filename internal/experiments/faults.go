@@ -54,7 +54,7 @@ func FigFaults(cfg FaultsConfig) (*Table, error) {
 	t := &Table{
 		Title:   "Faults: null RPC under injected loss, at-most-once session layer",
 		Note:    "retries off surfaces loss to the caller; retries on masks it and pays latency tail",
-		Headers: []string{"success%", "p50 µs", "p99 µs", "calls/s"},
+		Headers: []string{"success%", "p50 µs", "p99 µs", "calls/s", "retries/call", "replays/call"},
 	}
 	for _, loss := range []float64{0.01, 0.05} {
 		for _, retries := range []bool{false, true} {
@@ -100,6 +100,8 @@ func faultsRow(p *pres.Presentation, calls int, loss float64, retries bool) (Row
 	if err != nil {
 		return Row{}, err
 	}
+	client.EnableStats() // retries land on the client endpoint
+	disp.EnableStats()   // replays land on the server dispatcher
 	lat := make([]time.Duration, 0, calls)
 	ok := 0
 	start := time.Now()
@@ -125,6 +127,13 @@ func faultsRow(p *pres.Presentation, calls int, loss float64, retries bool) (Row
 	if retries {
 		mode = "on"
 	}
+	var nretries, nreplays uint64
+	for _, o := range client.Stats().Ops {
+		nretries += o.Retries
+	}
+	for _, o := range disp.Stats().Ops {
+		nreplays += o.Replays
+	}
 	return Row{
 		Label: fmt.Sprintf("loss %g%% retries %s", loss*100, mode),
 		Values: []string{
@@ -132,6 +141,8 @@ func faultsRow(p *pres.Presentation, calls int, loss float64, retries bool) (Row
 			f1(pct(0.50)),
 			f1(pct(0.99)),
 			fmt.Sprintf("%.0f", float64(calls)/elapsed.Seconds()),
+			f2(float64(nretries) / float64(calls)),
+			f2(float64(nreplays) / float64(calls)),
 		},
 	}, nil
 }

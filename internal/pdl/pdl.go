@@ -329,6 +329,11 @@ func applyParamAttr(pa *pres.ParamAttrs, a attr) error {
 			return err
 		}
 		pa.NonUnique = true
+	case "traced":
+		if err := noArgs(); err != nil {
+			return err
+		}
+		pa.Traced = true
 	case "length_is":
 		arg, err := oneArg()
 		if err != nil {

@@ -158,6 +158,11 @@ type ParamAttrs struct {
 	// NonUnique (port parameters): the receiving task does not need
 	// the unique-name invariant for this right ([nonunique]).
 	NonUnique bool
+	// Traced: the parameter's encoded size is metered into the
+	// endpoint's per-op traced counters when stats are enabled
+	// ([traced]). Free when stats are off; flexvet FV015 warns when
+	// it is combined with [special] hooks on a pooled-client path.
+	Traced bool
 	// Pos is the source position of the parameter's PDL annotation
 	// clause, when the attributes came from a PDL file; the zero
 	// value means the attributes were synthesized (Default) or built

@@ -2,10 +2,13 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"flexrpc/internal/pres"
+	"flexrpc/internal/stats"
 )
 
 // A Conn is a client-side message transport: it moves request bytes
@@ -42,6 +45,11 @@ type Client struct {
 	framed   bool
 	parallel bool
 
+	// Observability: nil means disabled, and disabled costs exactly
+	// one nil check per call (the zero-alloc gates assert this).
+	stats     *stats.Endpoint
+	traceConn TraceConn // conn's trace-propagating form, when it has one
+
 	// Serial mode: one encoder/decoder/reply buffer behind a mutex.
 	mu       sync.Mutex
 	enc      Encoder
@@ -50,6 +58,15 @@ type Client struct {
 
 	// Parallel mode: per-call marshal state sharded through a pool.
 	states sync.Pool
+}
+
+// A TraceConn is a Conn that can propagate a trace id alongside a
+// call — the session layer carries it to the server in the upper
+// bits of its existing flags word, so client- and server-side trace
+// events correlate without any wire-format change.
+type TraceConn interface {
+	Conn
+	CallTraceContext(ctx context.Context, opIdx int, req, replyBuf []byte, tid uint32) ([]byte, error)
 }
 
 // callState is the per-call marshal state a parallel client shards:
@@ -70,7 +87,8 @@ func NewClient(p *pres.Presentation, codec Codec, conn Conn, hooks SpecialHooks)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{plan: plan, conn: conn, framed: connFramed(conn), enc: codec.NewEncoder()}, nil
+	tc, _ := conn.(TraceConn)
+	return &Client{plan: plan, conn: conn, framed: connFramed(conn), traceConn: tc, enc: codec.NewEncoder()}, nil
 }
 
 // NewParallelClient builds a marshal-based client whose Invoke is
@@ -96,7 +114,8 @@ func NewParallelClient(p *pres.Presentation, codec Codec, conn Conn, hooks Speci
 				p.Interface.Name, hooks)
 		}
 	}
-	c := &Client{plan: plan, conn: conn, framed: connFramed(conn), parallel: true}
+	tc, _ := conn.(TraceConn)
+	c := &Client{plan: plan, conn: conn, framed: connFramed(conn), traceConn: tc, parallel: true}
 	c.states.New = func() any { return &callState{enc: codec.NewEncoder()} }
 	return c, nil
 }
@@ -124,27 +143,96 @@ func planHasSpecial(pl *Plan) bool {
 // Plan exposes the client's marshal plan (for tests and tooling).
 func (c *Client) Plan() *Plan { return c.plan }
 
+// EnableStats switches on client-side observability, creating the
+// endpoint on first use: per-op counters and latency histograms,
+// codec encode/decode meters, and the plan's copy/alloc meters. The
+// session layer (RobustConn.SetStats) and transports can share the
+// same endpoint so one snapshot covers the whole client stack.
+// Enable before issuing calls; not safe concurrently with them.
+func (c *Client) EnableStats() *stats.Endpoint {
+	if c.stats == nil {
+		c.SetStats(stats.New(opNames(c.plan.Pres)))
+	}
+	return c.stats
+}
+
+// SetStats installs (or, with nil, removes) the observability
+// endpoint, pointing the plan's copy/alloc meters at it too.
+func (c *Client) SetStats(e *stats.Endpoint) {
+	c.stats = e
+	c.plan.setStats(e)
+	if tc, ok := c.conn.(interface{ SetStats(*stats.Endpoint) }); ok {
+		tc.SetStats(e)
+	}
+}
+
+// StatsEndpoint returns the live endpoint, nil when disabled.
+func (c *Client) StatsEndpoint() *stats.Endpoint { return c.stats }
+
+// Stats snapshots the client-side counters; on a disabled client the
+// snapshot is empty but non-nil.
+func (c *Client) Stats() *stats.Snapshot { return c.stats.Snapshot() }
+
+// clientOutcome classifies a call error for the counters.
+func clientOutcome(err error) stats.Outcome {
+	if err == nil {
+		return stats.OK
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return stats.TimedOut
+	}
+	return stats.Failed
+}
+
 // Invoke implements Invoker: marshal the request, round-trip it,
 // unmarshal the reply. Serial clients serialize calls; parallel
 // clients (NewParallelClient) pipeline them.
 func (c *Client) Invoke(op string, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
+	return c.invoke(nil, op, args, outBufs, retBuf)
+}
+
+// invoke is the shared entry for Invoke and InvokeContext. ctx may
+// be nil (no deadline).
+func (c *Client) invoke(ctx context.Context, op string, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
 	idx := c.plan.OpIndex(op)
 	if idx < 0 {
 		return nil, nil, fmt.Errorf("runtime: unknown operation %q", op)
 	}
 	opPlan := c.plan.Ops[idx]
 
-	if c.parallel {
-		return c.invokeParallel(nil, opPlan, idx, args, outBufs, retBuf)
+	if c.stats == nil {
+		if c.parallel {
+			return c.invokeParallel(ctx, opPlan, idx, args, outBufs, retBuf, 0)
+		}
+		return c.invokeSerial(ctx, opPlan, idx, args, outBufs, retBuf, 0)
 	}
 
+	t0 := time.Now()
+	tid := c.stats.NextTraceID()
+	var (
+		outs []Value
+		ret  Value
+		err  error
+	)
+	if c.parallel {
+		outs, ret, err = c.invokeParallel(ctx, opPlan, idx, args, outBufs, retBuf, tid)
+	} else {
+		outs, ret, err = c.invokeSerial(ctx, opPlan, idx, args, outBufs, retBuf, tid)
+	}
+	c.stats.Trace(tid, idx, stats.StageReply)
+	c.stats.RecordCall(idx, time.Since(t0), 0, 0, clientOutcome(err))
+	return outs, ret, err
+}
+
+// invokeSerial round-trips one call under the client mutex.
+func (c *Client) invokeSerial(ctx context.Context, opPlan *OpPlan, idx int, args []Value, outBufs [][]byte, retBuf []byte, tid uint32) ([]Value, Value, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.enc.Reset()
 	if err := opPlan.EncodeRequest(c.enc, args); err != nil {
 		return nil, nil, err
 	}
-	reply, err := c.conn.Call(idx, c.enc.Bytes(), c.replyBuf)
+	reply, err := c.roundTrip(ctx, idx, c.enc.Bytes(), c.replyBuf, tid)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -155,16 +243,16 @@ func (c *Client) Invoke(op string, args []Value, outBufs [][]byte, retBuf []byte
 	return c.finishCall(opPlan, dec, outBufs, retBuf)
 }
 
-// invokeParallel is Invoke with pooled per-call state instead of the
-// client mutex. ctx may be nil (no deadline).
-func (c *Client) invokeParallel(ctx context.Context, opPlan *OpPlan, idx int, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
+// invokeParallel is invokeSerial with pooled per-call state instead
+// of the client mutex.
+func (c *Client) invokeParallel(ctx context.Context, opPlan *OpPlan, idx int, args []Value, outBufs [][]byte, retBuf []byte, tid uint32) ([]Value, Value, error) {
 	st := c.states.Get().(*callState)
 	st.enc.Reset()
 	if err := opPlan.EncodeRequest(st.enc, args); err != nil {
 		c.states.Put(st)
 		return nil, nil, err
 	}
-	reply, err := CallConn(ctx, c.conn, idx, st.enc.Bytes(), st.replyBuf)
+	reply, err := c.roundTrip(ctx, idx, st.enc.Bytes(), st.replyBuf, tid)
 	if err != nil {
 		c.states.Put(st)
 		return nil, nil, err
@@ -176,6 +264,32 @@ func (c *Client) invokeParallel(ctx context.Context, opPlan *OpPlan, idx int, ar
 	outs, ret, err := c.finishCall(opPlan, dec, outBufs, retBuf)
 	c.states.Put(st)
 	return outs, ret, err
+}
+
+// roundTrip sends the marshaled request and returns the raw reply,
+// metering bytes and propagating the trace id when stats are on.
+func (c *Client) roundTrip(ctx context.Context, idx int, req, replyBuf []byte, tid uint32) ([]byte, error) {
+	if c.stats != nil {
+		c.stats.Encode.Add(len(req))
+		c.stats.AddBytes(idx, len(req), 0)
+		c.stats.Trace(tid, idx, stats.StageEncode)
+		c.stats.Trace(tid, idx, stats.StageSend)
+	}
+	var reply []byte
+	var err error
+	if tid != 0 && c.traceConn != nil {
+		reply, err = c.traceConn.CallTraceContext(ctx, idx, req, replyBuf, tid)
+	} else {
+		reply, err = CallConn(ctx, c.conn, idx, req, replyBuf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.stats != nil {
+		c.stats.Decode.Add(len(reply))
+		c.stats.AddBytes(idx, 0, len(reply))
+	}
+	return reply, nil
 }
 
 // decoderFor aims the cached reusable decoder (allocating it on

@@ -1,0 +1,271 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"flexrpc/internal/idl/corba"
+	"flexrpc/internal/pdl"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/stats"
+)
+
+func TestFakeClockSleepAutoAdvance(t *testing.T) {
+	fc := NewFakeClock()
+	fc.AutoAdvance(true)
+	start := fc.Now()
+	if err := fc.Sleep(context.Background(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Sleep(context.Background(), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if got := fc.Now().Sub(start); got != time.Minute+5*time.Second {
+		t.Fatalf("clock advanced %v", got)
+	}
+	sleeps := fc.Sleeps()
+	if len(sleeps) != 2 || sleeps[0] != 5*time.Second || sleeps[1] != time.Minute {
+		t.Fatalf("sleeps = %v", sleeps)
+	}
+}
+
+func TestFakeClockAdvanceWakesSleepers(t *testing.T) {
+	fc := NewFakeClock()
+	woke := make(chan error, 1)
+	go func() { woke <- fc.Sleep(context.Background(), 10*time.Second) }()
+	// Wait for the sleeper to register, then advance past its wake time.
+	for len(fc.Sleeps()) == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	fc.Advance(9 * time.Second)
+	select {
+	case <-woke:
+		t.Fatal("sleeper woke before its time")
+	case <-time.After(time.Millisecond):
+	}
+	fc.Advance(time.Second)
+	if err := <-woke; err != nil {
+		t.Fatalf("sleep returned %v", err)
+	}
+}
+
+func TestFakeClockWithTimeout(t *testing.T) {
+	fc := NewFakeClock()
+	ctx, cancel := fc.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		t.Fatalf("fresh ctx already done: %v", err)
+	}
+	fc.Advance(10 * time.Second)
+	<-ctx.Done()
+	// DeadlineExceeded, not Canceled: Retryable depends on the
+	// distinction (a canceled caller must not be retried; an expired
+	// attempt must be).
+	if err := ctx.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("fired ctx err = %v, want DeadlineExceeded", err)
+	}
+	if !Retryable(ctx.Err()) {
+		t.Fatal("deadline expiry must be retryable")
+	}
+
+	// Cancel before expiry reads as Canceled.
+	ctx2, cancel2 := fc.WithTimeout(context.Background(), time.Hour)
+	cancel2()
+	if err := ctx2.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx err = %v", err)
+	}
+
+	// A child takes the minimum of its own and a fake parent's
+	// deadline, so advancing past the parent deadline fires the child
+	// even when the child asked for longer.
+	parent, pcancel := fc.WithTimeout(context.Background(), time.Second)
+	defer pcancel()
+	child, ccancel := fc.WithTimeout(parent, time.Hour)
+	defer ccancel()
+	if d, ok := child.Deadline(); !ok || d != fc.Now().Add(time.Second) {
+		t.Fatalf("child deadline = %v, %v", d, ok)
+	}
+	fc.Advance(time.Second)
+	<-child.Done()
+	if err := child.Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("child err = %v", err)
+	}
+}
+
+func clockPres(t testing.TB) *pres.Presentation {
+	t.Helper()
+	f, err := corba.Parse("c.idl", `interface C { long echo(in long n); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdl.ApplyLoose(pres.Default(f.Interface("C"), pres.StyleCORBA),
+		"c.pdl", "interface C {\n    [idempotent] echo();\n};\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// failNConn returns corrupt session replies for the first n calls,
+// then delegates to ok (a closure building a valid frame).
+type failNConn struct {
+	n     int
+	calls int
+	ok    func(opIdx int, req, replyBuf []byte) ([]byte, error)
+}
+
+func (c *failNConn) Call(opIdx int, req, replyBuf []byte) ([]byte, error) {
+	c.calls++
+	if c.calls <= c.n {
+		return []byte{0, 0}, nil // short frame: ErrCorruptReply, retryable
+	}
+	return c.ok(opIdx, req, replyBuf)
+}
+
+func (c *failNConn) Close() error { return nil }
+
+// TestRobustBackoffScheduleFakeClock verifies the retry loop's
+// backoff schedule — exponential, jittered in [d/2, d], capped —
+// without sleeping a nanosecond of wall time.
+func TestRobustBackoffScheduleFakeClock(t *testing.T) {
+	p := clockPres(t)
+	fc := NewFakeClock()
+	fc.AutoAdvance(true)
+	conn := &failNConn{
+		n:  5,
+		ok: func(int, []byte, []byte) ([]byte, error) { return nil, errors.New("done") },
+	}
+	policy := RetryPolicy{
+		MaxAttempts: 6,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Multiplier:  2,
+		Seed:        7,
+	}
+	r := NewRobustConn(conn, p, RobustOptions{ClientID: 1, AtMostOnce: true, Policy: policy, Clock: fc})
+	e := stats.New([]string{"echo"})
+	r.SetStats(e)
+
+	start := time.Now()
+	_, err := r.Call(0, []byte("req"), nil)
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("fake-clock retries burned %v of wall time", took)
+	}
+	if err == nil || err.Error() != "done" {
+		t.Fatalf("err = %v, want the final attempt's error", err)
+	}
+	if conn.calls != 6 {
+		t.Fatalf("conn saw %d calls, want 6", conn.calls)
+	}
+
+	// The un-jittered schedule is 10, 20, 40, 50, 50ms (capped); each
+	// recorded sleep must fall in [d/2, d].
+	want := []time.Duration{10, 20, 40, 50, 50}
+	sleeps := fc.Sleeps()
+	if len(sleeps) != len(want) {
+		t.Fatalf("got %d sleeps %v, want %d", len(sleeps), sleeps, len(want))
+	}
+	for i, s := range sleeps {
+		d := want[i] * time.Millisecond
+		if s < d/2 || s > d {
+			t.Fatalf("sleep %d = %v outside jitter window [%v, %v]", i, s, d/2, d)
+		}
+	}
+
+	snap := e.Snapshot()
+	if snap.Ops[0].Retries != 5 {
+		t.Fatalf("retries = %d, want 5", snap.Ops[0].Retries)
+	}
+	if snap.CorruptReplies != 5 {
+		t.Fatalf("corrupt replies = %d, want 5", snap.CorruptReplies)
+	}
+}
+
+// stuckConn never answers; it expires the pending attempt deadline
+// itself, standing in for a server that went silent.
+type stuckConn struct {
+	fc      *FakeClock
+	timeout time.Duration
+	release chan struct{}
+}
+
+func (c *stuckConn) Call(int, []byte, []byte) ([]byte, error) {
+	c.fc.Advance(c.timeout)
+	<-c.release
+	return nil, errors.New("released")
+}
+
+func (c *stuckConn) Close() error { return nil }
+
+// TestRobustAttemptTimeoutFakeClock verifies each attempt is carved
+// its own deadline from the fake clock and that expiry is classified
+// retryable, again with zero wall-clock sleeping.
+func TestRobustAttemptTimeoutFakeClock(t *testing.T) {
+	p := clockPres(t)
+	fc := NewFakeClock()
+	fc.AutoAdvance(true)
+	conn := &stuckConn{fc: fc, timeout: 30 * time.Millisecond, release: make(chan struct{})}
+	t.Cleanup(func() { close(conn.release) })
+	r := NewRobustConn(conn, p, RobustOptions{
+		ClientID:   2,
+		AtMostOnce: true,
+		Policy: RetryPolicy{
+			MaxAttempts:    3,
+			AttemptTimeout: 30 * time.Millisecond,
+			BaseBackoff:    time.Millisecond,
+			Seed:           3,
+		},
+		Clock: fc,
+	})
+	e := stats.New([]string{"echo"})
+	r.SetStats(e)
+
+	_, err := r.Call(0, []byte("req"), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if snap := e.Snapshot(); snap.Ops[0].Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", snap.Ops[0].Retries)
+	}
+}
+
+// TestRobustOverallDeadlineFakeClock verifies that the backoff sleeps
+// themselves consume the call's fake deadline: when it expires
+// mid-backoff the loop stops early instead of using up MaxAttempts.
+func TestRobustOverallDeadlineFakeClock(t *testing.T) {
+	p := clockPres(t)
+	fc := NewFakeClock()
+	fc.AutoAdvance(true)
+	conn := &failNConn{
+		n:  1000, // never succeeds
+		ok: func(int, []byte, []byte) ([]byte, error) { return nil, errors.New("unreachable") },
+	}
+	r := NewRobustConn(conn, p, RobustOptions{
+		ClientID:   3,
+		AtMostOnce: true,
+		Policy: RetryPolicy{
+			MaxAttempts: 100,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  100 * time.Millisecond,
+			Multiplier:  2,
+			Seed:        9,
+		},
+		Clock: fc,
+	})
+	ctx, cancel := fc.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	_, err := r.CallContext(ctx, 0, []byte("req"), nil)
+	if err == nil {
+		t.Fatal("call under an expired deadline succeeded")
+	}
+	// Sleeps are at least BaseBackoff/2 = 5ms each, so a 60ms budget
+	// admits at most a dozen attempts of the configured hundred.
+	if n := len(fc.Sleeps()); n >= 12 {
+		t.Fatalf("%d sleeps recorded; deadline did not stop the loop", n)
+	}
+	if conn.calls >= 100 {
+		t.Fatalf("conn saw %d calls; deadline did not stop the loop", conn.calls)
+	}
+}

@@ -66,31 +66,7 @@ func CallConn(ctx context.Context, conn Conn, opIdx int, req, replyBuf []byte) (
 // InvokeContext is Invoke with a per-call context: the deadline
 // propagates into the transport (see CallConn).
 func (c *Client) InvokeContext(ctx context.Context, op string, args []Value, outBufs [][]byte, retBuf []byte) ([]Value, Value, error) {
-	idx := c.plan.OpIndex(op)
-	if idx < 0 {
-		return nil, nil, fmt.Errorf("runtime: unknown operation %q", op)
-	}
-	opPlan := c.plan.Ops[idx]
-
-	if c.parallel {
-		return c.invokeParallel(ctx, opPlan, idx, args, outBufs, retBuf)
-	}
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.enc.Reset()
-	if err := opPlan.EncodeRequest(c.enc, args); err != nil {
-		return nil, nil, err
-	}
-	reply, err := CallConn(ctx, c.conn, idx, c.enc.Bytes(), c.replyBuf)
-	if err != nil {
-		return nil, nil, err
-	}
-	if cap(reply) > cap(c.replyBuf) {
-		c.replyBuf = reply[:cap(reply)]
-	}
-	dec := c.decoderFor(&c.dec, reply)
-	return c.finishCall(opPlan, dec, outBufs, retBuf)
+	return c.invoke(ctx, op, args, outBufs, retBuf)
 }
 
 // RawCallContext is RawCall with a per-call context (see CallConn for

@@ -6,6 +6,7 @@ import (
 
 	"flexrpc/internal/ir"
 	"flexrpc/internal/pres"
+	"flexrpc/internal/stats"
 )
 
 // SpecialHooks supply programmer-provided marshal routines for
@@ -68,7 +69,35 @@ type Plan struct {
 	// FV005 lints against) gets the relaxed bound.
 	maxDecode uint32
 
+	// stats, when set, receives the copy/alloc meters the compiled
+	// decode steps feed and the per-op [traced] parameter sizes. Set
+	// before the plan is shared (Client.SetStats does this); nil —
+	// the default — costs one nil check inside the affected steps.
+	stats *stats.Endpoint
+
 	decPool sync.Pool // ReusableDecoder, for pooled server paths
+}
+
+// setStats points the plan's meters at e (nil disables).
+func (p *Plan) setStats(e *stats.Endpoint) { p.stats = e }
+
+// SetStats is setStats for callers outside the package that drive a
+// Plan directly (servers: SessionServer, suntcp, pipeconn). Use the
+// dispatcher's endpoint so codec meters land beside its counters.
+func (p *Plan) SetStats(e *stats.Endpoint) { p.stats = e }
+
+// meterCopy records a decode-side copy into owned or caller storage.
+func (p *Plan) meterCopy(n int) {
+	if p.stats != nil {
+		p.stats.Copy.Add(n)
+	}
+}
+
+// meterAlloc records a fresh landing-buffer allocation.
+func (p *Plan) meterAlloc(n int) {
+	if p.stats != nil {
+		p.stats.Alloc.Add(n)
+	}
 }
 
 // Decode bounds applied by NewPlan according to the presentation's
@@ -207,11 +236,14 @@ func (pl *Plan) compileOp(idx int, op *ir.Operation, opPres *pres.OpPres) (*OpPl
 		if err != nil {
 			return nil, err
 		}
+		if a.Traced {
+			enc = pl.wrapTraced(idx, enc)
+		}
 		if prm.Dir == ir.In || prm.Dir == ir.InOut {
 			o.reqEnc = append(o.reqEnc, encStep{arg: i, name: prm.Name, fn: enc})
 			borrow := dec
 			if !a.Special {
-				borrow = compileDecodeBorrow(prm.Type)
+				borrow = pl.compileDecodeBorrow(prm.Type)
 			}
 			o.reqDec = append(o.reqDec, decStep{arg: i, name: prm.Name, fn: borrow})
 		}
@@ -230,6 +262,9 @@ func (pl *Plan) compileOp(idx int, op *ir.Operation, opPres *pres.OpPres) (*OpPl
 		enc, dec, into, err := pl.compileParam(op.Name, pres.ResultParam, op.Result, a)
 		if err != nil {
 			return nil, err
+		}
+		if a.Traced {
+			enc = pl.wrapTraced(idx, enc)
 		}
 		o.repEnc = append(o.repEnc, encStep{arg: -1, name: pres.ResultParam, fn: enc})
 		o.repDec = append(o.repDec, replyStep{
@@ -273,10 +308,16 @@ func (pl *Plan) compileParam(opName, prmName string, t *ir.Type, a *pres.ParamAt
 	var into func(Decoder, []byte) (Value, error)
 	switch t.Kind {
 	case ir.Bytes:
-		into = func(dec Decoder, dst []byte) (Value, error) { return dec.BytesInto(dst) }
+		into = func(dec Decoder, dst []byte) (Value, error) {
+			b, err := dec.BytesInto(dst)
+			if err == nil {
+				pl.meterCopy(len(b))
+			}
+			return b, err
+		}
 	case ir.FixedBytes:
 		size := t.Size
-		ownFn := compileDecodeOwn(t)
+		ownFn := pl.compileDecodeOwn(t)
 		into = func(dec Decoder, dst []byte) (Value, error) {
 			if len(dst) < size {
 				return ownFn(dec)
@@ -284,10 +325,30 @@ func (pl *Plan) compileParam(opName, prmName string, t *ir.Type, a *pres.ParamAt
 			if err := dec.FixedBytesInto(dst[:size]); err != nil {
 				return nil, err
 			}
+			pl.meterCopy(size)
 			return dst[:size], nil
 		}
 	}
-	return compileEncode(t), compileDecodeOwn(t), into, nil
+	return compileEncode(t), pl.compileDecodeOwn(t), into, nil
+}
+
+// wrapTraced meters an encode step whose parameter carries [traced]:
+// the per-op traced Meter accumulates how many values and encoded
+// bytes flowed through it. Free when stats are disabled beyond one
+// nil check; flexvet FV015 flags the pooled+[special] combinations
+// where even the enabled path would force an allocation.
+func (pl *Plan) wrapTraced(opIdx int, inner EncodeStepFn) EncodeStepFn {
+	return func(enc Encoder, v Value) error {
+		if pl.stats == nil {
+			return inner(enc, v)
+		}
+		before := len(enc.Bytes())
+		if err := inner(enc, v); err != nil {
+			return err
+		}
+		pl.stats.AddTraced(opIdx, len(enc.Bytes())-before)
+		return nil
+	}
 }
 
 // compileEncode builds the encode step for wire type t: the type
@@ -506,7 +567,7 @@ func compileDecodeScalar(t *ir.Type) DecodeStepFn {
 // call, and a work function that retains them must copy. This is
 // what lets a server receive bulk data with exactly one kernel copy
 // on the request path.
-func compileDecodeBorrow(t *ir.Type) DecodeStepFn {
+func (pl *Plan) compileDecodeBorrow(t *ir.Type) DecodeStepFn {
 	if fn := compileDecodeScalar(t); fn != nil {
 		return fn
 	}
@@ -517,25 +578,25 @@ func compileDecodeBorrow(t *ir.Type) DecodeStepFn {
 		size := t.Size
 		return func(dec Decoder) (Value, error) { return dec.FixedBytes(size) }
 	case ir.Seq:
-		elem := compileDecodeBorrow(t.Elem)
+		elem := pl.compileDecodeBorrow(t.Elem)
 		return compileSeqDecode(elem)
 	case ir.Array:
-		elem := compileDecodeBorrow(t.Elem)
+		elem := pl.compileDecodeBorrow(t.Elem)
 		return compileArrayDecode(elem, t.Size)
 	case ir.Struct:
 		fields := make([]DecodeStepFn, len(t.Fields))
 		for i, f := range t.Fields {
-			fields[i] = compileDecodeBorrow(f.Type)
+			fields[i] = pl.compileDecodeBorrow(f.Type)
 		}
 		return compileStructDecode(fields)
 	}
-	return compileDecodeOwn(t)
+	return pl.compileDecodeOwn(t)
 }
 
 // compileDecodeOwn builds the decode step for values the consumer
 // will own (client-side replies, default move semantics): byte
 // buffers land in fresh storage.
-func compileDecodeOwn(t *ir.Type) DecodeStepFn {
+func (pl *Plan) compileDecodeOwn(t *ir.Type) DecodeStepFn {
 	if fn := compileDecodeScalar(t); fn != nil {
 		return fn
 	}
@@ -548,6 +609,8 @@ func compileDecodeOwn(t *ir.Type) DecodeStepFn {
 			}
 			out := make([]byte, len(b))
 			copy(out, b)
+			pl.meterAlloc(len(b))
+			pl.meterCopy(len(b))
 			return out, nil
 		}
 	case ir.FixedBytes:
@@ -557,18 +620,20 @@ func compileDecodeOwn(t *ir.Type) DecodeStepFn {
 			if err := dec.FixedBytesInto(out); err != nil {
 				return nil, err
 			}
+			pl.meterAlloc(size)
+			pl.meterCopy(size)
 			return out, nil
 		}
 	case ir.Seq:
-		elem := compileDecodeOwn(t.Elem)
+		elem := pl.compileDecodeOwn(t.Elem)
 		return compileSeqDecode(elem)
 	case ir.Array:
-		elem := compileDecodeOwn(t.Elem)
+		elem := pl.compileDecodeOwn(t.Elem)
 		return compileArrayDecode(elem, t.Size)
 	case ir.Struct:
 		fields := make([]DecodeStepFn, len(t.Fields))
 		for i, f := range t.Fields {
-			fields[i] = compileDecodeOwn(f.Type)
+			fields[i] = pl.compileDecodeOwn(f.Type)
 		}
 		return compileStructDecode(fields)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package runtime
+
+const raceEnabled = false

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flexrpc/internal/pres"
+	"flexrpc/internal/stats"
 )
 
 // The robustness layer: a session protocol between RobustConn
@@ -31,6 +32,8 @@ import (
 // retransmits the same (cid, seq), which is what lets the server's
 // ReplyCache suppress duplicate execution. flags bit 0 marks the
 // operation [idempotent], telling the server caching is unnecessary.
+// flags bits 16-31 carry the call's 16-bit trace id (0 = untraced):
+// the flags word always existed, so tracing changes no wire format.
 // The CRC lets the client distinguish a corrupted reply (retryable —
 // the server may or may not have executed, but the cache makes the
 // retry safe) from a clean reply carrying an application error (not
@@ -40,6 +43,7 @@ const (
 	robustRepHeader = 8
 
 	flagIdempotent = 1 << 0
+	traceIDShift   = 16
 
 	sessOK         = 0 // body is the dispatcher's reply (status framing + results)
 	sessBadRequest = 1 // request frame failed its CRC; body empty; retry
@@ -120,6 +124,9 @@ type RobustOptions struct {
 	// retry; everything else gets a single attempt.
 	AtMostOnce bool
 	Policy     RetryPolicy
+	// Clock drives backoff sleeps and per-attempt timeouts; nil means
+	// WallClock. Tests substitute a FakeClock.
+	Clock Clock
 }
 
 // A RobustConn wraps a Conn with the client half of the session
@@ -139,8 +146,17 @@ type RobustConn struct {
 	rmu sync.Mutex // guards rng
 	rng *rand.Rand
 
+	clock Clock
+	stats *stats.Endpoint
+
 	frames sync.Pool // *[]byte request frame buffers
 }
+
+// SetStats points the session layer at an observability endpoint —
+// usually the same one the Client records into, so retries, wire
+// bytes and corruption show up alongside the per-op counters. A nil
+// endpoint (the default) records nothing.
+func (r *RobustConn) SetStats(e *stats.Endpoint) { r.stats = e }
 
 // NewRobustConn wraps inner for presentation p. The idempotency of
 // each operation comes from p's [idempotent] annotations.
@@ -155,6 +171,10 @@ func NewRobustConn(inner Conn, p *pres.Presentation, opts RobustOptions) *Robust
 	if seed == 0 {
 		seed = 1
 	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = WallClock
+	}
 	return &RobustConn{
 		inner:  inner,
 		cid:    opts.ClientID,
@@ -162,6 +182,7 @@ func NewRobustConn(inner Conn, p *pres.Presentation, opts RobustOptions) *Robust
 		atMost: opts.AtMostOnce,
 		policy: opts.Policy.withDefaults(),
 		rng:    rand.New(rand.NewSource(seed)),
+		clock:  clock,
 	}
 }
 
@@ -178,6 +199,16 @@ func (r *RobustConn) Close() error { return r.inner.Close() }
 // the at-most-once session) allows. Retries retransmit the same
 // sequence number, so the server replays rather than re-executes.
 func (r *RobustConn) CallContext(ctx context.Context, opIdx int, req, replyBuf []byte) ([]byte, error) {
+	return r.CallTraceContext(ctx, opIdx, req, replyBuf, 0)
+}
+
+// CallTraceContext is CallContext carrying a trace id: tid rides in
+// the upper half of the frame's flags word, so the server tags its
+// decode/dispatch/reply trace events with the same id the client
+// used. tid 0 means untraced; when this conn's own stats endpoint
+// has tracing enabled, a fresh id is drawn so the session layer can
+// trace calls even for clients that do not.
+func (r *RobustConn) CallTraceContext(ctx context.Context, opIdx int, req, replyBuf []byte, tid uint32) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -188,7 +219,10 @@ func (r *RobustConn) CallContext(ctx context.Context, opIdx int, req, replyBuf [
 	}
 
 	seq := r.seq.Add(1)
-	var flags uint32
+	if tid == 0 {
+		tid = r.stats.NextTraceID()
+	}
+	flags := (tid & 0xFFFF) << traceIDShift
 	if idem {
 		flags |= flagIdempotent
 	}
@@ -219,6 +253,10 @@ func (r *RobustConn) CallContext(ctx context.Context, opIdx int, req, replyBuf [
 			}
 			break
 		}
+		if attempt > 1 {
+			r.stats.AddRetry(opIdx)
+			r.stats.Trace(tid, opIdx, stats.StageRetry)
+		}
 		reply, err = r.callOnce(ctx, opIdx, frame, replyBuf)
 		if err == nil || !Retryable(err) || attempt >= attempts {
 			break
@@ -242,7 +280,10 @@ func (r *RobustConn) callOnce(ctx context.Context, opIdx int, frame, replyBuf []
 	actx := ctx
 	var cancel context.CancelFunc
 	if r.policy.AttemptTimeout > 0 {
-		actx, cancel = context.WithTimeout(ctx, r.policy.AttemptTimeout)
+		actx, cancel = r.clock.WithTimeout(ctx, r.policy.AttemptTimeout)
+	}
+	if r.stats != nil {
+		r.stats.Wire.Add(len(frame))
 	}
 	reply, err := CallConn(actx, r.inner, opIdx, frame, replyBuf)
 	if cancel != nil {
@@ -251,13 +292,18 @@ func (r *RobustConn) callOnce(ctx context.Context, opIdx int, frame, replyBuf []
 	if err != nil {
 		return nil, err
 	}
+	if r.stats != nil {
+		r.stats.Wire.Add(len(reply))
+	}
 	if len(reply) < robustRepHeader {
+		r.stats.AddCorruptReply()
 		return nil, fmt.Errorf("%w: %d-byte frame", ErrCorruptReply, len(reply))
 	}
 	status := binary.BigEndian.Uint32(reply[0:4])
 	sum := binary.BigEndian.Uint32(reply[4:8])
 	body := reply[robustRepHeader:]
 	if crc32.ChecksumIEEE(body) != sum {
+		r.stats.AddCorruptReply()
 		return nil, ErrCorruptReply
 	}
 	switch status {
@@ -275,14 +321,7 @@ func (r *RobustConn) sleep(ctx context.Context, d time.Duration) error {
 	r.rmu.Lock()
 	jittered := d/2 + time.Duration(r.rng.Int63n(int64(d/2)+1))
 	r.rmu.Unlock()
-	t := time.NewTimer(jittered)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return r.clock.Sleep(ctx, jittered)
 }
 
 // A ReplyCache is the server half of at-most-once execution: it
@@ -317,13 +356,16 @@ func NewReplyCache(capacity int) *ReplyCache {
 }
 
 // do returns the cached reply for key, executing exec exactly once
-// per key; duplicates wait for the first execution to finish.
-func (c *ReplyCache) do(key uint64, exec func() []byte) []byte {
+// per key; duplicates wait for the first execution to finish. The
+// second result reports whether the reply was replayed (served from
+// the cache, or by waiting out the original execution) rather than
+// produced by this call's own exec.
+func (c *ReplyCache) do(key uint64, exec func() []byte) ([]byte, bool) {
 	c.mu.Lock()
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		<-e.done
-		return e.frame
+		return e.frame, true
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
@@ -339,7 +381,7 @@ func (c *ReplyCache) do(key uint64, exec func() []byte) []byte {
 		c.order = c.order[1:]
 	}
 	c.mu.Unlock()
-	return e.frame
+	return e.frame, false
 }
 
 // Len reports how many completed replies the cache currently holds.
@@ -374,6 +416,7 @@ func NewSessionServer(disp *Dispatcher, plan *Plan, cache *ReplyCache) *SessionS
 // modify it.
 func (s *SessionServer) Handle(ctx context.Context, opIdx int, frame []byte) []byte {
 	if len(frame) < robustReqHeader {
+		s.disp.stats.AddBadFrame()
 		return badRequestFrame()
 	}
 	cid := binary.BigEndian.Uint32(frame[0:4])
@@ -384,23 +427,29 @@ func (s *SessionServer) Handle(ctx context.Context, opIdx int, frame []byte) []b
 	if crc32.ChecksumIEEE(body) != sum {
 		// Damaged in transit: tell the client to retransmit. Not
 		// cached — the retry must reach the dispatcher.
+		s.disp.stats.AddBadFrame()
 		return badRequestFrame()
 	}
+	tid := flags >> traceIDShift
 	if flags&flagIdempotent != 0 || s.cache == nil {
-		return s.exec(ctx, opIdx, body)
+		return s.exec(ctx, opIdx, body, tid)
 	}
 	key := uint64(cid)<<32 | uint64(seq)
-	return s.cache.do(key, func() []byte { return s.exec(ctx, opIdx, body) })
+	rep, replayed := s.cache.do(key, func() []byte { return s.exec(ctx, opIdx, body, tid) })
+	if replayed {
+		s.disp.stats.AddReplay(opIdx)
+	}
+	return rep
 }
 
 // exec dispatches one request body and builds a fresh reply frame.
-func (s *SessionServer) exec(ctx context.Context, opIdx int, body []byte) []byte {
+func (s *SessionServer) exec(ctx context.Context, opIdx int, body []byte, tid uint32) []byte {
 	enc, _ := s.encs.Get().(Encoder)
 	if enc == nil {
 		enc = s.plan.Codec.NewEncoder()
 	}
 	enc.Reset()
-	s.disp.ServeMessageContext(ctx, s.plan, opIdx, body, enc)
+	s.disp.serveMessageTraced(ctx, s.plan, opIdx, body, enc, tid)
 	out := enc.Bytes()
 	rep := make([]byte, robustRepHeader+len(out))
 	binary.BigEndian.PutUint32(rep[0:4], sessOK)

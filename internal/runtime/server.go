@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"flexrpc/internal/ir"
 	"flexrpc/internal/pres"
+	"flexrpc/internal/stats"
 )
 
 // A Handler is a server work function for one operation.
@@ -140,6 +142,7 @@ type Dispatcher struct {
 	handlers map[string]Handler
 	hooks    SpecialHooks
 	callPool sync.Pool
+	stats    *stats.Endpoint
 }
 
 // NewDispatcher creates a dispatcher serving p's interface under
@@ -160,6 +163,59 @@ func (d *Dispatcher) Handle(op string, h Handler) {
 	d.handlers[op] = h
 }
 
+// EnableStats switches on server-side observability, creating the
+// endpoint on first use: per-op dispatch counters and latency, codec
+// meters on the message paths, and session replay/bad-frame counts
+// when a SessionServer wraps this dispatcher. Enable before serving.
+func (d *Dispatcher) EnableStats() *stats.Endpoint {
+	if d.stats == nil {
+		d.stats = stats.New(opNames(d.Pres))
+	}
+	return d.stats
+}
+
+// SetStats installs (or, with nil, removes) the observability
+// endpoint; EnableStats is the common path.
+func (d *Dispatcher) SetStats(e *stats.Endpoint) { d.stats = e }
+
+// StatsEndpoint returns the live endpoint, nil when disabled.
+func (d *Dispatcher) StatsEndpoint() *stats.Endpoint { return d.stats }
+
+// Stats snapshots the server-side counters; on a disabled dispatcher
+// the snapshot is empty but non-nil.
+func (d *Dispatcher) Stats() *stats.Snapshot { return d.stats.Snapshot() }
+
+// opNames lists p's operations in interface order — the op-index
+// space shared by plans, dispatchers and stats endpoints.
+func opNames(p *pres.Presentation) []string {
+	names := make([]string, len(p.Interface.Ops))
+	for i := range p.Interface.Ops {
+		names[i] = p.Interface.Ops[i].Name
+	}
+	return names
+}
+
+// OutcomeOf classifies a call error for the stats counters: nil is
+// OK, a recovered handler panic is Panicked, a deadline expiry is
+// TimedOut, anything else Failed. Transports that keep their own
+// endpoints (inproc, pipeconn) share this taxonomy.
+func OutcomeOf(err error) stats.Outcome { return serverOutcome(err) }
+
+// serverOutcome classifies a dispatch error for the counters.
+func serverOutcome(err error) stats.Outcome {
+	if err == nil {
+		return stats.OK
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return stats.Panicked
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return stats.TimedOut
+	}
+	return stats.Failed
+}
+
 // A PanicError reports a server work function that panicked; the
 // dispatcher converts the panic into an RPC error reply so one bad
 // request cannot take the whole server process down.
@@ -177,11 +233,29 @@ func (e *PanicError) Error() string {
 // panicking work function is recovered into a *PanicError: the
 // transport turns it into an error reply and keeps serving.
 func (d *Dispatcher) Invoke(c *Call) error {
+	return d.invoke(c, 0)
+}
+
+// invoke is Invoke carrying the session layer's trace id. With stats
+// disabled the extra cost is exactly the one nil check.
+func (d *Dispatcher) invoke(c *Call, tid uint32) error {
 	h, ok := d.handlers[c.Op.Name]
 	if !ok {
-		return fmt.Errorf("%w: %s", errNoHandler, c.Op.Name)
+		err := fmt.Errorf("%w: %s", errNoHandler, c.Op.Name)
+		if d.stats != nil {
+			d.stats.RecordCall(d.stats.OpIndex(c.Op.Name), 0, 0, 0, stats.Failed)
+		}
+		return err
 	}
-	return invokeRecover(h, c)
+	if d.stats == nil {
+		return invokeRecover(h, c)
+	}
+	op := d.stats.OpIndex(c.Op.Name)
+	d.stats.Trace(tid, op, stats.StageDispatch)
+	t0 := time.Now()
+	err := invokeRecover(h, c)
+	d.stats.RecordCall(op, time.Since(t0), 0, 0, serverOutcome(err))
+	return err
 }
 
 // invokeRecover isolates the recover so Invoke's own frame stays
@@ -274,6 +348,12 @@ func (d *Dispatcher) ServeMessage(plan *Plan, opIdx int, body []byte, enc Encode
 // that a session transport forwards can cancel server-side work. ctx
 // may be nil (treated as Background).
 func (d *Dispatcher) ServeMessageContext(ctx context.Context, plan *Plan, opIdx int, body []byte, enc Encoder) {
+	d.serveMessageTraced(ctx, plan, opIdx, body, enc, 0)
+}
+
+// serveMessageTraced is the message-serving core, tagged with the
+// session layer's trace id (0 = untraced).
+func (d *Dispatcher) serveMessageTraced(ctx context.Context, plan *Plan, opIdx int, body []byte, enc Encoder, tid uint32) {
 	if opIdx < 0 || opIdx >= len(plan.Ops) {
 		encodeFailure(enc, fmt.Sprintf("bad operation index %d", opIdx))
 		return
@@ -284,16 +364,25 @@ func (d *Dispatcher) ServeMessageContext(ctx context.Context, plan *Plan, opIdx 
 	call.ctx = ctx
 	defer d.ReleaseCall(call)
 	defer plan.ReleaseDecoder(dec)
+	encBase := 0
+	if d.stats != nil {
+		d.stats.Decode.Add(len(body))
+		encBase = len(enc.Bytes())
+	}
 	if err := op.DecodeRequestInto(dec, call.in); err != nil {
 		encodeFailure(enc, err.Error())
 		return
+	}
+	if d.stats != nil {
+		d.stats.Trace(tid, opIdx, stats.StageServerDecode)
 	}
 	for i := range call.inPrivate {
 		// Data that crossed a protection boundary is always private.
 		call.inPrivate[i] = true
 	}
-	if err := d.Invoke(call); err != nil {
+	if err := d.invoke(call, tid); err != nil {
 		encodeFailure(enc, err.Error())
+		d.meterReply(opIdx, encBase, len(body), enc, tid)
 		return
 	}
 	enc.PutUint32(replyOK)
@@ -301,8 +390,20 @@ func (d *Dispatcher) ServeMessageContext(ctx context.Context, plan *Plan, opIdx 
 		enc.Reset()
 		encodeFailure(enc, err.Error())
 	}
+	d.meterReply(opIdx, encBase, len(body), enc, tid)
 	// The reply is marshaled: server-owned storage is free again.
 	call.RunAfterReply()
+}
+
+// meterReply records the marshaled reply once it is in enc.
+func (d *Dispatcher) meterReply(opIdx, encBase, bodyLen int, enc Encoder, tid uint32) {
+	if d.stats == nil {
+		return
+	}
+	out := len(enc.Bytes()) - encBase
+	d.stats.Encode.Add(out)
+	d.stats.AddBytes(opIdx, out, bodyLen)
+	d.stats.Trace(tid, opIdx, stats.StageServerReply)
 }
 
 // ServeMessageRaw is ServeMessage for self-framing transports: no
@@ -324,8 +425,16 @@ func (d *Dispatcher) ServeMessageRawContext(ctx context.Context, plan *Plan, opI
 	call.ctx = ctx
 	defer d.ReleaseCall(call)
 	defer plan.ReleaseDecoder(dec)
+	encBase := 0
+	if d.stats != nil {
+		d.stats.Decode.Add(len(body))
+		encBase = len(enc.Bytes())
+	}
 	if err := op.DecodeRequestInto(dec, call.in); err != nil {
 		return err
+	}
+	if d.stats != nil {
+		d.stats.Trace(0, opIdx, stats.StageServerDecode)
 	}
 	for i := range call.inPrivate {
 		call.inPrivate[i] = true
@@ -336,6 +445,7 @@ func (d *Dispatcher) ServeMessageRawContext(ctx context.Context, plan *Plan, opI
 	if err := op.EncodeReply(enc, call.outs, call.ret); err != nil {
 		return err
 	}
+	d.meterReply(opIdx, encBase, len(body), enc, 0)
 	call.RunAfterReply()
 	return nil
 }

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzHistogramCodec drives UnmarshalBinary with arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode to the
+// exact same bytes (the form is canonical).
+func FuzzHistogramCodec(f *testing.F) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(time.Duration(i * i))
+	}
+	snap := h.Snapshot()
+	seed, _ := snap.MarshalBinary()
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, histWireSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s HistogramSnapshot
+		if err := s.UnmarshalBinary(data); err != nil {
+			return
+		}
+		var total uint64
+		for _, b := range s.Buckets {
+			total += b
+		}
+		if total != s.Count {
+			t.Fatalf("accepted inconsistent histogram: sum %d count %d", total, s.Count)
+		}
+		out, err := s.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("not canonical:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+// FuzzTraceCodec drives UnmarshalTrace with arbitrary bytes: no
+// panics, and accepted traces round-trip semantically — re-marshaling
+// the decoded events and decoding again yields the same events.
+// (Byte-level canonicality does not hold: Uvarint accepts non-minimal
+// varint spellings.)
+func FuzzTraceCodec(f *testing.F) {
+	seed, _ := MarshalTrace([]TraceEvent{
+		{ID: 1, Op: 2, Stage: StageEncode, At: 10},
+		{ID: 0xFFFF, Op: 65535, Stage: StageReply, At: 1 << 40},
+	})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x46, 0x58, 0x54, 0x31, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := UnmarshalTrace(data)
+		if err != nil {
+			return
+		}
+		for _, ev := range events {
+			if ev.Stage == 0 || ev.Stage > stageMax {
+				t.Fatalf("accepted invalid stage %d", ev.Stage)
+			}
+			if ev.At < 0 {
+				t.Fatalf("accepted negative timestamp %d", ev.At)
+			}
+		}
+		out, err := MarshalTrace(events)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := UnmarshalTrace(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if len(back) != len(events) {
+			t.Fatalf("round trip changed event count: %d -> %d", len(events), len(back))
+		}
+		for i := range back {
+			if back[i] != events[i] {
+				t.Fatalf("event %d drifted: %+v != %+v", i, back[i], events[i])
+			}
+		}
+	})
+}

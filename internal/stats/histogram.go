@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the fixed bucket count of the latency histogram.
+// Bucket i counts durations whose nanosecond value has bit length i:
+// bucket 0 is exactly 0ns, bucket i covers [2^(i-1), 2^i) ns, and the
+// last bucket absorbs everything longer (2^46 ns ≈ 19.5 hours, far
+// past any RPC deadline).
+const HistBuckets = 48
+
+// A Histogram is a lock-free power-of-two latency histogram. The
+// zero value is an empty histogram; Record on a nil *Histogram is a
+// no-op. Concurrent Record calls never block each other — every
+// field is an independent atomic.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Record adds one duration observation.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	i := bits.Len64(ns)
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Snapshot copies the histogram's current contents.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	// Buckets first, totals after: a racing Record can make the
+	// totals run slightly ahead of the buckets but never behind,
+	// which Quantile tolerates (it clamps at the last non-empty
+	// bucket).
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.SumNs = h.sum.Load()
+	return s
+}
+
+// HistogramSnapshot is a plain-value copy of a Histogram; snapshots
+// merge by addition, which is what makes per-shard histograms cheap
+// to aggregate.
+type HistogramSnapshot struct {
+	Count   uint64              `json:"count"`
+	SumNs   uint64              `json:"sum_ns"`
+	Buckets [HistBuckets]uint64 `json:"buckets"`
+}
+
+// Merge adds o's observations into s.
+func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
+	if o == nil {
+		return
+	}
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the average observation, 0 when empty.
+func (s *HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0,1]):
+// the top of the bucket the q-th observation falls in.
+func (s *HistogramSnapshot) Quantile(q float64) time.Duration {
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total-1))
+	var seen uint64
+	for i, b := range s.Buckets {
+		seen += b
+		if b > 0 && seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1)<<uint(i) - 1)
+		}
+	}
+	return time.Duration(uint64(1)<<uint(HistBuckets-1) - 1)
+}
+
+// histMagic guards the binary form against foreign bytes; the low
+// byte is the format version.
+const histMagic = uint32(0x46585348) // "FXSH"
+
+// histWireSize is the fixed encoded size: magic + count + sum +
+// buckets, all big-endian uint64s except the magic.
+const histWireSize = 4 + 8 + 8 + 8*HistBuckets
+
+// MarshalBinary encodes the snapshot in a fixed-size, mergeable,
+// endian-stable form.
+func (s *HistogramSnapshot) MarshalBinary() ([]byte, error) {
+	out := make([]byte, histWireSize)
+	binary.BigEndian.PutUint32(out[0:], histMagic)
+	binary.BigEndian.PutUint64(out[4:], s.Count)
+	binary.BigEndian.PutUint64(out[12:], s.SumNs)
+	for i, b := range s.Buckets {
+		binary.BigEndian.PutUint64(out[20+8*i:], b)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a snapshot produced by MarshalBinary. It
+// rejects wrong sizes, wrong magic, and inconsistent contents
+// (bucket sum must equal the observation count), so merging decoded
+// snapshots can never corrupt totals.
+func (s *HistogramSnapshot) UnmarshalBinary(data []byte) error {
+	if len(data) != histWireSize {
+		return fmt.Errorf("stats: histogram: %d bytes, want %d", len(data), histWireSize)
+	}
+	if m := binary.BigEndian.Uint32(data[0:]); m != histMagic {
+		return fmt.Errorf("stats: histogram: bad magic %#x", m)
+	}
+	var dec HistogramSnapshot
+	dec.Count = binary.BigEndian.Uint64(data[4:])
+	dec.SumNs = binary.BigEndian.Uint64(data[12:])
+	var total uint64
+	overflow := false
+	for i := range dec.Buckets {
+		b := binary.BigEndian.Uint64(data[20+8*i:])
+		dec.Buckets[i] = b
+		if total+b < total {
+			overflow = true
+		}
+		total += b
+	}
+	if overflow || total != dec.Count {
+		return fmt.Errorf("stats: histogram: bucket sum %d != count %d", total, dec.Count)
+	}
+	*s = dec
+	return nil
+}

@@ -1,0 +1,409 @@
+// Package stats is the runtime's observability layer: per-operation
+// counters, lock-free latency histograms, byte/copy/alloc meters and
+// a bounded call-trace ring, all designed so that the disabled path
+// costs exactly one nil check and zero allocations.
+//
+// The central type is Endpoint: one per client or dispatcher, shared
+// by every layer of that endpoint's call path (codec, session,
+// transport). All methods are safe on a nil *Endpoint and on nil
+// component pointers, which is what makes threading the meters
+// through hot paths free when observability is off — callers never
+// branch, they just call.
+//
+// Recording is wait-free: counters and histogram buckets are plain
+// atomics, the trace ring overwrites oldest entries, and nothing
+// takes a lock. Snapshots are taken with atomic loads and are
+// internally consistent only per-counter (a snapshot may observe a
+// call that has incremented calls but not yet latency); that is the
+// usual and acceptable contract for monitoring counters.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// A Meter counts events and the bytes they moved. The zero value is
+// ready to use; Add on a nil *Meter is a no-op.
+type Meter struct {
+	count atomic.Uint64
+	bytes atomic.Uint64
+}
+
+// Add records one event moving n bytes.
+func (m *Meter) Add(n int) {
+	if m == nil {
+		return
+	}
+	m.count.Add(1)
+	if n > 0 {
+		m.bytes.Add(uint64(n))
+	}
+}
+
+// AddN records events moving n bytes in total.
+func (m *Meter) AddN(events, n int) {
+	if m == nil || events <= 0 {
+		return
+	}
+	m.count.Add(uint64(events))
+	if n > 0 {
+		m.bytes.Add(uint64(n))
+	}
+}
+
+// Snapshot returns the meter's current totals.
+func (m *Meter) Snapshot() MeterSnapshot {
+	if m == nil {
+		return MeterSnapshot{}
+	}
+	return MeterSnapshot{Count: m.count.Load(), Bytes: m.bytes.Load()}
+}
+
+// MeterSnapshot is a point-in-time copy of a Meter.
+type MeterSnapshot struct {
+	Count uint64 `json:"count"`
+	Bytes uint64 `json:"bytes"`
+}
+
+// Outcome classifies how a call ended, as seen by the recorder.
+type Outcome uint8
+
+const (
+	// OK is a successful call.
+	OK Outcome = iota
+	// Failed is any error that is not a timeout or a handler panic.
+	Failed
+	// TimedOut is a deadline expiry (client-side classification).
+	TimedOut
+	// Panicked is a recovered handler panic (server-side).
+	Panicked
+)
+
+// opCounters is the per-operation counter row. Everything is an
+// atomic so rows can be updated concurrently without locks.
+type opCounters struct {
+	calls    atomic.Uint64
+	errors   atomic.Uint64
+	retries  atomic.Uint64
+	replays  atomic.Uint64
+	panics   atomic.Uint64
+	timeouts atomic.Uint64
+	bytesOut atomic.Uint64
+	bytesIn  atomic.Uint64
+	traced   Meter // [traced] parameter payloads
+	lat      Histogram
+}
+
+// An Endpoint aggregates observability for one side of an interface:
+// a client, a dispatcher, or a transport endpoint. Layers share one
+// Endpoint so an operator sees a single coherent view per peer.
+//
+// A nil *Endpoint is the disabled state: every method no-ops.
+type Endpoint struct {
+	names  []string
+	byName map[string]int
+	ops    []opCounters
+
+	// Codec-layer meters: marshaled request/reply bytes produced and
+	// consumed, plus the copies and fresh landing-buffer allocations
+	// the compiled plan performed on behalf of the caller.
+	Encode Meter
+	Decode Meter
+	Copy   Meter
+	Alloc  Meter
+
+	// Wire meters one frame per transport send or receive, including
+	// session-layer retransmissions the op counters hide.
+	Wire Meter
+
+	// Session-layer failure counters that have no single op to bill.
+	badFrames      atomic.Uint64
+	corruptReplies atomic.Uint64
+
+	tracer atomic.Pointer[Tracer]
+	lastID atomic.Uint32
+}
+
+// New creates an Endpoint with one counter row per operation name,
+// indexed in order.
+func New(names []string) *Endpoint {
+	e := &Endpoint{
+		names:  append([]string(nil), names...),
+		byName: make(map[string]int, len(names)),
+		ops:    make([]opCounters, len(names)),
+	}
+	for i, n := range names {
+		e.byName[n] = i
+	}
+	return e
+}
+
+// Enabled reports whether the endpoint records anything.
+func (e *Endpoint) Enabled() bool { return e != nil }
+
+// OpIndex returns the counter-row index for name, or -1.
+func (e *Endpoint) OpIndex(name string) int {
+	if e == nil {
+		return -1
+	}
+	if i, ok := e.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+func (e *Endpoint) row(op int) *opCounters {
+	if e == nil || op < 0 || op >= len(e.ops) {
+		return nil
+	}
+	return &e.ops[op]
+}
+
+// RecordCall records one completed call on op: its latency, the
+// marshaled request/reply sizes, and its outcome. Timeouts and
+// panics also count as errors.
+func (e *Endpoint) RecordCall(op int, d time.Duration, bytesOut, bytesIn int, o Outcome) {
+	c := e.row(op)
+	if c == nil {
+		return
+	}
+	c.calls.Add(1)
+	switch o {
+	case Failed:
+		c.errors.Add(1)
+	case TimedOut:
+		c.errors.Add(1)
+		c.timeouts.Add(1)
+	case Panicked:
+		c.errors.Add(1)
+		c.panics.Add(1)
+	}
+	if bytesOut > 0 {
+		c.bytesOut.Add(uint64(bytesOut))
+	}
+	if bytesIn > 0 {
+		c.bytesIn.Add(uint64(bytesIn))
+	}
+	c.lat.Record(d)
+}
+
+// AddBytes adds marshaled request/reply sizes to op's byte counters
+// without touching the call count — for layers that see the bytes of
+// a call someone else counts.
+func (e *Endpoint) AddBytes(op, bytesOut, bytesIn int) {
+	c := e.row(op)
+	if c == nil {
+		return
+	}
+	if bytesOut > 0 {
+		c.bytesOut.Add(uint64(bytesOut))
+	}
+	if bytesIn > 0 {
+		c.bytesIn.Add(uint64(bytesIn))
+	}
+}
+
+// AddRetry counts one retransmitted attempt of op.
+func (e *Endpoint) AddRetry(op int) {
+	if c := e.row(op); c != nil {
+		c.retries.Add(1)
+	}
+}
+
+// AddReplay counts one reply served from the at-most-once cache
+// instead of re-executing op.
+func (e *Endpoint) AddReplay(op int) {
+	if c := e.row(op); c != nil {
+		c.replays.Add(1)
+	}
+}
+
+// AddTraced records the marshaled size of one [traced] parameter of
+// op.
+func (e *Endpoint) AddTraced(op, n int) {
+	if c := e.row(op); c != nil {
+		c.traced.Add(n)
+	}
+}
+
+// AddBadFrame counts one unparseable or mis-checksummed session
+// frame.
+func (e *Endpoint) AddBadFrame() {
+	if e != nil {
+		e.badFrames.Add(1)
+	}
+}
+
+// AddCorruptReply counts one reply discarded for a bad checksum or
+// frame.
+func (e *Endpoint) AddCorruptReply() {
+	if e != nil {
+		e.corruptReplies.Add(1)
+	}
+}
+
+// OpSnapshot is the point-in-time counter row of one operation.
+type OpSnapshot struct {
+	Name        string            `json:"name"`
+	Calls       uint64            `json:"calls"`
+	Errors      uint64            `json:"errors,omitempty"`
+	Retries     uint64            `json:"retries,omitempty"`
+	Replays     uint64            `json:"replays,omitempty"`
+	Panics      uint64            `json:"panics,omitempty"`
+	Timeouts    uint64            `json:"timeouts,omitempty"`
+	BytesOut    uint64            `json:"bytes_out,omitempty"`
+	BytesIn     uint64            `json:"bytes_in,omitempty"`
+	TracedMsgs  uint64            `json:"traced_msgs,omitempty"`
+	TracedBytes uint64            `json:"traced_bytes,omitempty"`
+	Latency     HistogramSnapshot `json:"latency"`
+}
+
+// Snapshot is a point-in-time copy of an Endpoint, safe to retain,
+// merge and serialize.
+type Snapshot struct {
+	Ops            []OpSnapshot  `json:"ops"`
+	Encode         MeterSnapshot `json:"encode"`
+	Decode         MeterSnapshot `json:"decode"`
+	Copy           MeterSnapshot `json:"copy"`
+	Alloc          MeterSnapshot `json:"alloc"`
+	Wire           MeterSnapshot `json:"wire"`
+	BadFrames      uint64        `json:"bad_frames,omitempty"`
+	CorruptReplies uint64        `json:"corrupt_replies,omitempty"`
+	Trace          []TraceEvent  `json:"trace,omitempty"`
+}
+
+// Snapshot copies the endpoint's counters. On a nil endpoint it
+// returns an empty, non-nil snapshot so callers can render it
+// unconditionally.
+func (e *Endpoint) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if e == nil {
+		return s
+	}
+	s.Ops = make([]OpSnapshot, len(e.ops))
+	for i := range e.ops {
+		c := &e.ops[i]
+		tr := c.traced.Snapshot()
+		s.Ops[i] = OpSnapshot{
+			Name:        e.names[i],
+			Calls:       c.calls.Load(),
+			Errors:      c.errors.Load(),
+			Retries:     c.retries.Load(),
+			Replays:     c.replays.Load(),
+			Panics:      c.panics.Load(),
+			Timeouts:    c.timeouts.Load(),
+			BytesOut:    c.bytesOut.Load(),
+			BytesIn:     c.bytesIn.Load(),
+			TracedMsgs:  tr.Count,
+			TracedBytes: tr.Bytes,
+			Latency:     c.lat.Snapshot(),
+		}
+	}
+	s.Encode = e.Encode.Snapshot()
+	s.Decode = e.Decode.Snapshot()
+	s.Copy = e.Copy.Snapshot()
+	s.Alloc = e.Alloc.Snapshot()
+	s.Wire = e.Wire.Snapshot()
+	s.BadFrames = e.badFrames.Load()
+	s.CorruptReplies = e.corruptReplies.Load()
+	if tr := e.tracer.Load(); tr != nil {
+		s.Trace = tr.Events()
+	}
+	return s
+}
+
+// Merge folds o into s (op rows matched by name, appended when new;
+// meters and histograms added; traces concatenated by time).
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	idx := make(map[string]int, len(s.Ops))
+	for i := range s.Ops {
+		idx[s.Ops[i].Name] = i
+	}
+	for _, op := range o.Ops {
+		i, ok := idx[op.Name]
+		if !ok {
+			s.Ops = append(s.Ops, op)
+			continue
+		}
+		d := &s.Ops[i]
+		d.Calls += op.Calls
+		d.Errors += op.Errors
+		d.Retries += op.Retries
+		d.Replays += op.Replays
+		d.Panics += op.Panics
+		d.Timeouts += op.Timeouts
+		d.BytesOut += op.BytesOut
+		d.BytesIn += op.BytesIn
+		d.TracedMsgs += op.TracedMsgs
+		d.TracedBytes += op.TracedBytes
+		d.Latency.Merge(&op.Latency)
+	}
+	mergeMeter := func(d *MeterSnapshot, s MeterSnapshot) {
+		d.Count += s.Count
+		d.Bytes += s.Bytes
+	}
+	mergeMeter(&s.Encode, o.Encode)
+	mergeMeter(&s.Decode, o.Decode)
+	mergeMeter(&s.Copy, o.Copy)
+	mergeMeter(&s.Alloc, o.Alloc)
+	mergeMeter(&s.Wire, o.Wire)
+	s.BadFrames += o.BadFrames
+	s.CorruptReplies += o.CorruptReplies
+	s.Trace = append(s.Trace, o.Trace...)
+	sort.SliceStable(s.Trace, func(i, j int) bool { return s.Trace[i].At < s.Trace[j].At })
+}
+
+// Text renders the snapshot as expvar-style "key value" lines, one
+// metric per line, stable order.
+func (s *Snapshot) Text() string {
+	var b strings.Builder
+	line := func(key string, v uint64) {
+		if v != 0 {
+			fmt.Fprintf(&b, "%s %d\n", key, v)
+		}
+	}
+	for _, op := range s.Ops {
+		k := "op." + op.Name
+		fmt.Fprintf(&b, "%s.calls %d\n", k, op.Calls)
+		line(k+".errors", op.Errors)
+		line(k+".retries", op.Retries)
+		line(k+".replays", op.Replays)
+		line(k+".panics", op.Panics)
+		line(k+".timeouts", op.Timeouts)
+		line(k+".bytes_out", op.BytesOut)
+		line(k+".bytes_in", op.BytesIn)
+		line(k+".traced_msgs", op.TracedMsgs)
+		line(k+".traced_bytes", op.TracedBytes)
+		if op.Latency.Count > 0 {
+			fmt.Fprintf(&b, "%s.latency.p50_ns %d\n", k, op.Latency.Quantile(0.50).Nanoseconds())
+			fmt.Fprintf(&b, "%s.latency.p99_ns %d\n", k, op.Latency.Quantile(0.99).Nanoseconds())
+			fmt.Fprintf(&b, "%s.latency.mean_ns %d\n", k, op.Latency.Mean().Nanoseconds())
+		}
+	}
+	meter := func(key string, m MeterSnapshot) {
+		line(key+".count", m.Count)
+		line(key+".bytes", m.Bytes)
+	}
+	meter("codec.encode", s.Encode)
+	meter("codec.decode", s.Decode)
+	meter("codec.copy", s.Copy)
+	meter("codec.alloc", s.Alloc)
+	meter("wire", s.Wire)
+	line("session.bad_frames", s.BadFrames)
+	line("session.corrupt_replies", s.CorruptReplies)
+	if len(s.Trace) > 0 {
+		fmt.Fprintf(&b, "trace.events %d\n", len(s.Trace))
+		for _, ev := range s.Trace {
+			fmt.Fprintf(&b, "trace id=%d op=%d stage=%s at_ns=%d\n",
+				ev.ID, ev.Op, ev.Stage, ev.At.Nanoseconds())
+		}
+	}
+	return b.String()
+}

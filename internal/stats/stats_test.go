@@ -1,0 +1,326 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every method must be a no-op on a nil endpoint — that is what makes
+// threading the meters through hot paths free when stats are off.
+func TestNilEndpointIsSafe(t *testing.T) {
+	var e *Endpoint
+	if e.Enabled() {
+		t.Fatal("nil endpoint reports enabled")
+	}
+	if got := e.OpIndex("echo"); got != -1 {
+		t.Fatalf("OpIndex on nil = %d, want -1", got)
+	}
+	e.RecordCall(0, time.Millisecond, 1, 2, OK)
+	e.AddBytes(0, 1, 2)
+	e.AddRetry(0)
+	e.AddReplay(0)
+	e.AddTraced(0, 9)
+	e.AddBadFrame()
+	e.AddCorruptReply()
+	e.EnableTracing(64)
+	if e.Tracing() {
+		t.Fatal("nil endpoint reports tracing")
+	}
+	if id := e.NextTraceID(); id != 0 {
+		t.Fatalf("NextTraceID on nil = %d, want 0", id)
+	}
+	e.Trace(1, 0, StageEncode)
+	if evs := e.TraceEvents(); evs != nil {
+		t.Fatalf("TraceEvents on nil = %v, want nil", evs)
+	}
+	s := e.Snapshot()
+	if s == nil {
+		t.Fatal("Snapshot on nil endpoint is nil")
+	}
+	if len(s.Ops) != 0 || s.Wire.Count != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+	var m *Meter
+	m.Add(5)
+	m.AddN(2, 10)
+	if ms := m.Snapshot(); ms != (MeterSnapshot{}) {
+		t.Fatalf("nil meter snapshot = %+v", ms)
+	}
+}
+
+func TestRecordCallOutcomes(t *testing.T) {
+	e := New([]string{"echo", "write"})
+	e.RecordCall(0, time.Millisecond, 10, 20, OK)
+	e.RecordCall(0, time.Millisecond, 0, 0, Failed)
+	e.RecordCall(0, 2*time.Second, 0, 0, TimedOut)
+	e.RecordCall(1, time.Microsecond, 0, 0, Panicked)
+	e.RecordCall(-1, time.Second, 0, 0, OK) // out of range: ignored
+	e.RecordCall(7, time.Second, 0, 0, OK)  // out of range: ignored
+	e.AddRetry(0)
+	e.AddReplay(1)
+	e.AddTraced(0, 64)
+
+	s := e.Snapshot()
+	echo := s.Ops[0]
+	if echo.Calls != 3 || echo.Errors != 2 || echo.Timeouts != 1 {
+		t.Fatalf("echo counters: %+v", echo)
+	}
+	if echo.BytesOut != 10 || echo.BytesIn != 20 {
+		t.Fatalf("echo bytes: %+v", echo)
+	}
+	if echo.Retries != 1 || echo.TracedMsgs != 1 || echo.TracedBytes != 64 {
+		t.Fatalf("echo retry/traced: %+v", echo)
+	}
+	if echo.Latency.Count != 3 {
+		t.Fatalf("echo latency count = %d", echo.Latency.Count)
+	}
+	wr := s.Ops[1]
+	if wr.Calls != 1 || wr.Panics != 1 || wr.Errors != 1 || wr.Replays != 1 {
+		t.Fatalf("write counters: %+v", wr)
+	}
+	if i := e.OpIndex("write"); i != 1 {
+		t.Fatalf("OpIndex(write) = %d", i)
+	}
+	if i := e.OpIndex("nosuch"); i != -1 {
+		t.Fatalf("OpIndex(nosuch) = %d", i)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(1)
+	h.Record(100)
+	h.Record(time.Hour * 100) // far past the last bucket boundary
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[1] != 1 || s.Buckets[7] != 1 || s.Buckets[HistBuckets-1] != 1 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+	if q := s.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	// The rank-1 observation (1ns) is in bucket 1, upper bound 1ns.
+	if q := s.Quantile(0.5); q != 1 {
+		t.Fatalf("q50 = %v", q)
+	}
+	// The 100ns observation lands in bucket 7 ([64,128)); its quantile
+	// upper bound is 127ns.
+	if q := s.Quantile(0.75); q != 127 {
+		t.Fatalf("q75 = %v", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.99) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	var nilH *Histogram
+	nilH.Record(time.Second) // must not panic
+	if nilH.Snapshot().Count != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+}
+
+func TestHistogramMergeMatchesCombinedRecording(t *testing.T) {
+	var a, b, both Histogram
+	durs := []time.Duration{0, 5, 300, time.Millisecond, time.Second, 17 * time.Microsecond}
+	for i, d := range durs {
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	merged := a.Snapshot()
+	bs := b.Snapshot()
+	merged.Merge(&bs)
+	if merged != both.Snapshot() {
+		t.Fatalf("merge mismatch:\n  merged %+v\n  direct %+v", merged, both.Snapshot())
+	}
+}
+
+func TestHistogramBinaryRoundTrip(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Fatal("round trip changed the snapshot")
+	}
+	// Corrupt a bucket: count no longer matches the bucket sum.
+	data[len(data)-1] ^= 1
+	if err := back.UnmarshalBinary(data); err == nil {
+		t.Fatal("inconsistent histogram accepted")
+	}
+	if err := back.UnmarshalBinary(data[:10]); err == nil {
+		t.Fatal("truncated histogram accepted")
+	}
+	data[0] ^= 0xFF
+	if err := back.UnmarshalBinary(data); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	e := New([]string{"echo"})
+	e.EnableTracing(128)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				id := e.NextTraceID()
+				e.Trace(id, 0, StageEncode)
+				e.RecordCall(0, time.Duration(i), 1, 1, OK)
+				e.Wire.Add(10)
+			}
+		}()
+	}
+	wg.Wait()
+	s := e.Snapshot()
+	if s.Ops[0].Calls != workers*per {
+		t.Fatalf("calls = %d, want %d", s.Ops[0].Calls, workers*per)
+	}
+	if s.Ops[0].Latency.Count != workers*per {
+		t.Fatalf("latency count = %d", s.Ops[0].Latency.Count)
+	}
+	if s.Wire.Count != workers*per || s.Wire.Bytes != workers*per*10 {
+		t.Fatalf("wire = %+v", s.Wire)
+	}
+	if len(s.Trace) != 128 {
+		t.Fatalf("trace ring kept %d events, want 128", len(s.Trace))
+	}
+}
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(16)
+	for i := 0; i < 40; i++ {
+		tr.Record(uint32(i+1), i%3, StageSend)
+	}
+	evs := tr.Events()
+	if len(evs) != 16 {
+		t.Fatalf("got %d events, want 16", len(evs))
+	}
+	// Only the most recent 16 ids survive.
+	for _, ev := range evs {
+		if ev.ID <= 24 {
+			t.Fatalf("stale event survived: %+v", ev)
+		}
+	}
+}
+
+func TestTraceIDsAreNonZeroAndBounded(t *testing.T) {
+	e := New([]string{"echo"})
+	if id := e.NextTraceID(); id != 0 {
+		t.Fatalf("id before tracing = %d, want 0", id)
+	}
+	e.EnableTracing(16)
+	seen := map[uint32]bool{}
+	for i := 0; i < 1<<17; i++ {
+		id := e.NextTraceID()
+		if id == 0 || id > 0xFFFF {
+			t.Fatalf("id %d out of the 16-bit flag field", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != 0xFFFF {
+		t.Fatalf("id space covered %d values, want %d", len(seen), 0xFFFF)
+	}
+}
+
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	events := []TraceEvent{
+		{ID: 1, Op: 0, Stage: StageBind, At: 0},
+		{ID: 1, Op: 0, Stage: StageEncode, At: 1500},
+		{ID: 2, Op: 65535, Stage: StageReply, At: 1 << 40},
+	}
+	data, err := MarshalTrace(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("got %d events", len(back))
+	}
+	for i := range back {
+		if back[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+	if _, err := UnmarshalTrace(append(data, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	if _, err := UnmarshalTrace(data[:len(data)-1]); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+	if _, err := MarshalTrace([]TraceEvent{{Stage: 99}}); err == nil {
+		t.Fatal("invalid stage marshaled")
+	}
+}
+
+func TestSnapshotMergeAndText(t *testing.T) {
+	a := New([]string{"echo"})
+	b := New([]string{"echo", "write"})
+	a.RecordCall(0, time.Millisecond, 5, 5, OK)
+	a.Encode.Add(5)
+	a.AddBadFrame()
+	b.RecordCall(0, time.Millisecond, 0, 0, Failed)
+	b.RecordCall(1, time.Second, 0, 0, OK)
+	b.Wire.Add(100)
+
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if len(s.Ops) != 2 {
+		t.Fatalf("merged ops = %d", len(s.Ops))
+	}
+	if s.Ops[0].Calls != 2 || s.Ops[0].Errors != 1 {
+		t.Fatalf("merged echo: %+v", s.Ops[0])
+	}
+	if s.Wire.Count != 1 || s.BadFrames != 1 {
+		t.Fatalf("merged meters: wire %+v badFrames %d", s.Wire, s.BadFrames)
+	}
+
+	text := s.Text()
+	for _, want := range []string{
+		"op.echo.calls 2",
+		"op.echo.errors 1",
+		"op.write.calls 1",
+		"op.echo.latency.p50_ns",
+		"codec.encode.count 1",
+		"wire.bytes 100",
+		"session.bad_frames 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	for s := StageBind; s <= stageMax; s++ {
+		if strings.HasPrefix(s.String(), "stage(") {
+			t.Fatalf("stage %d has no name", s)
+		}
+	}
+	if Stage(99).String() != "stage(99)" {
+		t.Fatalf("unknown stage renders %q", Stage(99).String())
+	}
+}

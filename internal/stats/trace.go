@@ -1,0 +1,267 @@
+package stats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// A Stage names one point on the RPC call path. Stages are recorded
+// client- and server-side under the same trace id, which the session
+// layer carries in the upper bits of the existing frame flags word —
+// the base wire format does not change.
+type Stage uint8
+
+const (
+	// StageBind marks plan compilation / endpoint setup.
+	StageBind Stage = iota + 1
+	// StageEncode marks the request fully marshaled.
+	StageEncode
+	// StageSend marks the request handed to the transport.
+	StageSend
+	// StageRetry marks a retransmitted attempt.
+	StageRetry
+	// StageServerDecode marks the request unmarshaled server-side.
+	StageServerDecode
+	// StageDispatch marks the handler invoked.
+	StageDispatch
+	// StageServerReply marks the reply marshaled server-side.
+	StageServerReply
+	// StageReply marks the reply decoded back on the client.
+	StageReply
+
+	stageMax = StageReply
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageBind:
+		return "bind"
+	case StageEncode:
+		return "encode"
+	case StageSend:
+		return "send"
+	case StageRetry:
+		return "retry"
+	case StageServerDecode:
+		return "server-decode"
+	case StageDispatch:
+		return "dispatch"
+	case StageServerReply:
+		return "server-reply"
+	case StageReply:
+		return "reply"
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// A TraceEvent is one recorded stage crossing. At is the offset from
+// tracer creation, not wall time, so events order correctly across
+// clock adjustments.
+type TraceEvent struct {
+	ID    uint32        `json:"id"`
+	Op    uint16        `json:"op"`
+	Stage Stage         `json:"stage"`
+	At    time.Duration `json:"at_ns"`
+}
+
+// A Tracer is a fixed-capacity ring of trace events. Recording is
+// wait-free: a slot index is claimed with one atomic add and the
+// event stored with two atomic writes. Under contention a reader may
+// observe a slot mid-update (meta from one event, timestamp from
+// another); traces are diagnostics, so that skew is accepted in
+// exchange for a zero-lock hot path.
+type Tracer struct {
+	base  time.Time
+	mask  uint64
+	pos   atomic.Uint64
+	slots []traceSlot
+}
+
+type traceSlot struct {
+	meta atomic.Uint64 // id(32) | op(16) | stage(8) | valid(1)
+	at   atomic.Uint64 // nanoseconds since base
+}
+
+const slotValid = 1 << 63
+
+// NewTracer creates a tracer holding the most recent capacity events
+// (rounded up to a power of two, minimum 16).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 16 {
+		capacity = 16
+	}
+	n := 1 << bits.Len(uint(capacity-1))
+	return &Tracer{
+		base:  time.Now(),
+		mask:  uint64(n - 1),
+		slots: make([]traceSlot, n),
+	}
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (t *Tracer) Record(id uint32, op int, s Stage) {
+	if t == nil {
+		return
+	}
+	i := (t.pos.Add(1) - 1) & t.mask
+	sl := &t.slots[i]
+	sl.at.Store(uint64(time.Since(t.base)))
+	sl.meta.Store(slotValid | uint64(id)<<24 | uint64(uint16(op))<<8 | uint64(s))
+}
+
+// Events returns the buffered events ordered by time.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	out := make([]TraceEvent, 0, len(t.slots))
+	for i := range t.slots {
+		m := t.slots[i].meta.Load()
+		if m&slotValid == 0 {
+			continue
+		}
+		out = append(out, TraceEvent{
+			ID:    uint32(m >> 24 & 0xFFFFFFFF),
+			Op:    uint16(m >> 8),
+			Stage: Stage(m),
+			At:    time.Duration(t.slots[i].at.Load()),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// EnableTracing installs a trace ring of the given capacity on the
+// endpoint (idempotent: an existing tracer is kept). Tracing off —
+// the default — costs one atomic pointer load per would-be event.
+func (e *Endpoint) EnableTracing(capacity int) {
+	if e == nil || e.tracer.Load() != nil {
+		return
+	}
+	e.tracer.CompareAndSwap(nil, NewTracer(capacity))
+}
+
+// Tracing reports whether a trace ring is installed.
+func (e *Endpoint) Tracing() bool { return e != nil && e.tracer.Load() != nil }
+
+// NextTraceID returns a fresh non-zero 16-bit trace id, or 0 when
+// tracing is disabled — 0 is the "untraced" id the session layer
+// propagates for free.
+func (e *Endpoint) NextTraceID() uint32 {
+	if e == nil || e.tracer.Load() == nil {
+		return 0
+	}
+	for {
+		if id := e.lastID.Add(1) & 0xFFFF; id != 0 {
+			return id
+		}
+	}
+}
+
+// Trace records one event when tracing is enabled.
+func (e *Endpoint) Trace(id uint32, op int, s Stage) {
+	if e == nil {
+		return
+	}
+	e.tracer.Load().Record(id, op, s)
+}
+
+// TraceEvents snapshots the trace ring, oldest first.
+func (e *Endpoint) TraceEvents() []TraceEvent {
+	if e == nil {
+		return nil
+	}
+	return e.tracer.Load().Events()
+}
+
+// traceMagic guards the trace binary form; low byte is the version.
+const traceMagic = uint32(0x46585431) // "FXT1"
+
+// maxTraceEvents bounds decoded traces; it is far above any ring
+// capacity in use and exists to keep hostile inputs cheap.
+const maxTraceEvents = 1 << 20
+
+// MarshalTrace encodes events in a compact varint form that
+// round-trips through UnmarshalTrace.
+func MarshalTrace(events []TraceEvent) ([]byte, error) {
+	if len(events) > maxTraceEvents {
+		return nil, fmt.Errorf("stats: trace: %d events exceeds limit %d", len(events), maxTraceEvents)
+	}
+	out := make([]byte, 4, 4+10*len(events))
+	binary.BigEndian.PutUint32(out, traceMagic)
+	out = binary.AppendUvarint(out, uint64(len(events)))
+	for _, ev := range events {
+		if ev.Stage == 0 || ev.Stage > stageMax {
+			return nil, fmt.Errorf("stats: trace: invalid stage %d", ev.Stage)
+		}
+		if ev.At < 0 {
+			return nil, fmt.Errorf("stats: trace: negative timestamp %d", ev.At)
+		}
+		out = binary.AppendUvarint(out, uint64(ev.ID))
+		out = binary.AppendUvarint(out, uint64(ev.Op))
+		out = append(out, byte(ev.Stage))
+		out = binary.AppendUvarint(out, uint64(ev.At))
+	}
+	return out, nil
+}
+
+// UnmarshalTrace decodes a trace produced by MarshalTrace, rejecting
+// truncated input, out-of-range fields and trailing garbage.
+func UnmarshalTrace(data []byte) ([]TraceEvent, error) {
+	if len(data) < 4 || binary.BigEndian.Uint32(data) != traceMagic {
+		return nil, fmt.Errorf("stats: trace: bad magic")
+	}
+	data = data[4:]
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 || n > maxTraceEvents {
+		return nil, fmt.Errorf("stats: trace: bad event count")
+	}
+	data = data[sz:]
+	// Each event is at least 4 bytes; reject counts the input cannot
+	// hold before allocating for them.
+	if n*4 > uint64(len(data)) {
+		return nil, fmt.Errorf("stats: trace: truncated (%d events in %d bytes)", n, len(data))
+	}
+	events := make([]TraceEvent, 0, n)
+	uv := func() (uint64, bool) {
+		v, s := binary.Uvarint(data)
+		if s <= 0 {
+			return 0, false
+		}
+		data = data[s:]
+		return v, true
+	}
+	for i := uint64(0); i < n; i++ {
+		id, ok := uv()
+		if !ok || id > 0xFFFFFFFF {
+			return nil, fmt.Errorf("stats: trace: bad id")
+		}
+		op, ok := uv()
+		if !ok || op > 0xFFFF {
+			return nil, fmt.Errorf("stats: trace: bad op")
+		}
+		if len(data) == 0 {
+			return nil, fmt.Errorf("stats: trace: truncated")
+		}
+		stage := Stage(data[0])
+		data = data[1:]
+		if stage == 0 || stage > stageMax {
+			return nil, fmt.Errorf("stats: trace: invalid stage %d", stage)
+		}
+		at, ok := uv()
+		if !ok || at > uint64(1)<<62 {
+			return nil, fmt.Errorf("stats: trace: bad timestamp")
+		}
+		events = append(events, TraceEvent{
+			ID: uint32(id), Op: uint16(op), Stage: stage, At: time.Duration(at),
+		})
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("stats: trace: %d trailing bytes", len(data))
+	}
+	return events, nil
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
 )
 
 // ErrDropped reports a message the schedule discarded; with no
@@ -141,6 +142,20 @@ func (s *Schedule) draw() decision {
 type Conn struct {
 	inner runtime.Conn
 	sched *Schedule
+	stats *stats.Endpoint
+}
+
+// SetStats points the wrapper's wire meter at e, so a
+// faultconn-wrapped stack reports through the same interface as a
+// bare one. When the wrapped transport accepts an endpoint itself,
+// the endpoint is forwarded there instead and the wrapper stays out
+// of the way — each frame is metered exactly once.
+func (c *Conn) SetStats(e *stats.Endpoint) {
+	if s, ok := c.inner.(interface{ SetStats(*stats.Endpoint) }); ok {
+		s.SetStats(e)
+		return
+	}
+	c.stats = e
 }
 
 // Wrap returns inner with s's faults applied per call.
@@ -182,9 +197,15 @@ func (c *Conn) CallContext(ctx context.Context, opIdx int, req, replyBuf []byte)
 		// lost datagram, nothing will ever answer.
 		return nil, awaitLoss(ctx)
 	}
+	if c.stats != nil {
+		c.stats.Wire.Add(len(req))
+	}
 	reply, err := runtime.CallConn(ctx, c.inner, opIdx, req, replyBuf)
 	if err != nil {
 		return nil, err
+	}
+	if c.stats != nil {
+		c.stats.Wire.Add(len(reply))
 	}
 	if d.duplicate {
 		// A retransmit reaching the server after the original: the

@@ -79,3 +79,33 @@ func TestBorrowPutZeroAllocs(t *testing.T) {
 		t.Fatal("handler never saw the data")
 	}
 }
+
+// With stats enabled — counters, latency histogram, trace ring — the
+// documented bound is at most 2 allocations per call; the atomic
+// counters and preallocated ring keep the measured number at 0.
+func TestNullCallBoundedAllocsStatsOn(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are not meaningful under the race detector")
+	}
+	disp := runtime.NewDispatcher(hotIface(t))
+	disp.Handle("nop", func(c *runtime.Call) error { return nil })
+	conn, err := Connect(hotIface(t), disp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.EnableStats().EnableTracing(256)
+	if _, _, err := conn.Invoke("nop", nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := conn.Invoke("nop", nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("stats-on null call allocates %.1f times per call, want <= 2", allocs)
+	}
+	if snap := conn.Stats(); len(snap.Ops) == 0 || snap.Ops[0].Calls == 0 {
+		t.Fatal("stats-on gate recorded no calls")
+	}
+}

@@ -18,10 +18,12 @@ package inproc
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"flexrpc/internal/ir"
 	"flexrpc/internal/pres"
 	"flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
 )
 
 // A Conn is a same-domain binding between a client presentation and
@@ -30,13 +32,43 @@ type Conn struct {
 	clientPres *pres.Presentation
 	disp       *runtime.Dispatcher
 	binds      map[string]*opBind
+
+	// stats, when set, receives the client-side view of every
+	// invocation: per-op calls, outcomes and latency. The server-side
+	// view lives on the dispatcher's own endpoint. Disabled (nil)
+	// costs one pointer check per call and keeps the path zero-alloc.
+	stats *stats.Endpoint
 }
+
+// EnableStats switches on client-side observability for this binding,
+// creating the endpoint on first use.
+func (c *Conn) EnableStats() *stats.Endpoint {
+	if c.stats == nil {
+		names := make([]string, len(c.clientPres.Interface.Ops))
+		for i := range c.clientPres.Interface.Ops {
+			names[i] = c.clientPres.Interface.Ops[i].Name
+		}
+		c.stats = stats.New(names)
+	}
+	return c.stats
+}
+
+// SetStats installs (or, with nil, removes) the endpoint.
+func (c *Conn) SetStats(e *stats.Endpoint) { c.stats = e }
+
+// StatsEndpoint returns the live endpoint, nil when disabled.
+func (c *Conn) StatsEndpoint() *stats.Endpoint { return c.stats }
+
+// Stats snapshots the client-side counters; empty but non-nil when
+// stats are disabled.
+func (c *Conn) Stats() *stats.Snapshot { return c.stats.Snapshot() }
 
 // opBind is one operation's compiled invocation program: every
 // negotiation the engine would otherwise redo per call, resolved at
 // bind time.
 type opBind struct {
 	op     *ir.Operation
+	idx    int // interface op index — the shared stats op-index space
 	params []paramBind
 	nOut   int // out/inout param count
 
@@ -69,7 +101,9 @@ func Connect(clientPres *pres.Presentation, disp *runtime.Dispatcher) (*Conn, er
 	c := &Conn{clientPres: clientPres, disp: disp, binds: make(map[string]*opBind)}
 	for i := range clientPres.Interface.Ops {
 		irOp := &clientPres.Interface.Ops[i]
-		c.binds[irOp.Name] = c.compileOp(irOp)
+		b := c.compileOp(irOp)
+		b.idx = i
+		c.binds[irOp.Name] = b
 	}
 	return c, nil
 }
@@ -148,6 +182,19 @@ func (c *Conn) invoke(ctx context.Context, op string, args []runtime.Value, outB
 	if len(args) != len(b.op.Params) {
 		return nil, nil, fmt.Errorf("inproc: %s takes %d params, have %d", op, len(b.op.Params), len(args))
 	}
+	if c.stats != nil {
+		t0 := time.Now()
+		tid := c.stats.NextTraceID()
+		c.stats.Trace(tid, b.idx, stats.StageDispatch)
+		outs, ret, err := c.invokeBound(ctx, b, args, outBufs, retBuf)
+		c.stats.Trace(tid, b.idx, stats.StageReply)
+		c.stats.RecordCall(b.idx, time.Since(t0), 0, 0, runtime.OutcomeOf(err))
+		return outs, ret, err
+	}
+	return c.invokeBound(ctx, b, args, outBufs, retBuf)
+}
+
+func (c *Conn) invokeBound(ctx context.Context, b *opBind, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
 
 	call := c.disp.AcquireCall(b.op)
 	if ctx != nil {

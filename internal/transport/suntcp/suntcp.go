@@ -12,6 +12,7 @@ import (
 	"flexrpc/internal/ir"
 	"flexrpc/internal/pres"
 	"flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
 	"flexrpc/internal/sunrpc"
 	"flexrpc/internal/xdr"
 )
@@ -43,7 +44,14 @@ func procFor(op *ir.Operation, idx int) uint32 {
 type Conn struct {
 	rpc   *sunrpc.Client
 	iface *ir.Interface
+	stats *stats.Endpoint
 }
+
+// SetStats points the connection's wire meter at e: every request and
+// reply body metered by frame count and bytes. Client.SetStats
+// forwards here, so enabling stats on the bound client covers the
+// transport too.
+func (c *Conn) SetStats(e *stats.Endpoint) { c.stats = e }
 
 // Dial wraps an established network connection in a Sun RPC client
 // for the presentation's interface.
@@ -75,6 +83,9 @@ func (c *Conn) CallContext(ctx context.Context, opIdx int, req []byte, replyBuf 
 		copy(body, raw)
 		return nil
 	}
+	if c.stats != nil {
+		c.stats.Wire.Add(len(req))
+	}
 	var err error
 	if ctx == nil || ctx.Done() == nil {
 		err = c.rpc.Call(procFor(op, opIdx), encodeArgs, decodeRes)
@@ -83,6 +94,9 @@ func (c *Conn) CallContext(ctx context.Context, opIdx int, req []byte, replyBuf 
 	}
 	if err != nil {
 		return nil, err
+	}
+	if c.stats != nil {
+		c.stats.Wire.Add(len(body))
 	}
 	return body, nil
 }
@@ -104,6 +118,25 @@ func (c *Conn) Close() error { return c.rpc.Close() }
 // stays interoperable with hand-coded Sun RPC peers — the paper's
 // generated Linux client talking to an unmodified BSD server.
 func (c *Conn) SelfFraming() bool { return true }
+
+// NewSessionServer builds a Sun RPC server whose procedure bodies
+// are at-most-once session frames: each argument block is handed to
+// sess.Handle and the returned session frame rides back as the
+// result, so a RobustConn client speaking through a suntcp Conn gets
+// retries, duplicate suppression and reply replay over Sun RPC.
+func NewSessionServer(sess *runtime.SessionServer, iface *ir.Interface) *sunrpc.Server {
+	prog, vers := progVers(iface)
+	srv := sunrpc.NewServer(prog, vers)
+	for i := range iface.Ops {
+		idx := i
+		op := &iface.Ops[i]
+		srv.Register(procFor(op, idx), func(args *xdr.Decoder, reply *xdr.Encoder) error {
+			reply.PutRaw(sess.Handle(context.Background(), idx, args.Rest()))
+			return nil
+		})
+	}
+	return srv
+}
 
 // NewServer builds a Sun RPC server that dispatches through disp
 // under the server plan. Call ServeConn/Serve on the result. Reply
