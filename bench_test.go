@@ -18,6 +18,7 @@ import (
 	"flexrpc/internal/pres"
 	"flexrpc/internal/runtime"
 	"flexrpc/internal/transport/inproc"
+	"flexrpc/internal/transport/suntcp"
 )
 
 // BenchmarkFig2NFSRead measures one 8 KB NFS read through each of
@@ -363,6 +364,82 @@ func BenchmarkFig12Trust(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkFigScale measures a pipelined null RPC through the full
+// session stack for the three server modes of the scale figure:
+// serial dispatch, the concurrent worker pool with a sharded reply
+// cache and coalescing writer, and the same plus client-side
+// [batchable] call merging. Eight client goroutines share one
+// connection; the full figure grid (workloads × connection counts)
+// is `go run ./cmd/experiments -fig scale`.
+func BenchmarkFigScale(b *testing.B) {
+	compiled, err := Compile(Options{
+		Frontend: FrontendCORBA,
+		Filename: "scale.idl",
+		Source:   `interface Scale { void nop(); };`,
+		// [batchable] but not [idempotent]: calls must traverse the
+		// at-most-once reply cache the figure is exercising.
+		PDL:         "interface Scale {\n    [batchable] nop();\n};\n",
+		PDLFilename: "scale.pdl",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name            string
+		workers, shards int
+		batch           bool
+	}{
+		{"serial", 1, 1, false},
+		{"concurrent8", 8, 8, false},
+		{"concurrent8+batch", 8, 8, true},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			p := compiled.Pres
+			disp := runtime.NewDispatcher(p)
+			disp.Handle("nop", func(c *runtime.Call) error { return nil })
+			plan, err := runtime.NewPlan(p, runtime.XDRCodec, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sess := runtime.NewSessionServer(disp, plan,
+				runtime.NewReplyCacheSharded(runtime.DefaultReplyCacheSize, m.shards))
+			srv := suntcp.NewSessionServer(sess, p.Interface)
+			srv.SetConcurrency(m.workers)
+			cc, sc := netsim.BufferedPipe(netsim.LinkParams{}, 256)
+			go func() { _ = srv.ServeConn(sc) }()
+			conn := runtime.NewRobustConn(suntcp.Dial(cc, p), p, runtime.RobustOptions{
+				ClientID:   1,
+				AtMostOnce: true,
+			})
+			if m.batch {
+				// Match the driver count so steady-state batches flush
+				// on size, not on the latency-bound timer.
+				conn.EnableBatching(runtime.BatchOptions{MaxCalls: 8})
+			}
+			b.Cleanup(func() { conn.Close(); cc.Close(); sc.Close() })
+			opIdx := plan.OpIndex("nop")
+			enc := runtime.XDRCodec.NewEncoder()
+			if err := plan.Ops[opIdx].EncodeRequest(enc, nil); err != nil {
+				b.Fatal(err)
+			}
+			req := enc.Bytes()
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				var replyBuf []byte
+				for pb.Next() {
+					reply, err := conn.Call(opIdx, req, replyBuf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					replyBuf = reply[:0]
+				}
+			})
+		})
 	}
 }
 

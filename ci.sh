@@ -38,6 +38,7 @@ fuzz_smoke() {
 	go test -run='^$' -fuzz=FuzzReadRecord -fuzztime="$fuzztime" ./internal/sunrpc
 	go test -run='^$' -fuzz=FuzzDecodeMessage -fuzztime="$fuzztime" ./internal/runtime
 	go test -run='^$' -fuzz=FuzzServeMessage -fuzztime="$fuzztime" ./internal/runtime
+	go test -run='^$' -fuzz=FuzzBatchCodec -fuzztime="$fuzztime" ./internal/runtime
 	go test -run='^$' -fuzz=FuzzHistogramCodec -fuzztime="$fuzztime" ./internal/stats
 	go test -run='^$' -fuzz=FuzzTraceCodec -fuzztime="$fuzztime" ./internal/stats
 }

@@ -155,6 +155,9 @@ type (
 	ReplyCache = runtime.ReplyCache
 	// PanicError reports a recovered server work-function panic.
 	PanicError = runtime.PanicError
+	// BatchOptions size RobustConn.EnableBatching's small-call merger
+	// for [batchable] operations.
+	BatchOptions = runtime.BatchOptions
 )
 
 // NewRobustConn wraps a transport connection with the client half of
@@ -166,6 +169,14 @@ func NewRobustConn(inner Conn, p *Presentation, opts RobustOptions) *RobustConn 
 // NewReplyCache returns an at-most-once reply cache retaining up to
 // capacity completed replies.
 func NewReplyCache(capacity int) *ReplyCache { return runtime.NewReplyCache(capacity) }
+
+// NewReplyCacheSharded returns an at-most-once reply cache whose
+// state is split across independently locked shards (rounded up to a
+// power of two; shards <= 0 derives a count from GOMAXPROCS), so
+// concurrent worker-pool dispatch doesn't serialize on one lock.
+func NewReplyCacheSharded(capacity, shards int) *ReplyCache {
+	return runtime.NewReplyCacheSharded(capacity, shards)
+}
 
 // NewSessionServer builds the server half of the session layer over
 // disp, compiling disp's marshal plan for codec. cache may be nil,

@@ -124,6 +124,19 @@ var registry = map[string]CheckInfo{
 			"snapshot per call — an allocation on the otherwise zero-alloc " +
 			"pooled path.",
 	},
+	"FV016": {
+		ID: "FV016", Title: "batchable-copies-frames", Severity: SevWarning,
+		Fix: "drop [batchable], or remove the [special] hook / ownership-moving annotation from the operation",
+		Doc: "A [batchable] operation's marshaled request is copied into a queue " +
+			"and transmitted later, merged with other calls into one session " +
+			"frame. A [special] marshal hook runs at enqueue time, not " +
+			"transmission time, so hooks with external side effects (port " +
+			"movement, shared-buffer handoff) observe a different world than " +
+			"the wire does; and ownership-moving annotations ([dealloc(always)] " +
+			"on an in parameter, [alloc(callee)] on an out) tie buffer lifetime " +
+			"to a call boundary the batcher has dissolved. Either combination " +
+			"makes the batching copy observable.",
+	},
 	"FV014": {
 		ID: "FV014", Title: "idempotent-moves-ownership", Severity: SevWarning,
 		Fix: "drop [idempotent] and rely on the at-most-once reply cache, or stop moving ownership in the signature",

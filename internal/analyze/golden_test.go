@@ -76,6 +76,10 @@ var goldenCases = []struct {
 		client: "interface FileIO {\n    [idempotent] write([dealloc(always)] data);\n    [idempotent] read([alloc(callee)] return);\n};\n",
 	},
 	{
+		name:   "fv016_batchable_copies_frames",
+		client: "interface FileIO {\n    [batchable] write([dealloc(always)] data);\n    [batchable] read([alloc(callee)] return);\n    [batchable] write_msg([special] msg);\n};\n",
+	},
+	{
 		name:   "fv015_traced_special_on_pooled",
 		client: "interface FileIO {\n    write([special, traced] data);\n};\n",
 		pooled: true,

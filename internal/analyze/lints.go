@@ -36,6 +36,9 @@ func (c *checker) checkEndpoint(iface *ir.Interface, ep Endpoint) {
 		if op.Idempotent {
 			c.checkIdempotent(p.Interface.Name, opName, irOp, op)
 		}
+		if op.Batchable {
+			c.checkBatchable(p.Interface.Name, opName, irOp, op)
+		}
 		for _, pn := range sortedParamNames(op.Params) {
 			a := op.Params[pn]
 			t, dir, ok := resolveParam(irOp, pn)
@@ -70,6 +73,40 @@ func (c *checker) checkIdempotent(iface, opName string, irOp *ir.Operation, op *
 		if isOut && a.Alloc == pres.AllocCallee && a.Explicit("alloc") {
 			c.report("FV014", attrPos(a, "alloc"),
 				"%s: [idempotent] operation hands out a callee-allocated buffer ([alloc(callee)]); a retried execution allocates again with only one delivery", ctx)
+		}
+	}
+}
+
+// checkBatchable is FV016: a [batchable] operation carrying [special]
+// hooks or ownership-moving attributes. The batcher copies the
+// marshaled request into a queue and transmits it later inside a
+// merged frame, so anything that runs side effects at marshal time or
+// moves buffer ownership across the (now dissolved) per-call boundary
+// makes the copy observable.
+func (c *checker) checkBatchable(iface, opName string, irOp *ir.Operation, op *pres.OpPres) {
+	for _, pn := range sortedParamNames(op.Params) {
+		a := op.Params[pn]
+		t, dir, ok := resolveParam(irOp, pn)
+		if !ok {
+			continue // FV007 covers dangling names
+		}
+		ctx := iface + "." + opName + "." + pn
+		if a.Special {
+			c.report("FV016", attrPos(a, "special"),
+				"%s: [batchable] operation's [special] hook runs at enqueue time, not transmission time; the batcher's frame copy makes the deferral observable", ctx)
+		}
+		if !pres.IsBuffer(t) {
+			continue
+		}
+		isIn := dir == ir.In || dir == ir.InOut
+		isOut := dir == ir.Out || dir == ir.InOut
+		if isIn && a.Dealloc == pres.DeallocAlways && a.Explicit("dealloc") {
+			c.report("FV016", attrPos(a, "dealloc"),
+				"%s: [batchable] operation transfers the caller's buffer ([dealloc(always)]), but the batcher queues a copy past the call boundary that lifetime is tied to", ctx)
+		}
+		if isOut && a.Alloc == pres.AllocCallee && a.Explicit("alloc") {
+			c.report("FV016", attrPos(a, "alloc"),
+				"%s: [batchable] operation hands out a callee-allocated buffer ([alloc(callee)]) whose delivery the batcher detaches from the call that allocated it", ctx)
 		}
 	}
 }

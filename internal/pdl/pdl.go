@@ -276,6 +276,8 @@ func (d *opDecl) apply(out *pres.Presentation, strict bool) error {
 			op.CommStatus = true
 		case "idempotent":
 			op.Idempotent = true
+		case "batchable":
+			op.Batchable = true
 		default:
 			return idl.Errorf(a.pos, "pdl: unknown operation attribute %q", a.name)
 		}

@@ -218,6 +218,13 @@ type OpPres struct {
 	// messages of an idempotent op are byte-identical to an
 	// unannotated one.
 	Idempotent bool
+	// Batchable ([batchable]): the operation's calls may be queued
+	// briefly and sent to the server merged with other batchable
+	// calls in one session frame, trading a bounded added latency for
+	// per-call wire and syscall overhead. Like [idempotent] this is
+	// endpoint-private: the sub-call bodies inside a batch frame are
+	// byte-identical to unbatched ones.
+	Batchable bool
 	// Pos is the source position of the operation's PDL declaration,
 	// when one was applied.
 	Pos idl.Pos
@@ -374,6 +381,7 @@ func (p *Presentation) Clone() *Presentation {
 			Params:     make(map[string]*ParamAttrs, len(op.Params)),
 			CommStatus: op.CommStatus,
 			Idempotent: op.Idempotent,
+			Batchable:  op.Batchable,
 			Pos:        op.Pos,
 			At:         clonePosMap(op.At),
 		}

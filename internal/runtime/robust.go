@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math/rand"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ const (
 	robustRepHeader = 8
 
 	flagIdempotent = 1 << 0
+	flagBatch      = 1 << 1 // body is a batch of sub-calls; op index rides per sub-call
 	traceIDShift   = 16
 
 	sessOK         = 0 // body is the dispatcher's reply (status framing + results)
@@ -136,12 +138,14 @@ type RobustOptions struct {
 // inside the session body, so application errors are cached and
 // replayed like any other reply.
 type RobustConn struct {
-	inner  Conn
-	cid    uint32
-	seq    atomic.Uint32
-	idem   []bool // by op index: may retry without the cache
-	atMost bool
-	policy RetryPolicy
+	inner     Conn
+	cid       uint32
+	seq       atomic.Uint32
+	idem      []bool // by op index: may retry without the cache
+	batchable []bool // by op index: may ride in a batch frame
+	atMost    bool
+	policy    RetryPolicy
+	batch     *batcher // nil until EnableBatching
 
 	rmu sync.Mutex // guards rng
 	rng *rand.Rand
@@ -162,9 +166,11 @@ func (r *RobustConn) SetStats(e *stats.Endpoint) { r.stats = e }
 // each operation comes from p's [idempotent] annotations.
 func NewRobustConn(inner Conn, p *pres.Presentation, opts RobustOptions) *RobustConn {
 	idem := make([]bool, len(p.Interface.Ops))
+	batchable := make([]bool, len(p.Interface.Ops))
 	for i := range p.Interface.Ops {
 		if op := p.Op(p.Interface.Ops[i].Name); op != nil {
 			idem[i] = op.Idempotent
+			batchable[i] = op.Batchable
 		}
 	}
 	seed := opts.Policy.Seed
@@ -176,13 +182,14 @@ func NewRobustConn(inner Conn, p *pres.Presentation, opts RobustOptions) *Robust
 		clock = WallClock
 	}
 	return &RobustConn{
-		inner:  inner,
-		cid:    opts.ClientID,
-		idem:   idem,
-		atMost: opts.AtMostOnce,
-		policy: opts.Policy.withDefaults(),
-		rng:    rand.New(rand.NewSource(seed)),
-		clock:  clock,
+		inner:     inner,
+		cid:       opts.ClientID,
+		idem:      idem,
+		batchable: batchable,
+		atMost:    opts.AtMostOnce,
+		policy:    opts.Policy.withDefaults(),
+		rng:       rand.New(rand.NewSource(seed)),
+		clock:     clock,
 	}
 }
 
@@ -191,8 +198,14 @@ func (r *RobustConn) Call(opIdx int, req, replyBuf []byte) ([]byte, error) {
 	return r.CallContext(context.Background(), opIdx, req, replyBuf)
 }
 
-// Close closes the wrapped transport.
-func (r *RobustConn) Close() error { return r.inner.Close() }
+// Close drains the batcher (when batching is enabled) and closes the
+// wrapped transport.
+func (r *RobustConn) Close() error {
+	if r.batch != nil {
+		r.batch.close()
+	}
+	return r.inner.Close()
+}
 
 // CallContext implements ContextConn: frame the request, send it,
 // verify the reply, retrying per the policy when the operation (or
@@ -212,13 +225,13 @@ func (r *RobustConn) CallTraceContext(ctx context.Context, opIdx int, req, reply
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	idem := opIdx >= 0 && opIdx < len(r.idem) && r.idem[opIdx]
-	attempts := r.policy.MaxAttempts
-	if !r.atMost && !idem {
-		attempts = 1
+	if b := r.batch; b != nil && tid == 0 && ctx.Done() == nil &&
+		opIdx >= 0 && opIdx < len(r.batchable) && r.batchable[opIdx] {
+		if reply, err, handled := b.call(opIdx, req, replyBuf); handled {
+			return reply, err
+		}
 	}
-
-	seq := r.seq.Add(1)
+	idem := opIdx >= 0 && opIdx < len(r.idem) && r.idem[opIdx]
 	if tid == 0 {
 		tid = r.stats.NextTraceID()
 	}
@@ -226,6 +239,20 @@ func (r *RobustConn) CallTraceContext(ctx context.Context, opIdx int, req, reply
 	if idem {
 		flags |= flagIdempotent
 	}
+	return r.callSession(ctx, opIdx, opIdx, req, replyBuf, flags, idem, tid)
+}
+
+// callSession frames req under a fresh sequence number and drives the
+// retry loop. wireOp is the operation index the transport routes by;
+// statOp bills retries to a counter row (negative for none, e.g. for
+// batch frames that have no single op). idem permits retrying even
+// without an at-most-once session.
+func (r *RobustConn) callSession(ctx context.Context, wireOp, statOp int, req, replyBuf []byte, flags uint32, idem bool, tid uint32) ([]byte, error) {
+	attempts := r.policy.MaxAttempts
+	if !r.atMost && !idem {
+		attempts = 1
+	}
+	seq := r.seq.Add(1)
 
 	fb, _ := r.frames.Get().(*[]byte)
 	if fb == nil {
@@ -254,10 +281,10 @@ func (r *RobustConn) CallTraceContext(ctx context.Context, opIdx int, req, reply
 			break
 		}
 		if attempt > 1 {
-			r.stats.AddRetry(opIdx)
-			r.stats.Trace(tid, opIdx, stats.StageRetry)
+			r.stats.AddRetry(statOp)
+			r.stats.Trace(tid, statOp, stats.StageRetry)
 		}
-		reply, err = r.callOnce(ctx, opIdx, frame, replyBuf)
+		reply, err = r.callOnce(ctx, wireOp, frame, replyBuf)
 		if err == nil || !Retryable(err) || attempt >= attempts {
 			break
 		}
@@ -330,11 +357,29 @@ func (r *RobustConn) sleep(ctx context.Context, d time.Duration) error {
 // while the original is still executing waits for that execution
 // instead of starting another. Completed entries are evicted FIFO
 // beyond the capacity.
+//
+// The cache is sharded: keys hash onto a power-of-two number of
+// independently locked shards, so at-most-once bookkeeping for
+// unrelated clients never serializes. Calls from one client
+// interleave their sequence numbers across every shard (the hash
+// mixes the low bits), so even a single chatty client spreads its
+// bookkeeping. [idempotent] operations never reach the cache at all.
 type ReplyCache struct {
+	shards     []replyShard
+	mask       uint64
+	contention atomic.Uint64
+	stats      *stats.Endpoint
+}
+
+// replyShard is one independently locked slice of the key space,
+// padded so adjacent shards do not share a cache line under write
+// contention.
+type replyShard struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[uint64]*cacheEntry
 	order   []uint64
+	_       [24]byte
 }
 
 type cacheEntry struct {
@@ -346,49 +391,130 @@ type cacheEntry struct {
 // a non-positive capacity.
 const DefaultReplyCacheSize = 4096
 
+// maxReplyCacheShards caps the default shard count; past the point
+// where shards outnumber runnable server workers the extra maps only
+// cost memory.
+const maxReplyCacheShards = 64
+
 // NewReplyCache returns a cache retaining up to capacity completed
-// replies (DefaultReplyCacheSize when capacity <= 0).
+// replies (DefaultReplyCacheSize when capacity <= 0), sharded for the
+// current GOMAXPROCS.
 func NewReplyCache(capacity int) *ReplyCache {
+	return NewReplyCacheSharded(capacity, 0)
+}
+
+// NewReplyCacheSharded is NewReplyCache with an explicit shard
+// count, rounded up to a power of two. shards <= 0 derives the count
+// from GOMAXPROCS (the next power of two, at most
+// maxReplyCacheShards); shards == 1 restores the single-mutex
+// behavior, which experiments use as the serial baseline.
+func NewReplyCacheSharded(capacity, shards int) *ReplyCache {
 	if capacity <= 0 {
 		capacity = DefaultReplyCacheSize
 	}
-	return &ReplyCache{cap: capacity, entries: make(map[uint64]*cacheEntry)}
+	if shards <= 0 {
+		shards = goruntime.GOMAXPROCS(0)
+		if shards > maxReplyCacheShards {
+			shards = maxReplyCacheShards
+		}
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	perShard := (capacity + n - 1) / n
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &ReplyCache{shards: make([]replyShard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].entries = make(map[uint64]*cacheEntry)
+	}
+	return c
+}
+
+// SetStats points the cache's shard-contention counter at e. Set
+// before serving; a nil endpoint (the default) records nothing.
+func (c *ReplyCache) SetStats(e *stats.Endpoint) { c.stats = e }
+
+// Contention reports how many lock acquisitions found their shard
+// already held — the direct witness that sharding is (or is not)
+// spreading load.
+func (c *ReplyCache) Contention() uint64 { return c.contention.Load() }
+
+// Shards reports the shard count (always a power of two).
+func (c *ReplyCache) Shards() int { return len(c.shards) }
+
+// shardHash spreads the (cid, seq) key over the shards: a splitmix64
+// finalizer, so consecutive sequence numbers from one client land on
+// different shards.
+func shardHash(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	k *= 0xc4ceb9fe1a85ec53
+	k ^= k >> 33
+	return k
+}
+
+func (c *ReplyCache) shard(key uint64) *replyShard {
+	return &c.shards[shardHash(key)&c.mask]
+}
+
+// lock takes s.mu, counting the acquisition as contended when the
+// uncontended fast path fails.
+func (c *ReplyCache) lock(s *replyShard) {
+	if s.mu.TryLock() {
+		return
+	}
+	c.contention.Add(1)
+	c.stats.AddShardContention()
+	s.mu.Lock()
 }
 
 // do returns the cached reply for key, executing exec exactly once
 // per key; duplicates wait for the first execution to finish. The
 // second result reports whether the reply was replayed (served from
 // the cache, or by waiting out the original execution) rather than
-// produced by this call's own exec.
+// produced by this call's own exec. exec runs outside the shard lock,
+// so slow handlers only serialize true duplicates.
 func (c *ReplyCache) do(key uint64, exec func() []byte) ([]byte, bool) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
+	s := c.shard(key)
+	c.lock(s)
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
 		<-e.done
 		return e.frame, true
 	}
 	e := &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.mu.Unlock()
+	s.entries[key] = e
+	s.mu.Unlock()
 
 	e.frame = exec()
 	close(e.done)
 
-	c.mu.Lock()
-	c.order = append(c.order, key)
-	for len(c.order) > c.cap {
-		delete(c.entries, c.order[0])
-		c.order = c.order[1:]
+	c.lock(s)
+	s.order = append(s.order, key)
+	for len(s.order) > s.cap {
+		delete(s.entries, s.order[0])
+		s.order = s.order[1:]
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return e.frame, false
 }
 
-// Len reports how many completed replies the cache currently holds.
+// Len reports how many completed replies the cache currently holds,
+// summed across shards.
 func (c *ReplyCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.order)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		n += len(s.order)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // A SessionServer is the server half of the session layer: it
@@ -431,11 +557,20 @@ func (s *SessionServer) Handle(ctx context.Context, opIdx int, frame []byte) []b
 		return badRequestFrame()
 	}
 	tid := flags >> traceIDShift
-	if flags&flagIdempotent != 0 || s.cache == nil {
+	exec := func() []byte {
+		if flags&flagBatch != 0 {
+			return s.execBatch(ctx, body, tid)
+		}
 		return s.exec(ctx, opIdx, body, tid)
 	}
+	if flags&flagIdempotent != 0 || s.cache == nil {
+		return exec()
+	}
+	// A batch frame is cached and replayed whole under the outer
+	// (cid, seq) key: the client retransmits the whole batch, so one
+	// cache entry gives every sub-call at-most-once execution.
 	key := uint64(cid)<<32 | uint64(seq)
-	rep, replayed := s.cache.do(key, func() []byte { return s.exec(ctx, opIdx, body, tid) })
+	rep, replayed := s.cache.do(key, exec)
 	if replayed {
 		s.disp.stats.AddReplay(opIdx)
 	}

@@ -124,6 +124,21 @@ type Endpoint struct {
 	badFrames      atomic.Uint64
 	corruptReplies atomic.Uint64
 
+	// Concurrency counters for the scaling machinery: requests queued
+	// to a server worker pool, reply-writer flushes and the records
+	// they carried (a flush with two or more records coalesced writes
+	// that would otherwise have been separate syscalls), calls that
+	// rode inside a client batch frame, reply-cache shard lock
+	// contention, and handler panics recovered outside any op row.
+	queued          atomic.Uint64
+	flushes         atomic.Uint64
+	flushedRecords  atomic.Uint64
+	coalescedWrites atomic.Uint64
+	batchedCalls    atomic.Uint64
+	batchFlushes    atomic.Uint64
+	shardContention atomic.Uint64
+	handlerPanics   atomic.Uint64
+
 	tracer atomic.Pointer[Tracer]
 	lastID atomic.Uint32
 }
@@ -246,6 +261,53 @@ func (e *Endpoint) AddCorruptReply() {
 	}
 }
 
+// AddQueued counts one request handed to a server worker pool.
+func (e *Endpoint) AddQueued() {
+	if e != nil {
+		e.queued.Add(1)
+	}
+}
+
+// AddFlush counts one reply-writer flush carrying records reply
+// records. A flush of two or more records is a coalesced write: those
+// records shared one syscall instead of taking one each.
+func (e *Endpoint) AddFlush(records int) {
+	if e == nil || records <= 0 {
+		return
+	}
+	e.flushes.Add(1)
+	e.flushedRecords.Add(uint64(records))
+	if records >= 2 {
+		e.coalescedWrites.Add(1)
+	}
+}
+
+// AddBatched counts one client batch flush carrying n calls in a
+// single session frame.
+func (e *Endpoint) AddBatched(n int) {
+	if e == nil || n <= 0 {
+		return
+	}
+	e.batchFlushes.Add(1)
+	e.batchedCalls.Add(uint64(n))
+}
+
+// AddShardContention counts one contended reply-cache shard lock
+// acquisition (the fast-path TryLock failed and the caller blocked).
+func (e *Endpoint) AddShardContention() {
+	if e != nil {
+		e.shardContention.Add(1)
+	}
+}
+
+// AddHandlerPanic counts one handler panic recovered by a transport
+// server that has no per-op counter row to bill it to.
+func (e *Endpoint) AddHandlerPanic() {
+	if e != nil {
+		e.handlerPanics.Add(1)
+	}
+}
+
 // OpSnapshot is the point-in-time counter row of one operation.
 type OpSnapshot struct {
 	Name        string            `json:"name"`
@@ -273,7 +335,17 @@ type Snapshot struct {
 	Wire           MeterSnapshot `json:"wire"`
 	BadFrames      uint64        `json:"bad_frames,omitempty"`
 	CorruptReplies uint64        `json:"corrupt_replies,omitempty"`
-	Trace          []TraceEvent  `json:"trace,omitempty"`
+
+	Queued          uint64 `json:"queued,omitempty"`
+	Flushes         uint64 `json:"flushes,omitempty"`
+	FlushedRecords  uint64 `json:"flushed_records,omitempty"`
+	CoalescedWrites uint64 `json:"coalesced_writes,omitempty"`
+	BatchedCalls    uint64 `json:"batched_calls,omitempty"`
+	BatchFlushes    uint64 `json:"batch_flushes,omitempty"`
+	ShardContention uint64 `json:"shard_contention,omitempty"`
+	HandlerPanics   uint64 `json:"handler_panics,omitempty"`
+
+	Trace []TraceEvent `json:"trace,omitempty"`
 }
 
 // Snapshot copies the endpoint's counters. On a nil endpoint it
@@ -310,6 +382,14 @@ func (e *Endpoint) Snapshot() *Snapshot {
 	s.Wire = e.Wire.Snapshot()
 	s.BadFrames = e.badFrames.Load()
 	s.CorruptReplies = e.corruptReplies.Load()
+	s.Queued = e.queued.Load()
+	s.Flushes = e.flushes.Load()
+	s.FlushedRecords = e.flushedRecords.Load()
+	s.CoalescedWrites = e.coalescedWrites.Load()
+	s.BatchedCalls = e.batchedCalls.Load()
+	s.BatchFlushes = e.batchFlushes.Load()
+	s.ShardContention = e.shardContention.Load()
+	s.HandlerPanics = e.handlerPanics.Load()
 	if tr := e.tracer.Load(); tr != nil {
 		s.Trace = tr.Events()
 	}
@@ -356,6 +436,14 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	mergeMeter(&s.Wire, o.Wire)
 	s.BadFrames += o.BadFrames
 	s.CorruptReplies += o.CorruptReplies
+	s.Queued += o.Queued
+	s.Flushes += o.Flushes
+	s.FlushedRecords += o.FlushedRecords
+	s.CoalescedWrites += o.CoalescedWrites
+	s.BatchedCalls += o.BatchedCalls
+	s.BatchFlushes += o.BatchFlushes
+	s.ShardContention += o.ShardContention
+	s.HandlerPanics += o.HandlerPanics
 	s.Trace = append(s.Trace, o.Trace...)
 	sort.SliceStable(s.Trace, func(i, j int) bool { return s.Trace[i].At < s.Trace[j].At })
 }
@@ -398,6 +486,14 @@ func (s *Snapshot) Text() string {
 	meter("wire", s.Wire)
 	line("session.bad_frames", s.BadFrames)
 	line("session.corrupt_replies", s.CorruptReplies)
+	line("server.queued", s.Queued)
+	line("server.flushes", s.Flushes)
+	line("server.flushed_records", s.FlushedRecords)
+	line("server.coalesced_writes", s.CoalescedWrites)
+	line("server.shard_contention", s.ShardContention)
+	line("server.handler_panics", s.HandlerPanics)
+	line("client.batched_calls", s.BatchedCalls)
+	line("client.batch_flushes", s.BatchFlushes)
 	if len(s.Trace) > 0 {
 		fmt.Fprintf(&b, "trace.events %d\n", len(s.Trace))
 		for _, ev := range s.Trace {

@@ -162,11 +162,22 @@ func (c *Client) call(ctx context.Context, proc uint32, encodeArgs func(*xdr.Enc
 
 	c.wmu.Lock()
 	c.enc.Reset()
+	// The record-marking header is encoded in-line (patched once the
+	// body length is known) so a request that fits one fragment goes
+	// out in a single Write — header and body coalesced into one
+	// syscall instead of two.
+	c.enc.PutUint32(0)
 	encodeCall(&c.enc, CallHeader{XID: xid, Prog: c.prog, Vers: c.vers, Proc: proc})
 	if encodeArgs != nil {
 		encodeArgs(&c.enc)
 	}
-	err := writeRecord(c.conn, c.enc.Bytes())
+	var err error
+	if marked := c.enc.Bytes(); len(marked)-4 <= maxFragment {
+		binary.BigEndian.PutUint32(marked[0:4], uint32(len(marked)-4)|lastFragFlag)
+		_, err = c.conn.Write(marked)
+	} else {
+		err = writeRecord(c.conn, marked[4:])
+	}
 	c.wmu.Unlock()
 	if err != nil {
 		// A failed write may have left a partial record on the wire:

@@ -49,6 +49,29 @@ func writeRecord(w io.Writer, data []byte) error {
 	}
 }
 
+// appendRecord appends data to dst as a record-marked message —
+// writeRecord's framing, built in memory so a writer can coalesce
+// several records into one Write call.
+func appendRecord(dst, data []byte) []byte {
+	for {
+		frag := data
+		last := true
+		if len(frag) > maxFragment {
+			frag, last = data[:maxFragment], false
+		}
+		word := uint32(len(frag))
+		if last {
+			word |= lastFragFlag
+		}
+		dst = binary.BigEndian.AppendUint32(dst, word)
+		dst = append(dst, frag...)
+		if last {
+			return dst
+		}
+		data = data[maxFragment:]
+	}
+}
+
 // readRecord reads one record-marked message, reassembling
 // fragments. buf is reused when large enough. Fragment headers are
 // read into buf's spare capacity, not a local array — a local would

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime/debug"
+	"sync"
 
+	"flexrpc/internal/stats"
 	"flexrpc/internal/xdr"
 )
 
@@ -19,6 +22,19 @@ type ProcHandler func(args *xdr.Decoder, reply *xdr.Encoder) error
 // arguments; it maps to the GARBAGE_ARGS accept status.
 var ErrGarbageArgs = errors.New("sunrpc: garbage arguments")
 
+// A PanicError reports a recovered handler panic. The peer sees a
+// bare SYSTEM_ERR accept status (the Sun RPC reply carries no error
+// payload); the server process keeps the value and stack for logs.
+type PanicError struct {
+	Proc  uint32
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sunrpc: handler for proc %d panicked: %v", e.Proc, e.Value)
+}
+
 // A Server dispatches Sun RPC calls for one program/version.
 type Server struct {
 	prog     uint32
@@ -28,6 +44,9 @@ type Server struct {
 	// MaxMessageSize bounds received request records; zero means
 	// DefaultMaxRecord. Set before serving.
 	MaxMessageSize int
+
+	concurrency int
+	stats       *stats.Endpoint
 }
 
 // NewServer creates a server for prog/vers. Procedure 0 (the null
@@ -44,12 +63,29 @@ func (s *Server) Register(proc uint32, h ProcHandler) {
 	s.handlers[proc] = h
 }
 
+// SetConcurrency sets the number of worker goroutines each connection
+// dispatches handlers on. n <= 1 (the default) keeps the serial
+// in-order loop; n > 1 executes up to n requests from one connection
+// in parallel, with a per-connection writer goroutine serializing
+// (and coalescing) the replies. Out-of-order replies are legal on the
+// Sun RPC wire — the client demultiplexes by xid. Set before serving.
+func (s *Server) SetConcurrency(n int) { s.concurrency = n }
+
+// SetStats points the server's queue/flush/panic counters at e; a nil
+// endpoint (the default) records nothing. Set before serving.
+func (s *Server) SetStats(e *stats.Endpoint) { s.stats = e }
+
 // ServeConn processes calls from conn until it closes, returning nil
-// on clean EOF.
+// on clean EOF. With SetConcurrency(n > 1) requests are executed by a
+// worker pool and replies are coalesced; otherwise requests run
+// serially in arrival order.
 func (s *Server) ServeConn(conn net.Conn) error {
 	limit := s.MaxMessageSize
 	if limit <= 0 {
 		limit = DefaultMaxRecord
+	}
+	if s.concurrency > 1 {
+		return s.serveConcurrent(conn, s.concurrency, limit)
 	}
 	var enc xdr.Encoder
 	var recBuf []byte
@@ -68,6 +104,101 @@ func (s *Server) ServeConn(conn net.Conn) error {
 			return fmt.Errorf("sunrpc: write: %w", err)
 		}
 	}
+}
+
+// serveConcurrent is the scaling server loop: a reader feeds request
+// records through a bounded queue to n workers, which dispatch
+// handlers in parallel and hand finished replies to a single writer
+// goroutine. The writer serializes record marking (the only ordering
+// the stream needs — xids identify replies) and coalesces every reply
+// available at flush time into one Write call. Buffers and encoders
+// are pooled, so the steady-state path allocates nothing.
+func (s *Server) serveConcurrent(conn net.Conn, n, limit int) error {
+	jobs := make(chan *[]byte, n)
+	replies := make(chan *xdr.Encoder, n)
+	bufs := sync.Pool{New: func() any { return new([]byte) }}
+	encs := sync.Pool{New: func() any { return new(xdr.Encoder) }}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dec := xdr.NewDecoder(nil)
+			for holder := range jobs {
+				rec := *holder
+				enc := encs.Get().(*xdr.Encoder)
+				enc.Reset()
+				dec.Reset(rec)
+				s.dispatch(dec, enc)
+				*holder = rec[:cap(rec)]
+				bufs.Put(holder)
+				replies <- enc
+			}
+		}()
+	}
+
+	// Writer: drain everything queued, write it as one flush, repeat.
+	writerDone := make(chan struct{})
+	var writeErr error
+	go func() {
+		defer close(writerDone)
+		var flush []byte
+		for enc := range replies {
+			flush = appendRecord(flush[:0], enc.Bytes())
+			encs.Put(enc)
+			count := 1
+		drain:
+			for {
+				select {
+				case more, ok := <-replies:
+					if !ok {
+						break drain
+					}
+					flush = appendRecord(flush, more.Bytes())
+					encs.Put(more)
+					count++
+				default:
+					break drain
+				}
+			}
+			if writeErr != nil {
+				continue // draining so workers never block
+			}
+			if _, err := conn.Write(flush); err != nil {
+				writeErr = fmt.Errorf("sunrpc: write: %w", err)
+				// The stream is poisoned mid-record; unblock the
+				// reader so the connection winds down.
+				conn.Close()
+				continue
+			}
+			s.stats.AddFlush(count)
+		}
+	}()
+
+	var readErr error
+	for {
+		holder := bufs.Get().(*[]byte)
+		rec, err := readRecordLimit(conn, *holder, limit)
+		if err != nil {
+			bufs.Put(holder)
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
+				readErr = fmt.Errorf("sunrpc: read: %w", err)
+			}
+			break
+		}
+		*holder = rec
+		s.stats.AddQueued()
+		jobs <- holder
+	}
+	close(jobs)
+	wg.Wait()
+	close(replies)
+	<-writerDone
+	if writeErr != nil {
+		return writeErr
+	}
+	return readErr
 }
 
 // dispatch handles one call, always leaving a complete reply in enc.
@@ -94,7 +225,7 @@ func (s *Server) dispatch(d *xdr.Decoder, enc *xdr.Encoder) {
 		// the header on failure. Header sizes are fixed, so we can
 		// re-encode in place by resetting.
 		encodeAcceptedReply(enc, h.XID, Success)
-		if err := handler(d, enc); err != nil {
+		if err := s.runHandler(h.Proc, handler, d, enc); err != nil {
 			enc.Reset()
 			if errors.Is(err, ErrGarbageArgs) {
 				encodeAcceptedReply(enc, h.XID, GarbageArgs)
@@ -103,6 +234,20 @@ func (s *Server) dispatch(d *xdr.Decoder, enc *xdr.Encoder) {
 			}
 		}
 	}
+}
+
+// runHandler invokes h, converting a panic into a *PanicError so one
+// bad request cannot take down the connection (or, under a worker
+// pool, its sibling requests). The defer lives in this small frame so
+// the recover machinery stays off the non-panicking path.
+func (s *Server) runHandler(proc uint32, h ProcHandler, d *xdr.Decoder, enc *xdr.Encoder) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.stats.AddHandlerPanic()
+			err = &PanicError{Proc: proc, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return h(d, enc)
 }
 
 // Serve accepts connections from l and serves each on its own
