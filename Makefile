@@ -1,12 +1,13 @@
 # flexrpc build and CI entry points. `make ci` is what the repository
-# considers green: formatting, go vet, build, race-enabled tests, and
-# flexvet over every example IDL/PDL.
+# considers green: formatting, go vet, build, race-enabled tests,
+# flexvet over every example IDL/PDL, the Go-source analyzer sweep,
+# and the plan-certificate diff.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test vet-examples golden
+.PHONY: ci fmt-check vet build test vet-examples vet-go certify golden
 
-ci: fmt-check vet build test vet-examples
+ci: fmt-check vet build test vet-examples vet-go certify
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -26,7 +27,17 @@ test:
 vet-examples:
 	./ci.sh vet-examples
 
-# Regenerate the analyzer's golden diagnostic files after an
-# intentional message change.
+# The Go-source analyzers over the whole module: seeded violations in
+# examples/vetgo must fire, everything else must be clean.
+vet-go:
+	./ci.sh vet-go
+
+# Plan certificates must reproduce their checked-in goldens.
+certify:
+	./ci.sh certify
+
+# Regenerate the analyzer's golden diagnostic files and the plan
+# certificates after an intentional change.
 golden:
-	$(GO) test ./internal/analyze -run Golden -update
+	$(GO) test ./internal/analyze/... -run Golden -update
+	./ci.sh certify -update

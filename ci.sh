@@ -1,6 +1,8 @@
 #!/bin/sh
 # CI driver. `./ci.sh` runs the full gate (same as `make ci`);
 # `./ci.sh vet-examples` runs only the flexvet sweep over examples/;
+# `./ci.sh vet-go` runs only the Go-source analyzer stage;
+# `./ci.sh certify` runs only the plan-certificate diff;
 # `./ci.sh fuzz-smoke` runs only the short fuzz pass.
 set -eu
 
@@ -27,6 +29,61 @@ vet_examples() {
 	done
 }
 
+vet_go() {
+	# The Go-source analyzers over the whole module, with the vetgo
+	# contract bound so FV018 has [idempotent] ops to check. The
+	# seeded violations in examples/vetgo must all fire; everything
+	# else must be clean (zero false positives).
+	out=$(mktemp)
+	echo "flexc vet -go -json ./... (expect findings only in examples/vetgo)"
+	if go run ./cmd/flexc vet -go -json \
+		-idl examples/vetgo/vetgo.idl -pdl examples/vetgo/server.pdl \
+		./... >"$out" 2>&1; then
+		echo "vet -go reported nothing; the seeded violations in examples/vetgo must fire"
+		rm -f "$out"
+		exit 1
+	elif [ $? -ge 2 ]; then
+		echo "vet -go failed to run:"
+		cat "$out"
+		rm -f "$out"
+		exit 1
+	fi
+	if grep '"file"' "$out" | grep -v '"file": *"examples/vetgo/' >/dev/null; then
+		echo "vet -go false positive outside examples/vetgo:"
+		grep '"file"' "$out" | grep -v '"file": *"examples/vetgo/'
+		rm -f "$out"
+		exit 1
+	fi
+	for id in FV017 FV018 FV019 FV020; do
+		if ! grep -q "\"id\": *\"$id\"" "$out"; then
+			echo "seeded violation $id in examples/vetgo not detected:"
+			cat "$out"
+			rm -f "$out"
+			exit 1
+		fi
+	done
+	rm -f "$out"
+	echo "vet -go: all seeded violations fire, no false positives"
+}
+
+certify() {
+	# Plan certificates must reproduce their checked-in goldens: the
+	# 0-alloc / bounded-decode claims are part of the contract, and
+	# any plan-compiler change that shifts them must be deliberate.
+	# Regenerate with:  ./ci.sh certify -update
+	for dir in examples/vetgo examples/pipes/fileio; do
+		idl=$(ls "$dir"/*.idl)
+		echo "flexc vet -certify -pdl $dir/server.pdl $idl"
+		if [ "${1:-}" = "-update" ]; then
+			go run ./cmd/flexc vet -certify -pdl "$dir/server.pdl" "$idl" >"$dir/certificate.json"
+		else
+			go run ./cmd/flexc vet -certify -pdl "$dir/server.pdl" "$idl" |
+				diff -u "$dir/certificate.json" - ||
+				{ echo "certificate drifted from $dir/certificate.json (regenerate with ./ci.sh certify -update)"; exit 1; }
+		fi
+	done
+}
+
 fuzz_smoke() {
 	# Short coverage-guided runs over the network-facing decoders and
 	# the stats snapshot codecs. `go test -fuzz` takes one target per
@@ -45,6 +102,16 @@ fuzz_smoke() {
 
 if [ "${1:-}" = "vet-examples" ]; then
 	vet_examples
+	exit 0
+fi
+
+if [ "${1:-}" = "vet-go" ]; then
+	vet_go
+	exit 0
+fi
+
+if [ "${1:-}" = "certify" ]; then
+	certify "${2:-}"
 	exit 0
 fi
 
@@ -78,5 +145,11 @@ fuzz_smoke
 
 echo "== flexc vet examples"
 vet_examples
+
+echo "== flexc vet -go"
+vet_go
+
+echo "== flexc vet -certify"
+certify
 
 echo "CI green"

@@ -28,13 +28,16 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"flexrpc/internal/analyze"
+	"flexrpc/internal/analyze/gocheck"
 	"flexrpc/internal/codegen"
 	"flexrpc/internal/core"
 	"flexrpc/internal/ir"
@@ -46,8 +49,34 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "flexc:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// An exitErr pins the process exit status. The vet subcommand's
+// contract is three-way: 0 clean, 1 findings, 2 when the analysis
+// itself could not run (load failures, bad invocations, analyzer
+// panics).
+type exitErr struct {
+	code int
+	err  error
+}
+
+func (e *exitErr) Error() string { return e.err.Error() }
+func (e *exitErr) Unwrap() error { return e.err }
+
+// findings wraps "the checks ran and found problems" (exit 1).
+func findings(err error) error { return &exitErr{code: 1, err: err} }
+
+// failure wraps "the checks could not run" (exit 2).
+func failure(err error) error { return &exitErr{code: 2, err: err} }
+
+func exitCode(err error) int {
+	var ee *exitErr
+	if errors.As(err, &ee) {
+		return ee.code
+	}
+	return 1
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -141,11 +170,15 @@ func parseStyle(name string) (pres.Style, error) {
 }
 
 // runVet is the `flexc vet` subcommand: flexvet over one or two
-// endpoints of an interface.
+// endpoints of an interface, the Go code bound to it, or the
+// compiled plan's static certificate.
 //
 //	flexc vet fileio.idl
 //	flexc vet -pdl client.pdl -peer-pdl server.pdl -transport suntcp fileio.idl
 //	flexc vet -peer-idl server_copy.idl fileio.idl        # contract drift
+//	flexc vet -go ./...                                   # Go-side checks
+//	flexc vet -go -idl f.idl -pdl server.pdl ./srv/...    # + contract binding
+//	flexc vet -certify -pdl client.pdl fileio.idl         # plan certificate
 //	flexc vet -list                                       # check registry
 //
 // The first endpoint (the "client") is the IDL file's default
@@ -154,8 +187,7 @@ func parseStyle(name string) (pres.Style, error) {
 // to the same IDL file) with -peer-pdl applied. PDL files are applied
 // loosely: annotations naming unknown operations or parameters become
 // positioned FV007 findings instead of hard errors, so one run
-// reports every problem. The exit status is non-zero iff any
-// error-severity finding is present.
+// reports every problem.
 func runVet(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("flexc vet", flag.ContinueOnError)
 	var (
@@ -168,11 +200,34 @@ func runVet(args []string, stdout io.Writer) error {
 		peerIDL       = fs.String("peer-idl", "", "the peer's copy of the contract (defaults to the same IDL file)")
 		peerFrontend  = fs.String("peer-frontend", "", "front-end for -peer-idl (defaults to -frontend)")
 		peerTransport = fs.String("peer-transport", "", "transport the peer binds to")
-		jsonOut       = fs.Bool("json", false, "emit machine-readable JSON diagnostics")
+		goMode        = fs.Bool("go", false, "analyze Go packages (FV017-FV020); arguments are package patterns")
+		goDir         = fs.String("dir", ".", "module root the -go package patterns resolve in")
+		goIDL         = fs.String("idl", "", "contract IDL binding annotation-dependent -go checks (with -pdl)")
+		certify       = fs.Bool("certify", false, "emit the compiled plan's static certificate instead of findings")
+		codecName     = fs.String("codec", "xdr", "wire codec for -certify: xdr, cdr or cdr-le")
+		jsonOut       = fs.Bool("json", false, "emit NDJSON diagnostics, one object per line")
+		werror        = fs.Bool("Werror", false, "treat warning-severity findings as fatal")
 		list          = fs.Bool("list", false, "print the check registry and exit")
 	)
+	fs.Usage = func() {
+		fmt.Fprint(fs.Output(), `usage:
+  flexc vet [flags] <idl-file>                presentation checks (FV001-FV016)
+  flexc vet -go [flags] [package-pattern]...  Go contract checks (FV017-FV020)
+  flexc vet -certify [flags] <idl-file>       static plan certificate (JSON)
+
+exit status: 0 clean; 1 findings (error severity, or any finding with
+-Werror) or a failed certificate invariant; 2 when the analysis could
+not run (unreadable input, package load failure, analyzer panic).
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
-		return err
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return failure(err)
 	}
 	if *list {
 		for _, ci := range analyze.Checks() {
@@ -180,21 +235,28 @@ func runVet(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: flexc vet [flags] <idl-file>")
-	}
-
 	sty, err := parseStyle(*style)
 	if err != nil {
-		return err
+		return failure(err)
+	}
+
+	if *goMode {
+		return runVetGo(fs.Args(), *goDir, *goIDL, *frontend, *ifaceName, sty, *pdlFile,
+			stdout, *jsonOut, *werror)
+	}
+	if fs.NArg() != 1 {
+		return failure(fmt.Errorf("usage: flexc vet [flags] <idl-file>"))
 	}
 	compiled, err := compileFor(fs.Arg(0), *frontend, *ifaceName, sty)
 	if err != nil {
-		return err
+		return failure(err)
 	}
 	client, err := vetEndpoint(compiled.Pres, *pdlFile)
 	if err != nil {
-		return err
+		return failure(err)
+	}
+	if *certify {
+		return runVetCertify(client, *codecName, stdout)
 	}
 	eps := []analyze.Endpoint{{Pres: client, Transport: *transport, Label: "client"}}
 
@@ -206,36 +268,112 @@ func runVet(args []string, stdout io.Writer) error {
 				pf = *frontend
 			}
 			if peerCompiled, err = compileFor(*peerIDL, pf, *ifaceName, sty); err != nil {
-				return err
+				return failure(err)
 			}
 		}
 		server, err := vetEndpoint(peerCompiled.Pres, *peerPDL)
 		if err != nil {
-			return err
+			return failure(err)
 		}
 		eps = append(eps, analyze.Endpoint{Pres: server, Transport: *peerTransport, Label: "server"})
 	}
 
-	diags := analyze.CheckEndpoints(compiled.Iface, eps)
-	if *jsonOut {
-		out, err := analyze.RenderJSON(diags)
+	return emitVet(stdout, analyze.CheckEndpoints(compiled.Iface, eps), *jsonOut, *werror)
+}
+
+// emitVet renders findings (vet style, or NDJSON with -json) and maps
+// them to the exit contract: error severity always fails, warnings
+// fail under -Werror.
+func emitVet(stdout io.Writer, diags []analyze.Diagnostic, jsonOut, werror bool) error {
+	if jsonOut {
+		out, err := analyze.RenderLines(diags)
 		if err != nil {
-			return err
+			return failure(err)
 		}
-		fmt.Fprintf(stdout, "%s\n", out)
+		if _, err := stdout.Write(out); err != nil {
+			return failure(err)
+		}
 	} else if len(diags) > 0 {
 		fmt.Fprint(stdout, analyze.Render(diags))
 	}
-	if analyze.HasErrors(diags) {
-		n := 0
-		for _, d := range diags {
-			if d.Severity == analyze.SevError {
-				n++
-			}
+	fatal := 0
+	for _, d := range diags {
+		if d.Severity == analyze.SevError || (werror && d.Severity >= analyze.SevWarning) {
+			fatal++
 		}
-		return fmt.Errorf("vet: %d error(s)", n)
+	}
+	if fatal == len(diags) && fatal > 0 {
+		return findings(fmt.Errorf("vet: %d finding(s)", fatal))
+	}
+	if fatal > 0 {
+		return findings(fmt.Errorf("vet: %d fatal finding(s) (%d total)", fatal, len(diags)))
 	}
 	return nil
+}
+
+// runVetGo loads Go packages and runs the gocheck analyzer suite
+// (FV017-FV020) over them, optionally with a PDL contract bound.
+func runVetGo(patterns []string, dir, idlFile, frontend, ifaceName string, sty pres.Style,
+	pdlFile string, stdout io.Writer, jsonOut, werror bool) error {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var contract *pres.Presentation
+	if idlFile != "" {
+		compiled, err := compileFor(idlFile, frontend, ifaceName, sty)
+		if err != nil {
+			return failure(err)
+		}
+		if contract, err = vetEndpoint(compiled.Pres, pdlFile); err != nil {
+			return failure(err)
+		}
+	}
+	pkgs, err := gocheck.Load(dir, patterns...)
+	if err != nil {
+		return failure(err)
+	}
+	trim, err := filepath.Abs(dir)
+	if err != nil {
+		return failure(err)
+	}
+	checker := &gocheck.Checker{Contract: contract, TrimDir: trim}
+	diags, err := checker.CheckPackages(pkgs)
+	if err != nil {
+		return failure(err)
+	}
+	return emitVet(stdout, diags, jsonOut, werror)
+}
+
+// runVetCertify compiles the presentation's marshal plan and emits
+// its static certificate after proving the bounds invariant. Plans
+// that fail to compile (e.g. [special] parameters, which need hook
+// code) are load failures, not findings.
+func runVetCertify(p *pres.Presentation, codecName string, stdout io.Writer) error {
+	var codec frt.Codec
+	switch codecName {
+	case "xdr":
+		codec = frt.XDRCodec
+	case "cdr":
+		codec = frt.CDRCodec
+	case "cdr-le":
+		codec = frt.CDRCodecLE
+	default:
+		return failure(fmt.Errorf("unknown codec %q (want xdr, cdr or cdr-le)", codecName))
+	}
+	plan, err := frt.NewPlan(p, codec, nil)
+	if err != nil {
+		return failure(err)
+	}
+	cert := plan.Certificate()
+	if err := cert.VerifyBounds(); err != nil {
+		return findings(err)
+	}
+	out, err := cert.Render()
+	if err != nil {
+		return failure(err)
+	}
+	_, err = stdout.Write(out)
+	return err
 }
 
 // statsLoop is the stats subcommand's transport: a serial loopback

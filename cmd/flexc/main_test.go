@@ -247,21 +247,141 @@ func TestVetTrustOverNetwork(t *testing.T) {
 	}
 }
 
+// -json emits NDJSON: one diagnostic object per line, so pipelines
+// can stream-parse without buffering an array.
 func TestVetJSONOutput(t *testing.T) {
 	dir := t.TempDir()
 	idl := write(t, dir, "f.idl", `interface F { sequence<octet> get(in unsigned long n); };`)
-	pdl := write(t, dir, "f.pdl", `interface F { get([nonunique] n); };`)
+	pdl := write(t, dir, "f.pdl", `interface F { get([nonunique] n); frob([special] x); };`)
 	var out bytes.Buffer
 	err := run([]string{"vet", "-json", "-pdl", pdl, idl}, &out)
 	if err == nil {
 		t.Fatal("expected non-zero exit")
 	}
-	var diags []map[string]any
-	if jerr := json.Unmarshal(out.Bytes(), &diags); jerr != nil {
-		t.Fatalf("output is not JSON: %v\n%s", jerr, out.String())
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want one NDJSON line per diagnostic, got %d:\n%s", len(lines), out.String())
 	}
-	if len(diags) != 1 || diags[0]["id"] != "FV011" || diags[0]["severity"] != "error" {
-		t.Fatalf("json = %v", diags)
+	var diag map[string]any
+	if jerr := json.Unmarshal([]byte(lines[0]), &diag); jerr != nil {
+		t.Fatalf("line 0 is not JSON: %v\n%s", jerr, lines[0])
+	}
+	if diag["id"] != "FV011" || diag["severity"] != "error" {
+		t.Fatalf("json = %v", diag)
+	}
+}
+
+// The vet exit contract: clean 0, findings 1, analysis failures 2.
+func TestVetExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { sequence<octet> get(in unsigned long n); };`)
+	pdl := write(t, dir, "f.pdl", `interface F { get([nonunique] n); };`)
+
+	if err := run([]string{"vet", idl}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("clean vet: %v", err)
+	}
+	err := run([]string{"vet", "-pdl", pdl, idl}, &bytes.Buffer{})
+	if err == nil || exitCode(err) != 1 {
+		t.Fatalf("findings must exit 1, got %v (code %d)", err, exitCode(err))
+	}
+	err = run([]string{"vet", filepath.Join(dir, "missing.idl")}, &bytes.Buffer{})
+	if err == nil || exitCode(err) != 2 {
+		t.Fatalf("load failure must exit 2, got %v (code %d)", err, exitCode(err))
+	}
+	err = run([]string{"vet", "-go", "-dir", dir, "./..."}, &bytes.Buffer{})
+	if err == nil || exitCode(err) != 2 {
+		t.Fatalf("-go outside a module must exit 2, got %v (code %d)", err, exitCode(err))
+	}
+}
+
+// -Werror promotes warning findings to a non-zero exit.
+func TestVetWerror(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "f.idl", `interface F { void put(in sequence<octet> data); };`)
+	pdl := write(t, dir, "f.pdl", `interface F { put([trashable, special] data); };`)
+	if err := run([]string{"vet", "-pdl", pdl, idl}, &bytes.Buffer{}); err != nil {
+		t.Fatalf("warnings without -Werror must exit 0: %v", err)
+	}
+	err := run([]string{"vet", "-Werror", "-pdl", pdl, idl}, &bytes.Buffer{})
+	if err == nil || exitCode(err) != 1 {
+		t.Fatalf("warnings with -Werror must exit 1, got %v (code %d)", err, exitCode(err))
+	}
+}
+
+// The Go-side suite through the CLI: seeded violations in the
+// analyzer's own fixture tree fire with positions; the repo's real
+// packages stay clean.
+func TestVetGoFixtures(t *testing.T) {
+	root := filepath.Join("..", "..")
+	var out bytes.Buffer
+	err := run([]string{"vet", "-go", "-json", "-dir", root,
+		"./internal/analyze/gocheck/testdata/src/fv017",
+		"./internal/analyze/gocheck/testdata/src/clean"}, &out)
+	if err == nil || exitCode(err) != 1 {
+		t.Fatalf("seeded violations must exit 1, got %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		var diag struct {
+			ID   string `json:"id"`
+			File string `json:"file"`
+			Line int    `json:"line"`
+		}
+		if jerr := json.Unmarshal([]byte(line), &diag); jerr != nil {
+			t.Fatalf("not NDJSON: %v\n%s", jerr, line)
+		}
+		if diag.ID != "FV017" || diag.Line == 0 {
+			t.Fatalf("unexpected diagnostic %+v", diag)
+		}
+		if !strings.Contains(diag.File, "testdata/src/fv017") {
+			t.Fatalf("finding outside the seeded package: %+v", diag)
+		}
+	}
+}
+
+// -certify emits the static plan certificate for an example contract:
+// the null RPC certifies 0-alloc on both sides, the borrow-mode put
+// certifies the single boxing allocation, and every variable-length
+// decode step carries the plan's bound.
+func TestVetCertify(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "hot.idl", `
+		interface Hot {
+			void nop();
+			void put(in sequence<octet> data);
+		};`)
+	var out bytes.Buffer
+	if err := run([]string{"vet", "-certify", idl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var cert struct {
+		Interface string `json:"interface"`
+		Codec     string `json:"codec"`
+		MaxDecode uint32 `json:"max_decode"`
+		Ops       []struct {
+			Op               string `json:"op"`
+			ClientAllocBound int    `json:"client_alloc_bound"`
+			ServerAllocBound int    `json:"server_alloc_bound"`
+			ClientAllocFree  bool   `json:"client_alloc_free"`
+			ServerAllocFree  bool   `json:"server_alloc_free"`
+		} `json:"ops"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &cert); err != nil {
+		t.Fatalf("certificate is not JSON: %v\n%s", err, out.String())
+	}
+	if cert.Interface != "Hot" || cert.Codec != "xdr" || cert.MaxDecode == 0 {
+		t.Fatalf("certificate header = %+v", cert)
+	}
+	byOp := map[string]int{}
+	for i, oc := range cert.Ops {
+		byOp[oc.Op] = i
+	}
+	nop := cert.Ops[byOp["nop"]]
+	if !nop.ClientAllocFree || !nop.ServerAllocFree {
+		t.Fatalf("null RPC not certified alloc-free: %+v", nop)
+	}
+	put := cert.Ops[byOp["put"]]
+	if !put.ClientAllocFree || put.ServerAllocBound != 1 {
+		t.Fatalf("borrow put certificate = %+v", put)
 	}
 }
 

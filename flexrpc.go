@@ -253,6 +253,49 @@ const (
 	SevError   = analyze.SevError
 )
 
+// Re-exported plan-certification types (`flexc vet -certify`). A
+// certificate is derived from the compiled marshal plan's actual
+// step lists, so its landing modes and allocation bounds describe
+// what the hot path will really do.
+type (
+	// PlanCert certifies one compiled plan: codec, interface
+	// signature, and one OpCert per operation. VerifyBounds,
+	// VerifyAllocFree and VerifyAllocBound prove the paper's
+	// 0-alloc/bounded-decode invariants statically.
+	PlanCert = runtime.PlanCert
+	// OpCert certifies one operation's step lists and per-side
+	// allocation bounds.
+	OpCert = runtime.OpCert
+	// StepCert certifies one marshal step: phase, landing mode,
+	// whether it allocates, and its max-decode bound.
+	StepCert = runtime.StepCert
+)
+
+// Certificate step phases and landing modes.
+const (
+	PhaseReqEncode = runtime.PhaseReqEncode
+	PhaseReqDecode = runtime.PhaseReqDecode
+	PhaseRepEncode = runtime.PhaseRepEncode
+	PhaseRepDecode = runtime.PhaseRepDecode
+
+	LandScalar  = runtime.LandScalar
+	LandBorrow  = runtime.LandBorrow
+	LandCaller  = runtime.LandCaller
+	LandOwn     = runtime.LandOwn
+	LandSpecial = runtime.LandSpecial
+	LandNone    = runtime.LandNone
+)
+
+// Certify compiles the marshal plan for a presentation and returns
+// its certificate.
+func Certify(p *Presentation, codec Codec, hooks SpecialHooks) (*PlanCert, error) {
+	plan, err := runtime.NewPlan(p, codec, hooks)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Certificate(), nil
+}
+
 // Check runs flexvet over one or more presentations of a shared
 // interface: annotation safety lints on each, cross-endpoint
 // compatibility (contract identity, unsafe annotation pairs) on

@@ -164,3 +164,27 @@ func TestPublicVet(t *testing.T) {
 		t.Fatalf("err = %v, want vet failure naming FV005", err)
 	}
 }
+
+func TestPublicCertify(t *testing.T) {
+	c := compileCalc(t)
+	cert, err := flexrpc.Certify(c.Pres, flexrpc.XDRCodec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.VerifyBounds(); err != nil {
+		t.Fatalf("calc plan has an unbounded decode: %v", err)
+	}
+	// add is scalar-only: certified alloc-free on the server side.
+	if err := cert.VerifyAllocFree("server", "add"); err != nil {
+		t.Fatal(err)
+	}
+	add := cert.OpCert("add")
+	if add == nil {
+		t.Fatal("no certificate for add")
+	}
+	for _, st := range add.Steps {
+		if st.Phase == flexrpc.PhaseReqDecode && st.Landing != flexrpc.LandScalar {
+			t.Fatalf("add %s lands %s, want scalar", st.Param, st.Landing)
+		}
+	}
+}

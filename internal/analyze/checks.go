@@ -137,6 +137,48 @@ var registry = map[string]CheckInfo{
 			"to a call boundary the batcher has dissolved. Either combination " +
 			"makes the batching copy observable.",
 	},
+	"FV017": {
+		ID: "FV017", Title: "borrow-escape", Severity: SevError,
+		Fix: "copy before retaining: append([]byte(nil), b...) or copy(dst, b)",
+		Doc: "A handler retains a []byte that aliases the request frame or a " +
+			"pooled call buffer (Call.ArgBytes, Call.Arg, Call.OutBuffer, " +
+			"Call.ResultBuffer) past handler return — stored into a field, " +
+			"global, channel, or escaping closure. The frame is recycled after " +
+			"the reply is marshaled, so the retained slice is silently " +
+			"overwritten by a later call. The borrow contract (the CORBA server " +
+			"mapping the compiled plans rely on) requires a copy instead.",
+	},
+	"FV018": {
+		ID: "FV018", Title: "idempotent-impure-handler", Severity: SevWarning,
+		Fix: "drop [idempotent] and rely on the at-most-once reply cache, or make the handler pure",
+		Doc: "A handler bound to an [idempotent] operation writes captured or " +
+			"global state. [idempotent] lets the session layer retransmit and " +
+			"re-execute the operation without duplicate suppression, so every " +
+			"re-execution repeats the write — the retry becomes observable, " +
+			"contradicting the annotation. Non-idempotent operations go " +
+			"through the (cid,seq) reply cache instead, which executes once.",
+	},
+	"FV019": {
+		ID: "FV019", Title: "pooled-bind-without-step-hooks", Severity: SevWarning,
+		Fix: "implement runtime.StepHooks (EncodeStep/DecodeStep) on the hooks value passed to NewParallelClient",
+		Doc: "A call site binds hooks through runtime.NewParallelClient whose " +
+			"concrete type implements SpecialHooks but not the re-entrant " +
+			"bind-time StepHooks interface the pooled client requires — the " +
+			"Go-code complement of FV013, which sees only the presentation " +
+			"side. NewParallelClient rejects the bind at runtime; this flags " +
+			"the call site at vet time.",
+	},
+	"FV020": {
+		ID: "FV020", Title: "dropped-context", Severity: SevWarning,
+		Fix: "thread the available context (Call.Context() in handlers, the enclosing ctx parameter in callers) instead of context.Background()",
+		Doc: "A fresh context.Background()/context.TODO() is passed where a " +
+			"live context is already in scope: a handler ignoring " +
+			"Call.Context(), or a caller with a ctx parameter invoking a " +
+			"context-aware entry point (InvokeContext, CallContext, " +
+			"SessionServer.Handle, ...) with Background. The deadline and " +
+			"cancellation the RobustConn layer plumbs end-to-end are silently " +
+			"severed at that point.",
+	},
 	"FV014": {
 		ID: "FV014", Title: "idempotent-moves-ownership", Severity: SevWarning,
 		Fix: "drop [idempotent] and rely on the at-most-once reply cache, or stop moving ownership in the signature",
@@ -150,6 +192,11 @@ var registry = map[string]CheckInfo{
 			"retry observable, contradicting the annotation.",
 	},
 }
+
+// Lookup returns the registry entry for a check ID; external
+// analyzer suites (gocheck) use it so their findings carry the
+// registry's severity and fix text.
+func Lookup(id string) CheckInfo { return registry[id] }
 
 // Checks returns the full registry sorted by ID, for `flexc vet -list`
 // and documentation.

@@ -109,6 +109,39 @@ func HasErrors(diags []Diagnostic) bool {
 	return false
 }
 
+// RenderLines formats diagnostics in the machine-readable NDJSON
+// form of `flexc vet -json`: one Diagnostic object per line, so CI
+// pipelines and editors can stream-parse without buffering an array.
+func RenderLines(diags []Diagnostic) ([]byte, error) {
+	var b strings.Builder
+	for _, d := range diags {
+		line, err := json.Marshal(d)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String()), nil
+}
+
+// HasWarnings reports whether any diagnostic has warning severity or
+// above (the `flexc vet -Werror` gate).
+func HasWarnings(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Severity >= SevWarning {
+			return true
+		}
+	}
+	return false
+}
+
+// SortDiags orders findings by position, then ID, then message, so
+// output is deterministic for golden tests and CI diffing. External
+// analyzer suites (gocheck) use it to merge their findings into the
+// same stable order.
+func SortDiags(diags []Diagnostic) { sortDiags(diags) }
+
 // sortDiags orders findings by position, then ID, then message, so
 // output is deterministic for golden tests and CI diffing.
 func sortDiags(diags []Diagnostic) {

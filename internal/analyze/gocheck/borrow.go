@@ -1,0 +1,260 @@
+// FV017: borrow-escape analysis. The compiled server plans decode in
+// buffers by aliasing the request frame (the CORBA server mapping —
+// paper §4.4.1), and caller-buffer/pooled-frame landings alias
+// recycled storage; both are valid only for the duration of the
+// handler. This pass tracks []byte values obtained from the borrowing
+// Call accessors through local assignments and flags the ways they
+// can outlive the call: stores into fields, globals, maps/slices
+// declared outside the handler, channel sends, and capture by
+// closures that demonstrably escape (launched with go, stored through
+// an escaping assignment, or sent on a channel). Closures merely
+// passed as call arguments are presumed synchronous — flagging them
+// would condemn every timing or locking helper.
+package gocheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BorrowEscape is the FV017 analyzer.
+var BorrowEscape = &Analyzer{
+	ID:   "FV017",
+	Name: "borrow-escape",
+	Doc:  "handler retains a frame-aliasing []byte past return",
+	Run:  runBorrowEscape,
+}
+
+// borrowSources are the Call accessors whose []byte results alias
+// recycled storage.
+var borrowSources = map[string]string{
+	"ArgBytes":     "the request frame",
+	"Arg":          "the request frame",
+	"OutBuffer":    "a pooled landing buffer",
+	"ResultBuffer": "a pooled landing buffer",
+}
+
+func runBorrowEscape(p *Pass) {
+	for _, h := range handlers(p.Pkg) {
+		checkBorrowEscapes(p, h)
+	}
+}
+
+// checkBorrowEscapes analyzes one handler body.
+func checkBorrowEscapes(p *Pass, h handlerSite) {
+	info := p.Pkg.Info
+	scope := h.node()
+
+	// borrowed holds local variables known to alias recycled
+	// storage, mapped to what they alias (for the message).
+	borrowed := make(map[*types.Var]string)
+
+	// borrowedExpr classifies an expression as aliasing recycled
+	// storage: a direct borrowing accessor call, a tracked local, a
+	// reslice of either, or a type assertion over Call.Arg.
+	var borrowedExpr func(e ast.Expr) (string, bool)
+	borrowedExpr = func(e ast.Expr) (string, bool) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if recv, method, ok := callMethod(info, x); ok && recv == "Call" {
+				// Call.Arg is covered by the TypeAssertExpr case:
+				// only its []byte assertions alias the frame (string
+				// and scalar values are owned storage).
+				if src, ok := borrowSources[method]; ok && method != "Arg" && onCallVar(info, x, h.callVar) {
+					return src, true
+				}
+			}
+		case *ast.TypeAssertExpr:
+			if !isByteSlice(info, x) {
+				return "", false
+			}
+			if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+				if recv, method, ok := callMethod(info, call); ok && recv == "Call" &&
+					method == "Arg" && onCallVar(info, call, h.callVar) {
+					return borrowSources["Arg"], true
+				}
+			}
+			return borrowedExpr(x.X)
+		case *ast.SliceExpr:
+			return borrowedExpr(x.X)
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				if src, ok := borrowed[v]; ok {
+					return src, true
+				}
+			}
+		}
+		return "", false
+	}
+
+	// Pass 1 (iterated to a fixed point for use-before-def chains):
+	// propagate borrows through local assignments.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(h.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := localVar(info, id)
+				if obj == nil || !declaredWithin(obj, scope) {
+					continue
+				}
+				if src, ok := borrowedExpr(as.Rhs[i]); ok {
+					if _, seen := borrowed[obj]; !seen {
+						borrowed[obj] = src
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag the escapes.
+	ast.Inspect(h.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				kind, escapes := escapingLHS(info, lhs, scope)
+				if !escapes {
+					continue
+				}
+				if src, isBorrowed := borrowedExpr(x.Rhs[i]); isBorrowed {
+					p.Reportf(x.Rhs[i].Pos(),
+						"handler stores a []byte aliasing %s into %s; the buffer is recycled after the reply is marshaled",
+						src, kind)
+				}
+				if lit, ok := ast.Unparen(x.Rhs[i]).(*ast.FuncLit); ok {
+					reportClosureCaptures(p, lit, borrowed)
+				}
+			}
+		case *ast.SendStmt:
+			if src, ok := borrowedExpr(x.Value); ok {
+				p.Reportf(x.Value.Pos(),
+					"handler sends a []byte aliasing %s on a channel; the receiver outlives the call and the buffer is recycled",
+					src)
+			}
+			if lit, ok := ast.Unparen(x.Value).(*ast.FuncLit); ok {
+				reportClosureCaptures(p, lit, borrowed)
+			}
+		case *ast.GoStmt:
+			// Everything a goroutine sees outlives the handler: the
+			// function literal's captures and any borrowed arguments.
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				reportClosureCaptures(p, lit, borrowed)
+			}
+			for _, arg := range x.Call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					reportClosureCaptures(p, lit, borrowed)
+					continue
+				}
+				if src, ok := borrowedExpr(arg); ok {
+					p.Reportf(arg.Pos(),
+						"handler hands a []byte aliasing %s to a goroutine; the goroutine can outlive the call and the buffer is recycled under it",
+						src)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isByteSlice reports whether a type assertion asserts to []byte.
+func isByteSlice(info *types.Info, x *ast.TypeAssertExpr) bool {
+	if x.Type == nil {
+		return false
+	}
+	tv, ok := info.Types[x.Type]
+	if !ok {
+		return false
+	}
+	sl, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// onCallVar reports whether a method call's receiver is the
+// handler's own *Call parameter (not some other Call value).
+func onCallVar(info *types.Info, call *ast.CallExpr, callVar *types.Var) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return info.Uses[id] == callVar
+}
+
+// localVar resolves an assignment target identifier to its variable
+// object, through both := definitions and = uses.
+func localVar(info *types.Info, id *ast.Ident) *types.Var {
+	if obj, ok := info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	obj, _ := info.Uses[id].(*types.Var)
+	return obj
+}
+
+// escapingLHS classifies an assignment target that outlives the
+// handler: struct fields, dereferences, element stores into
+// non-local containers, and non-local variables.
+func escapingLHS(info *types.Info, lhs ast.Expr, scope ast.Node) (string, bool) {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := localVar(info, x)
+		if obj == nil || declaredWithin(obj, scope) {
+			return "", false
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return "global " + x.Name, true
+		}
+		return "captured variable " + x.Name, true
+	case *ast.SelectorExpr:
+		return "field " + x.Sel.Name, true
+	case *ast.StarExpr:
+		return "pointed-to storage", true
+	case *ast.IndexExpr:
+		root := rootIdent(x.X)
+		if root != nil {
+			if obj := localVar(info, root); obj != nil && declaredWithin(obj, scope) {
+				return "", false // element of a handler-local container
+			}
+		}
+		return "an element of a non-local container", true
+	}
+	return "", false
+}
+
+// reportClosureCaptures flags references to borrowed variables from
+// inside an escaping closure.
+func reportClosureCaptures(p *Pass, lit *ast.FuncLit, borrowed map[*types.Var]string) {
+	info := p.Pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			if src, isBorrowed := borrowed[v]; isBorrowed && !declaredWithin(v, lit) {
+				p.Reportf(id.Pos(),
+					"closure captures %s, a []byte aliasing %s; if the closure outlives the handler the buffer is recycled under it",
+					id.Name, src)
+			}
+		}
+		return true
+	})
+}

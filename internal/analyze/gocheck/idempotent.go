@@ -1,0 +1,69 @@
+// FV018: idempotency purity. An [idempotent] operation skips the
+// at-most-once reply cache — the session layer retransmits it and the
+// server re-executes, on the annotation's promise that re-execution
+// is invisible. A handler that writes captured or global state breaks
+// the promise: each retry repeats the write. This pass needs the PDL
+// contract bound (flexc vet -go -idl/-pdl) to know which operations
+// carry [idempotent]; it is silent otherwise.
+package gocheck
+
+import (
+	"go/ast"
+)
+
+// IdempotentPurity is the FV018 analyzer.
+var IdempotentPurity = &Analyzer{
+	ID:   "FV018",
+	Name: "idempotent-impure-handler",
+	Doc:  "[idempotent] handler writes captured or global state",
+	Run:  runIdempotentPurity,
+}
+
+func runIdempotentPurity(p *Pass) {
+	if p.Contract == nil {
+		return
+	}
+	for _, h := range handlers(p.Pkg) {
+		if h.op == "" {
+			continue
+		}
+		op := p.Contract.Op(h.op)
+		if op == nil || !op.Idempotent {
+			continue
+		}
+		checkHandlerPurity(p, h)
+	}
+}
+
+// checkHandlerPurity flags writes from the handler body to storage
+// declared outside it.
+func checkHandlerPurity(p *Pass, h handlerSite) {
+	info := p.Pkg.Info
+	scope := h.node()
+	flag := func(lhs ast.Expr) {
+		kind, escapes := escapingLHS(info, lhs, scope)
+		if !escapes {
+			return
+		}
+		p.Reportf(lhs.Pos(),
+			"handler for [idempotent] operation %q writes %s; a retransmitted execution repeats the write without duplicate suppression",
+			h.op, kind)
+	}
+	ast.Inspect(h.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			if n != scope {
+				// Writes inside nested closures execute under the
+				// same retried call; keep walking.
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(x.X)
+		}
+		return true
+	})
+}

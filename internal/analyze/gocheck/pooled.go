@@ -1,0 +1,92 @@
+// FV019: pooled-client hook misuse at the call site. The pooled
+// parallel client recycles per-call marshal state across goroutines,
+// so its [special] hooks must come in the re-entrant bind-time form
+// (runtime.StepHooks). FV013 sees the presentation side of this
+// contract; this pass sees the Go side — a NewParallelClient call
+// whose hooks argument is a concrete SpecialHooks implementation
+// without the StepHooks methods, which the runtime will reject at
+// bind time.
+package gocheck
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PooledHooks is the FV019 analyzer.
+var PooledHooks = &Analyzer{
+	ID:   "FV019",
+	Name: "pooled-bind-without-step-hooks",
+	Doc:  "NewParallelClient bound with hooks lacking StepHooks",
+	Run:  runPooledHooks,
+}
+
+func runPooledHooks(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Name() != "NewParallelClient" || !isFlexPkg(fn.Pkg()) {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != len(call.Args) {
+				return true
+			}
+			// The hooks parameter is the SpecialHooks-typed one.
+			hooksIdx := -1
+			for i := 0; i < sig.Params().Len(); i++ {
+				if isFlexType(sig.Params().At(i).Type(), "SpecialHooks") {
+					hooksIdx = i
+				}
+			}
+			if hooksIdx < 0 {
+				return true
+			}
+			checkHooksArg(p, fn, call.Args[hooksIdx])
+			return true
+		})
+	}
+}
+
+// checkHooksArg flags a hooks argument whose concrete static type
+// implements SpecialHooks but not StepHooks. Interface-typed
+// arguments (pass-through wrappers) and nil are left alone: their
+// dynamic type is unknown here, and FV013 covers the presentation
+// side.
+func checkHooksArg(p *Pass, fn *types.Func, arg ast.Expr) {
+	tv, ok := p.Pkg.Info.Types[arg]
+	if !ok || tv.IsNil() {
+		return
+	}
+	t := tv.Type
+	if _, isIface := t.Underlying().(*types.Interface); isIface {
+		return
+	}
+	stepHooks := flexInterface(fn, "StepHooks")
+	if stepHooks == nil || types.Implements(t, stepHooks) {
+		return
+	}
+	p.Reportf(arg.Pos(),
+		"hooks %s bound through the pooled parallel client do not implement runtime.StepHooks; NewParallelClient rejects non-re-entrant hooks at bind time",
+		types.TypeString(t, types.RelativeTo(p.Pkg.Types)))
+}
+
+// flexInterface looks up a named interface in the flexrpc package
+// that declares fn (the runtime package or its re-export layer).
+func flexInterface(fn *types.Func, name string) *types.Interface {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil {
+		return nil
+	}
+	iface, _ := obj.Type().Underlying().(*types.Interface)
+	return iface
+}

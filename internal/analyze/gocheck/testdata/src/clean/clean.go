@@ -1,0 +1,48 @@
+// A clean package exercising every pattern near the checks' edges:
+// the suite must stay silent here.
+package clean
+
+import (
+	"context"
+
+	runtime "flexrpc/internal/runtime"
+)
+
+var archive [][]byte
+
+func Register(d *runtime.Dispatcher) {
+	d.Handle("put", func(c *runtime.Call) error {
+		// Copies may be retained anywhere.
+		archive = append(archive, append([]byte(nil), c.ArgBytes(0)...))
+		return nil
+	})
+	d.Handle("sum", func(c *runtime.Call) error {
+		// Borrow used and dropped within the call.
+		b := c.ArgBytes(0)
+		var sum uint32
+		for _, x := range b {
+			sum += uint32(x)
+		}
+		c.SetResult(sum)
+		return nil
+	})
+	d.Handle("echo", func(c *runtime.Call) error {
+		// Returning a borrow through SetResult is fine: the reply is
+		// marshaled out of it before the frame is recycled.
+		c.SetResult(c.ArgBytes(0))
+		return nil
+	})
+	d.Handle("local", func(c *runtime.Call) error {
+		// Handler-local containers may hold borrows.
+		parts := make([][]byte, 2)
+		parts[0] = c.ArgBytes(0)
+		parts[1] = parts[0][1:]
+		c.SetResult(uint32(len(parts[1])))
+		return nil
+	})
+}
+
+func Drive(ctx context.Context, client *runtime.Client) error {
+	_, _, err := client.InvokeContext(ctx, "put", []runtime.Value{[]byte("x")}, nil, nil)
+	return err
+}

@@ -1,0 +1,62 @@
+// Seeded FV017 violations: every way a borrowed []byte can outlive
+// its handler, next to the copies that are fine.
+package fv017
+
+import (
+	runtime "flexrpc/internal/runtime"
+)
+
+var lastWrite []byte // retention target
+
+type journal struct {
+	entries [][]byte
+	tail    []byte
+}
+
+func Register(d *runtime.Dispatcher, j *journal, sink chan []byte) {
+	d.Handle("put", func(c *runtime.Call) error {
+		lastWrite = c.ArgBytes(0) // want FV017: store into global
+		return nil
+	})
+	d.Handle("log", func(c *runtime.Call) error {
+		b := c.ArgBytes(0)
+		j.tail = b // want FV017: store into field
+		return nil
+	})
+	d.Handle("enqueue", func(c *runtime.Call) error {
+		sink <- c.ArgBytes(0) // want FV017: channel send
+		return nil
+	})
+	d.Handle("spawn", func(c *runtime.Call) error {
+		data := c.Arg(0).([]byte)
+		go func() {
+			consume(data) // want FV017: closure capture
+		}()
+		return nil
+	})
+	d.Handle("index", func(c *runtime.Call) error {
+		view := c.ArgBytes(0)[4:]
+		j.entries[0] = view // want FV017: element of non-local container
+		return nil
+	})
+	d.Handle("copied", func(c *runtime.Call) error {
+		// Clean: contents are copied, the slice header never escapes.
+		lastWrite = append([]byte(nil), c.ArgBytes(0)...)
+		local := c.ArgBytes(0)
+		dst := make([]byte, len(local))
+		copy(dst, local)
+		j.tail = dst
+		n := len(local)
+		c.AfterReply(func() { consumeLen(n) })
+		return nil
+	})
+	d.Handle("deferred", func(c *runtime.Call) error {
+		// Clean: AfterReply runs before the frame is recycled.
+		view := c.ArgBytes(0)
+		c.AfterReply(func() { consume(view) })
+		return nil
+	})
+}
+
+func consume([]byte) {}
+func consumeLen(int) {}

@@ -1,0 +1,38 @@
+// Seeded FV018 violations: handlers for [idempotent] operations
+// mutating state a retry would mutate again.
+package fv018
+
+import (
+	runtime "flexrpc/internal/runtime"
+)
+
+var total int64
+
+func Register(d *runtime.Dispatcher) {
+	hits := make(map[string]int)
+	var lastKey string
+	d.Handle("bump", func(c *runtime.Call) error {
+		key := c.Arg(0).(string)
+		total += 1    // want FV018: global write
+		hits[key]++   // want FV018: captured map write
+		lastKey = key // want FV018: captured variable write
+		c.SetResult(int64(total))
+		return nil
+	})
+	d.Handle("peek", func(c *runtime.Call) error {
+		// Clean: [idempotent] reads with only local state.
+		sum := 0
+		for _, n := range hits {
+			sum += n
+		}
+		c.SetResult(int64(sum))
+		return nil
+	})
+	d.Handle("record", func(c *runtime.Call) error {
+		// Clean: "record" is not [idempotent]; the at-most-once
+		// reply cache suppresses duplicate executions.
+		total++
+		return nil
+	})
+	_ = lastKey
+}

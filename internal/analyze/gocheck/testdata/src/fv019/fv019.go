@@ -1,0 +1,41 @@
+// Seeded FV019 violation: binding plain SpecialHooks through the
+// pooled parallel client.
+package fv019
+
+import (
+	"flexrpc/internal/pres"
+	runtime "flexrpc/internal/runtime"
+)
+
+// plainHooks implements SpecialHooks but not the re-entrant
+// StepHooks interface the pooled client requires.
+type plainHooks struct{}
+
+func (plainHooks) EncodeSpecial(op, param string, enc runtime.Encoder, v runtime.Value) error {
+	return nil
+}
+
+func (plainHooks) DecodeSpecial(op, param string, dec runtime.Decoder) (runtime.Value, error) {
+	return nil, nil
+}
+
+// stepHooks is the bind-time form and is fine.
+type stepHooks struct{ plainHooks }
+
+func (stepHooks) EncodeStep(op, param string) runtime.EncodeStepFn { return nil }
+func (stepHooks) DecodeStep(op, param string) runtime.DecodeStepFn { return nil }
+
+func Bind(p *pres.Presentation, conn runtime.Conn) (*runtime.Client, error) {
+	return runtime.NewParallelClient(p, runtime.XDRCodec, conn, plainHooks{}) // want FV019
+}
+
+func BindStep(p *pres.Presentation, conn runtime.Conn) (*runtime.Client, error) {
+	// Clean: stepHooks implements StepHooks.
+	return runtime.NewParallelClient(p, runtime.XDRCodec, conn, stepHooks{})
+}
+
+func BindSerial(p *pres.Presentation, conn runtime.Conn, hooks runtime.SpecialHooks) (*runtime.Client, error) {
+	// Clean: interface-typed pass-through; the dynamic type is
+	// unknown here and the serial client takes plain hooks anyway.
+	return runtime.NewClient(p, runtime.XDRCodec, conn, hooks)
+}

@@ -1,0 +1,48 @@
+// Seeded FV020 violations: severing the context chain on both the
+// handler and the caller side.
+package fv020
+
+import (
+	"context"
+
+	runtime "flexrpc/internal/runtime"
+)
+
+func Register(d *runtime.Dispatcher, store interface {
+	Fetch(ctx context.Context, key string) ([]byte, error)
+}) {
+	d.Handle("fetch", func(c *runtime.Call) error {
+		data, err := store.Fetch(context.Background(), c.Arg(0).(string)) // want FV020: handler drops Call.Context
+		if err != nil {
+			return err
+		}
+		c.SetResult(data)
+		return nil
+	})
+	d.Handle("fetch_ok", func(c *runtime.Call) error {
+		// Clean: the client's deadline reaches the backing store.
+		data, err := store.Fetch(c.Context(), c.Arg(0).(string))
+		if err != nil {
+			return err
+		}
+		c.SetResult(data)
+		return nil
+	})
+}
+
+func Relay(ctx context.Context, client *runtime.Client, op string, args []runtime.Value) error {
+	_, _, err := client.InvokeContext(context.Background(), op, args, nil, nil) // want FV020: ctx param dropped
+	return err
+}
+
+func RelayOK(ctx context.Context, client *runtime.Client, op string, args []runtime.Value) error {
+	// Clean: the incoming deadline rides through.
+	_, _, err := client.InvokeContext(ctx, op, args, nil, nil)
+	return err
+}
+
+func Drive(client *runtime.Client, op string) error {
+	// Clean: no context in scope; Background is the only choice.
+	_, _, err := client.InvokeContext(context.Background(), op, nil, nil, nil)
+	return err
+}

@@ -18,12 +18,19 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // message) for each check. PDL sources live here so the recorded
 // positions are real; the expected output lives under testdata/.
 var goldenCases = []struct {
-	name      string
-	client    string
-	server    string // "" for single-endpoint cases
-	transport string
-	pooled    bool // bind the client endpoint through the pooled parallel client
+	name       string
+	client     string
+	server     string // "" for single-endpoint cases
+	transport  string
+	pooled     bool // bind the client endpoint through the pooled parallel client
+	plainHooks bool // bind non-re-entrant hooks (the FV013 trigger)
 }{
+	{
+		name:       "fv013_pooled_without_step_hooks",
+		client:     "interface FileIO {\n    write_msg([special] msg);\n};\n",
+		pooled:     true,
+		plainHooks: true,
+	},
 	{
 		name:   "fv002_use_after_transfer",
 		client: "interface FileIO {\n    write([dealloc(always)] data);\n};\n",
@@ -101,9 +108,13 @@ func TestGolden(t *testing.T) {
 			}
 			ep := analyze.Endpoint{Pres: client, Transport: tc.transport, Label: "client"}
 			if tc.pooled {
-				// Step hooks keep FV013 quiet so the golden file pins
-				// the pooled-path check under test alone.
+				// Step hooks keep FV013 quiet so each golden file pins
+				// the pooled-path check under test alone; the FV013
+				// case binds the non-re-entrant hooks instead.
 				ep.PooledClient, ep.Hooks = true, stepHooks{}
+				if tc.plainHooks {
+					ep.Hooks = plainHooks{}
+				}
 			}
 			eps := []analyze.Endpoint{ep}
 			if tc.server != "" {

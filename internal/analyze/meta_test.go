@@ -1,0 +1,53 @@
+package analyze_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexrpc/internal/analyze"
+)
+
+// TestEveryCheckHasGoldenFixture is the coverage meta-test: every
+// registered check ID must be pinned by at least one golden file —
+// presentation checks under testdata/, Go-source checks under
+// gocheck/testdata/ — and the golden must actually contain a rendered
+// finding for that ID, so a silently-dead analyzer can't hide behind
+// an empty file.
+func TestEveryCheckHasGoldenFixture(t *testing.T) {
+	covered := map[string]bool{}
+	for _, dir := range []string{"testdata", filepath.Join("gocheck", "testdata")} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".golden") || !strings.HasPrefix(name, "fv") {
+				continue
+			}
+			// fv013_pooled_without_step_hooks.golden -> FV013
+			id := "FV" + strings.TrimSuffix(name, ".golden")[2:5]
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(string(data), "["+id+"]") {
+				t.Errorf("%s does not contain a rendered %s finding", filepath.Join(dir, name), id)
+				continue
+			}
+			covered[id] = true
+		}
+	}
+	for _, c := range analyze.Checks() {
+		if !covered[c.ID] {
+			t.Errorf("check %s (%s) has no golden fixture under testdata/ or gocheck/testdata/", c.ID, c.Title)
+		}
+	}
+	for id := range covered {
+		if analyze.Lookup(id).ID == "" {
+			t.Errorf("golden fixture references unregistered check %s", id)
+		}
+	}
+}

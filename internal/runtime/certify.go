@@ -1,0 +1,401 @@
+// Static plan certification: the compiled step lists of a Plan are a
+// closed description of everything the hot path will do per call —
+// which parameters land where, which steps allocate fresh storage,
+// and what decode bound every variable-length item is held to. This
+// file exports that structure (Plan.Certificate) and proves the two
+// invariants the runtime's AllocsPerRun gates check dynamically:
+//
+//   - 0-alloc: an operation whose certificate says ClientAllocFree /
+//     ServerAllocFree runs its marshal path without a per-call heap
+//     allocation (the gates in alloc_test.go measure the same ops at
+//     exactly zero);
+//   - bounds: every variable-length decode step carries a finite
+//     max-decode bound, so no hostile length prefix can force an
+//     allocation past it.
+//
+// `flexc vet -certify` turns the certificate into a golden file per
+// example — a compile-time artifact CI can diff instead of (as well
+// as) re-measuring the allocator.
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"flexrpc/internal/ir"
+	"flexrpc/internal/pres"
+)
+
+// Step phases, in per-call execution order. Request-encode and
+// reply-decode run on the client; request-decode and reply-encode on
+// the server.
+const (
+	PhaseReqEncode = "req-encode"
+	PhaseReqDecode = "req-decode"
+	PhaseRepEncode = "rep-encode"
+	PhaseRepDecode = "rep-decode"
+)
+
+// Landing modes: where a decoded value's bytes end up.
+const (
+	LandScalar  = "scalar"  // fixed-size word, no buffer storage
+	LandBorrow  = "borrow"  // aliases the request/reply frame
+	LandCaller  = "caller"  // lands in a caller-provided buffer
+	LandOwn     = "own"     // fresh heap storage per call
+	LandSpecial = "special" // programmer hook; storage unknown
+	LandNone    = "none"    // void / encode-only step
+)
+
+// A StepCert describes one compiled marshal step of an operation.
+type StepCert struct {
+	// Phase says when the step runs (req-encode, req-decode,
+	// rep-encode, rep-decode).
+	Phase string `json:"phase"`
+	// Param is the parameter name ("return" for the result).
+	Param string `json:"param"`
+	// Type is the parameter's wire-type signature.
+	Type string `json:"type"`
+	// Landing is where the value's bytes end up (decode phases) or
+	// "none" for encode phases, which append into the recycled
+	// frame.
+	Landing string `json:"landing"`
+	// Allocs reports whether executing the step heap-allocates
+	// fresh storage per call. [special] steps are opaque user code
+	// and are conservatively marked allocating.
+	Allocs bool `json:"allocs"`
+	// MaxDecode is the bound applied to the step's variable-length
+	// items, 0 when the step has none (scalars, fixed-size).
+	MaxDecode uint32 `json:"max_decode,omitempty"`
+	// Traced marks steps wrapped by the [traced] meter.
+	Traced bool `json:"traced,omitempty"`
+}
+
+// An OpCert certifies one operation's compiled plan.
+type OpCert struct {
+	Op    string     `json:"op"`
+	Steps []StepCert `json:"steps"`
+	// NOut counts out/inout parameters; when non-zero the client
+	// reply decode allocates the positional outs slice.
+	NOut int `json:"nout"`
+	// ClientAllocBound / ServerAllocBound are certified upper bounds
+	// on per-call heap allocations (stats off) for each side's
+	// marshal path. Boxing a decoded value into its interface Value
+	// counts: the borrow-mode 1KB put certifies a server bound of 1
+	// (the slice header) even though the payload is never copied —
+	// exactly the number the runtime's AllocsPerRun gate measures.
+	ClientAllocBound int `json:"client_alloc_bound"`
+	ServerAllocBound int `json:"server_alloc_bound"`
+	// ClientAllocFree / ServerAllocFree: the bound is zero.
+	ClientAllocFree bool `json:"client_alloc_free"`
+	ServerAllocFree bool `json:"server_alloc_free"`
+}
+
+// A PlanCert is the full certificate for one endpoint's compiled
+// plan: the static counterpart of the AllocsPerRun gates.
+type PlanCert struct {
+	Interface string   `json:"interface"`
+	Codec     string   `json:"codec"`
+	Trust     string   `json:"trust"`
+	MaxDecode uint32   `json:"max_decode"`
+	Ops       []OpCert `json:"ops"`
+}
+
+// Certificate derives the plan's static certificate from its
+// compiled step lists. It never runs a step.
+func (p *Plan) Certificate() *PlanCert {
+	c := &PlanCert{
+		Interface: p.Pres.Interface.Name,
+		Codec:     p.Codec.Name(),
+		Trust:     p.Pres.Trust.String(),
+		MaxDecode: p.maxDecode,
+	}
+	for _, op := range p.Ops {
+		c.Ops = append(c.Ops, op.certify())
+	}
+	return c
+}
+
+// certify builds one operation's certificate from its step lists.
+func (op *OpPlan) certify() OpCert {
+	oc := OpCert{Op: op.Op.Name, NOut: op.nOut, Steps: []StepCert{}}
+	maxDec := op.plan.maxDecode
+	add := func(phase, param string, t *ir.Type, landing string, traced bool) {
+		sc := StepCert{Phase: phase, Param: param, Landing: landing, Traced: traced}
+		if t != nil {
+			sc.Type = t.Signature()
+		} else {
+			sc.Type = "void"
+		}
+		cost := 0
+		switch phase {
+		case PhaseReqEncode, PhaseRepEncode:
+			// Encode steps append into the recycled frame; only
+			// opaque [special] hooks may allocate.
+			sc.Landing = LandNone
+			sc.Allocs = landing == LandSpecial
+			if landing == LandSpecial {
+				sc.Landing = LandSpecial
+				cost = 1
+			}
+		default:
+			sc.Allocs = decodeAllocates(t, landing)
+			if variableLength(t) && landing != LandSpecial {
+				sc.MaxDecode = maxDec
+			}
+			cost = decodeCost(t, sc.Allocs)
+		}
+		switch phase {
+		case PhaseReqEncode, PhaseRepDecode:
+			oc.ClientAllocBound += cost
+		case PhaseReqDecode, PhaseRepEncode:
+			oc.ServerAllocBound += cost
+		}
+		oc.Steps = append(oc.Steps, sc)
+	}
+	typeOf := func(arg int) *ir.Type {
+		if arg < 0 {
+			return op.Op.Result
+		}
+		return op.Op.Params[arg].Type
+	}
+	nameLanding := func(name string, decodePhase string) string {
+		a := op.attrs(name)
+		t := typeOf(paramIdx(op.Op, name))
+		if a.Special {
+			return LandSpecial
+		}
+		return landingOf(t, a, decodePhase)
+	}
+	for i := range op.reqEnc {
+		st := &op.reqEnc[i]
+		a := op.attrs(st.name)
+		l := LandNone
+		if a.Special {
+			l = LandSpecial
+		}
+		add(PhaseReqEncode, st.name, typeOf(st.arg), l, a.Traced)
+	}
+	for i := range op.reqDec {
+		st := &op.reqDec[i]
+		add(PhaseReqDecode, st.name, typeOf(st.arg), nameLanding(st.name, PhaseReqDecode), false)
+	}
+	for i := range op.repEnc {
+		st := &op.repEnc[i]
+		a := op.attrs(st.name)
+		l := LandNone
+		if a.Special {
+			l = LandSpecial
+		}
+		add(PhaseRepEncode, st.name, typeOf(st.arg), l, a.Traced)
+	}
+	for i := range op.repDec {
+		st := &op.repDec[i]
+		a := op.attrs(st.name)
+		l := landingOf(typeOf(st.arg), a, PhaseRepDecode)
+		if a.Special {
+			l = LandSpecial
+		} else if st.callerBuf && st.intoFn != nil {
+			// The compiled step really does land in the caller's
+			// buffer; record what was compiled, not what the attrs
+			// alone would suggest.
+			l = LandCaller
+		}
+		add(PhaseRepDecode, st.name, typeOf(st.arg), l, false)
+	}
+	// The positional outs slice DecodeReply allocates when the
+	// operation has out/inout parameters is a client-side per-call
+	// allocation even when every step is clean.
+	if op.nOut > 0 {
+		oc.ClientAllocBound++
+	}
+	oc.ClientAllocFree = oc.ClientAllocBound == 0
+	oc.ServerAllocFree = oc.ServerAllocBound == 0
+	return oc
+}
+
+// decodeCost bounds one decode step's per-call allocations: one for
+// fresh storage when the step allocates, plus one for boxing the
+// decoded value into its interface Value. Scalars box through the Go
+// runtime's small-value cache and are counted free; buffer kinds
+// landing by borrow or in a caller buffer still box a slice header.
+func decodeCost(t *ir.Type, allocs bool) int {
+	if t == nil || t.Kind == ir.Void {
+		return 0
+	}
+	cost := 0
+	if allocs {
+		cost++
+	}
+	switch t.Kind {
+	case ir.Bytes, ir.FixedBytes, ir.String, ir.Seq, ir.Array, ir.Struct:
+		cost++ // boxing the header is itself a heap allocation
+	}
+	return cost
+}
+
+// landingOf classifies where a decoded parameter lands, mirroring
+// compileOp: request decodes borrow from the frame, reply decodes
+// own their storage unless the presentation supplies a caller
+// buffer.
+func landingOf(t *ir.Type, a *pres.ParamAttrs, decodePhase string) string {
+	if t == nil || t.Kind == ir.Void {
+		return LandNone
+	}
+	switch t.Kind {
+	case ir.Bytes, ir.FixedBytes:
+		if decodePhase == PhaseReqDecode {
+			return LandBorrow
+		}
+		if a.Alloc == pres.AllocCaller {
+			return LandCaller
+		}
+		return LandOwn
+	case ir.String, ir.Seq, ir.Array, ir.Struct:
+		return LandOwn
+	}
+	return LandScalar
+}
+
+// decodeAllocates reports whether a decode step with the given
+// landing heap-allocates per call. Scalars decode into interface
+// words whose common values the Go runtime interns; buffer kinds
+// allocate only when they land in fresh storage.
+func decodeAllocates(t *ir.Type, landing string) bool {
+	if t == nil || t.Kind == ir.Void {
+		return false
+	}
+	switch landing {
+	case LandSpecial:
+		return true // opaque hook: conservatively allocating
+	case LandBorrow, LandCaller, LandScalar, LandNone:
+		switch t.Kind {
+		case ir.String, ir.Seq, ir.Array, ir.Struct:
+			// Composite landings build []Value / string storage even
+			// when their leaves borrow.
+			return true
+		}
+		return false
+	}
+	switch t.Kind {
+	case ir.Bytes, ir.FixedBytes, ir.String, ir.Seq, ir.Array, ir.Struct:
+		return true
+	}
+	return false
+}
+
+// variableLength reports whether decoding t reads a length prefix
+// the decode bound must cover.
+func variableLength(t *ir.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Kind {
+	case ir.Bytes, ir.String, ir.Seq:
+		return true
+	case ir.Array, ir.Struct:
+		if t.Elem != nil && variableLength(t.Elem) {
+			return true
+		}
+		for _, f := range t.Fields {
+			if variableLength(f.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// paramIdx returns the positional index of a named parameter, -1 for
+// the result pseudo-parameter.
+func paramIdx(op *ir.Operation, name string) int {
+	for i := range op.Params {
+		if op.Params[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// VerifyBounds proves the certificate's bounds invariant: every
+// variable-length decode step carries a finite max-decode bound.
+func (c *PlanCert) VerifyBounds() error {
+	for _, oc := range c.Ops {
+		for _, sc := range oc.Steps {
+			decode := sc.Phase == PhaseReqDecode || sc.Phase == PhaseRepDecode
+			if decode && sc.Landing != LandSpecial && sc.MaxDecode == 0 && variableSig(sc.Type) {
+				return fmt.Errorf("certify: %s.%s %s step is unbounded", oc.Op, sc.Param, sc.Phase)
+			}
+		}
+	}
+	return nil
+}
+
+// variableSig reports whether a wire-type signature names a
+// variable-length kind (see ir.Type.Signature).
+func variableSig(sig string) bool {
+	switch {
+	case sig == "bytes", sig == "string":
+		return true
+	case len(sig) >= 4 && sig[:4] == "seq<":
+		return true
+	}
+	return false
+}
+
+// Op returns the named operation's certificate, or nil.
+func (c *PlanCert) OpCert(name string) *OpCert {
+	for i := range c.Ops {
+		if c.Ops[i].Op == name {
+			return &c.Ops[i]
+		}
+	}
+	return nil
+}
+
+// VerifyAllocFree proves the 0-alloc invariant for the named
+// operations on the named side ("client" or "server"). This is the
+// static form of the AllocsPerRun gates: a plan that certifies
+// alloc-free here measures zero allocations per call there.
+func (c *PlanCert) VerifyAllocFree(side string, ops ...string) error {
+	for _, name := range ops {
+		if err := c.VerifyAllocBound(side, name, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyAllocBound proves the named operation's certified per-call
+// allocation bound on the named side is at most max.
+func (c *PlanCert) VerifyAllocBound(side, name string, max int) error {
+	oc := c.OpCert(name)
+	if oc == nil {
+		return fmt.Errorf("certify: no operation %q in plan for %s", name, c.Interface)
+	}
+	bound := oc.ClientAllocBound
+	if side == "server" {
+		bound = oc.ServerAllocBound
+	}
+	if bound <= max {
+		return nil
+	}
+	for _, sc := range oc.Steps {
+		if sc.Allocs {
+			return fmt.Errorf("certify: %s.%s certifies %d %s-side allocations per call, want <= %d: %s step on %q (%s, lands %s) allocates",
+				c.Interface, name, bound, side, max, sc.Phase, sc.Param, sc.Type, sc.Landing)
+		}
+	}
+	return fmt.Errorf("certify: %s.%s certifies %d %s-side allocations per call, want <= %d",
+		c.Interface, name, bound, side, max)
+}
+
+// Render formats the certificate as indented JSON — the golden
+// `flexc vet -certify` diffs. (Deliberately not named MarshalText:
+// encoding/json would recurse through a TextMarshaler.)
+func (c *PlanCert) Render() ([]byte, error) {
+	out, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,175 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"flexrpc/internal/idl/corba"
+	"flexrpc/internal/pdl"
+	"flexrpc/internal/pres"
+)
+
+// The certification tentpole's contract: everything the AllocsPerRun
+// gates in alloc_test.go measure dynamically must be provable from
+// the compiled step lists alone. These tests derive the certificate
+// for the same Hot plan the gates run and check both directions —
+// the certificate promises what the gates measure, and the gates
+// never measure more than the certificate promises.
+
+func hotCert(t *testing.T) *PlanCert {
+	t.Helper()
+	plan, err := NewPlan(allocPres(t), XDRCodec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.Certificate()
+}
+
+func TestCertificateNullRPCAllocFree(t *testing.T) {
+	cert := hotCert(t)
+	// The null RPC is certified 0-alloc on both sides — the static
+	// form of TestClientNullCallZeroAllocsStatsOff and
+	// TestServerNullCallZeroAllocsStatsOff.
+	if err := cert.VerifyAllocFree("client", "nop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.VerifyAllocFree("server", "nop"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateBorrowPutBound(t *testing.T) {
+	cert := hotCert(t)
+	oc := cert.OpCert("put")
+	if oc == nil {
+		t.Fatal("no certificate for put")
+	}
+	// The 1KB borrow-mode put certifies exactly one server-side
+	// allocation — boxing the borrowed slice header into the Value
+	// argument — matching TestServerBorrowPutAllocsStatsOff's gate.
+	if oc.ServerAllocBound != 1 {
+		t.Fatalf("put server alloc bound = %d, want 1", oc.ServerAllocBound)
+	}
+	if err := cert.VerifyAllocBound("server", "put", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.VerifyAllocFree("server", "put"); err == nil {
+		t.Fatal("put server path boxes a slice header; VerifyAllocFree must refuse to certify it")
+	}
+	// The client side only appends into the recycled request frame.
+	if err := cert.VerifyAllocFree("client", "put"); err != nil {
+		t.Fatal(err)
+	}
+	// The decode step that borrows the frame must carry the plan's
+	// decode bound.
+	var found bool
+	for _, sc := range oc.Steps {
+		if sc.Phase == PhaseReqDecode && sc.Param == "data" {
+			found = true
+			if sc.Landing != LandBorrow {
+				t.Fatalf("put.data lands %q, want %q", sc.Landing, LandBorrow)
+			}
+			if sc.Allocs {
+				t.Fatal("borrow-mode decode marked allocating")
+			}
+			if sc.MaxDecode == 0 {
+				t.Fatal("variable-length decode step certified without a bound")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no req-decode step for put.data in certificate")
+	}
+}
+
+func TestCertificateBoundsInvariant(t *testing.T) {
+	cert := hotCert(t)
+	if err := cert.VerifyBounds(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCertificateMatchesGates ties the static and dynamic views
+// together: run the same client/server paths the alloc gates run and
+// assert the measured allocations never exceed the certified bounds.
+func TestCertificateMatchesGates(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation gates are not meaningful under the race detector")
+	}
+	cert := hotCert(t)
+
+	client := clientStack(t)
+	nop := cert.OpCert("nop")
+	gateAllocs(t, "certified client null call", float64(nop.ClientAllocBound), func() {
+		if _, _, err := client.Invoke("nop", nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	disp, plan, body, enc := serverStack(t)
+	idx := plan.OpIndex("put")
+	put := cert.OpCert("put")
+	gateAllocs(t, "certified server 1KB put", float64(put.ServerAllocBound), func() {
+		enc.Reset()
+		disp.ServeMessage(plan, idx, body, enc)
+	})
+}
+
+// TestCertificateCallerBufferLanding pins the [alloc(caller)] reply
+// landing: the compiled step certifies LandCaller and a 0-alloc
+// client decode, the paper's figure-9 caller-buffer optimization.
+func TestCertificateCallerBufferLanding(t *testing.T) {
+	f, err := corba.Parse("fetch.idl", `
+		interface Fetch {
+		    sequence<octet> read(in unsigned long count);
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pdl.Apply(pres.Default(f.Interface("Fetch"), pres.StyleCORBA), "fetch.pdl",
+		"interface Fetch {\n    read([alloc(caller)] return);\n};\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(p, XDRCodec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := plan.Certificate()
+	oc := cert.OpCert("read")
+	if oc == nil {
+		t.Fatal("no certificate for read")
+	}
+	var landed bool
+	for _, sc := range oc.Steps {
+		if sc.Phase == PhaseRepDecode && sc.Param == "return" {
+			landed = true
+			if sc.Landing != LandCaller {
+				t.Fatalf("read.return lands %q, want %q", sc.Landing, LandCaller)
+			}
+			if sc.Allocs {
+				t.Fatal("caller-buffer landing marked allocating")
+			}
+		}
+	}
+	if !landed {
+		t.Fatal("no rep-decode step for read.return in certificate")
+	}
+}
+
+func TestCertificateMarshalStable(t *testing.T) {
+	cert := hotCert(t)
+	a, err := cert.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := cert.Render()
+	if string(a) != string(b) {
+		t.Fatal("certificate rendering is not deterministic")
+	}
+	for _, want := range []string{`"interface": "Hot"`, `"codec": "xdr"`, `"op": "nop"`, `"op": "put"`} {
+		if !strings.Contains(string(a), want) {
+			t.Fatalf("certificate missing %s:\n%s", want, a)
+		}
+	}
+}
