@@ -18,6 +18,7 @@ import (
 	"flexrpc/internal/pres"
 	"flexrpc/internal/runtime"
 	"flexrpc/internal/transport/inproc"
+	"flexrpc/internal/transport/shmring"
 	"flexrpc/internal/transport/suntcp"
 )
 
@@ -439,6 +440,63 @@ func BenchmarkFigScale(b *testing.B) {
 					replyBuf = reply[:0]
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkShmRing measures the zero-copy shared-memory transport:
+// a null RPC through the bind-time inline and doorbell paths, and a
+// 1 KB [trusted] put whose payload is encoded directly into the
+// leased ring slot and borrow-decoded in place. The full comparison
+// against inproc (with copy meters) is `go run ./cmd/experiments -fig shm`.
+func BenchmarkShmRing(b *testing.B) {
+	compiled, err := Compile(Options{
+		Frontend: FrontendCORBA,
+		Filename: "shm.idl",
+		Source:   `interface Shm { void nop(); void put(in sequence<octet> data); };`,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		force bool
+		put   bool
+	}{
+		{"inline/null", false, false},
+		{"doorbell/null", true, false},
+		{"doorbell/put1k", true, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cp := compiled.DefaultPres(StyleCORBA)
+			cp.Trust = pres.TrustFull
+			sp := compiled.DefaultPres(StyleCORBA)
+			sp.Trust = pres.TrustFull
+			disp := NewDispatcher(sp)
+			disp.Handle("nop", func(c *Call) error { return nil })
+			var sink byte
+			disp.Handle("put", func(c *Call) error {
+				sink ^= c.ArgBytes(0)[0]
+				return nil
+			})
+			_ = sink
+			bound, err := shmring.Connect(cp, disp, XDRCodec, shmring.Options{ForceDoorbell: mode.force})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = bound.Close() })
+			op, args := "nop", []Value(nil)
+			if mode.put {
+				op, args = "put", []Value{make([]byte, 1024)}
+				b.SetBytes(1024)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bound.Invoke(op, args, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -3,7 +3,7 @@
 // paper's reported numbers quoted for comparison.
 //
 //	go run ./cmd/experiments            # all figures
-//	go run ./cmd/experiments -fig 6     # one figure (2, 6, 7, 10, 11, 12, ports, marshal, faults, scale)
+//	go run ./cmd/experiments -fig 6     # one figure (2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm)
 //	go run ./cmd/experiments -quick     # smaller workloads, noisier
 //	go run ./cmd/experiments -csv       # machine-readable rows
 //	go run ./cmd/experiments -json      # also write BENCH_<fig>.json per figure
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: 2, 6, 7, 10, 11, 12, ports, marshal, faults, scale or all")
+		fig     = flag.String("fig", "all", "figure to run: 2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm or all")
 		quick   = flag.Bool("quick", false, "smaller workloads (faster, noisier)")
 		csv     = flag.Bool("csv", false, "emit comma-separated rows instead of aligned tables")
 		jsonOut = flag.Bool("json", false, "also write BENCH_<fig>.json (ns/op, allocs/op, B/op) per figure")
@@ -219,8 +219,21 @@ func run(fig string, quick, csv, jsonOut bool) error {
 			return err
 		}
 	}
+	if want("shm") {
+		ran = true
+		metrics, err := experiments.BenchShm()
+		if err != nil {
+			return err
+		}
+		t := experiments.MetricTable(
+			"Shm: same-domain RPC over fbuf-backed ring slots with doorbell handoff", metrics)
+		emit(t)
+		if err := emitJSON("shm", t, metrics); err != nil {
+			return err
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (want 2, 6, 7, 10, 11, 12, ports, marshal, faults, scale or all)", fig)
+		return fmt.Errorf("unknown figure %q (want 2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm or all)", fig)
 	}
 	return nil
 }

@@ -179,6 +179,20 @@ var registry = map[string]CheckInfo{
 			"cancellation the RobustConn layer plumbs end-to-end are silently " +
 			"severed at that point.",
 	},
+	"FV021": {
+		ID: "FV021", Title: "trust-elides-ownership-protocol", Severity: SevWarning,
+		Fix: "drop the ownership-moving annotation, or match the peer's trust level so the elision actually happens",
+		Doc: "Full trust ([trusted]/[unprotected]) composed with per-call " +
+			"ownership machinery. A trusted same-domain binding elides the " +
+			"per-call buffer ownership protocol — payloads alias leased " +
+			"shared-memory slots and never transfer — so an explicit " +
+			"ownership-moving annotation ([dealloc(always)] on an in " +
+			"buffer, [alloc(callee)] on an out) is silently unenforced on " +
+			"the very path the trust grant selects. Conversely, when the " +
+			"peer presents untrusted, the combination signature keeps the " +
+			"validated ownership path and discards every elision the " +
+			"grant was written to buy.",
+	},
 	"FV014": {
 		ID: "FV014", Title: "idempotent-moves-ownership", Severity: SevWarning,
 		Fix: "drop [idempotent] and rely on the at-most-once reply cache, or stop moving ownership in the signature",

@@ -15,6 +15,10 @@ import (
 // checkPair runs the cross-endpoint checks over one pair of
 // endpoints.
 func (c *checker) checkPair(iface *ir.Interface, a, b Endpoint) {
+	// Trust asymmetry is interface-level and meaningful even when the
+	// contracts have drifted, so it runs before the FV001 gate.
+	c.checkTrustAsymmetry(a, b)
+	c.checkTrustAsymmetry(b, a)
 	if !c.checkContract(a, b) {
 		// The endpoints do not agree on the contract; annotation-pair
 		// comparison over mismatched operations would be noise.
@@ -117,6 +121,23 @@ func (c *checker) checkTransfer(ctx string, t *ir.Type, sender Endpoint, sAt *pr
 	c.report("FV002", pos,
 		"%s: %s frees the buffer after marshaling [dealloc(always)] but %s marks it [preserved]: use-after-transfer",
 		ctx, sender.Label, receiver.Label)
+}
+
+// checkTrustAsymmetry is FV021's cross-endpoint leg: one endpoint
+// grants full trust while the peer extends none. The bind-time
+// combination signature takes the weaker of the two, so the trusted
+// side keeps paying for the validated ownership path — every bounds
+// check and name-table elision its grant was written to buy is
+// silently discarded.
+func (c *checker) checkTrustAsymmetry(trusted, peer Endpoint) {
+	if trusted.Pres.Trust != pres.TrustFull || peer.Pres.Trust != pres.TrustNone {
+		return
+	}
+	grant := trustAttrName(trusted.Pres)
+	pos, _ := trusted.Pres.PosOf(grant)
+	c.report("FV021", pos,
+		"%s grants [%s] trust but peer %s presents untrusted: the combination signature keeps the validated path, discarding every elision the grant buys",
+		trusted.Label, grant, peer.Label)
 }
 
 // checkNaming is FV003: one endpoint relaxes the unique-name

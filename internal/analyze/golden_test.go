@@ -92,6 +92,11 @@ var goldenCases = []struct {
 		pooled: true,
 	},
 	{
+		name:   "fv021_trust_elides_ownership",
+		client: "[trusted]\ninterface FileIO {\n    write([dealloc(always)] data);\n    read([alloc(callee)] return);\n};\n",
+		server: "interface FileIO { };\n",
+	},
+	{
 		name:   "clean_figure5",
 		client: "interface FileIO {\n    read([dealloc(never)] return);\n};\n",
 		server: "interface FileIO {\n    write([preserved] data);\n};\n",

@@ -23,6 +23,7 @@ func (c *checker) checkEndpoint(iface *ir.Interface, ep Endpoint) {
 		iface = p.Interface
 	}
 	c.checkTrust(ep)
+	c.checkTrustedOwnership(iface, ep)
 	c.checkPooledHooks(ep)
 	c.checkTracedSpecial(ep)
 	for _, opName := range sortedOpNames(p.Ops) {
@@ -75,6 +76,54 @@ func (c *checker) checkIdempotent(iface, opName string, irOp *ir.Operation, op *
 				"%s: [idempotent] operation hands out a callee-allocated buffer ([alloc(callee)]); a retried execution allocates again with only one delivery", ctx)
 		}
 	}
+}
+
+// checkTrustedOwnership is FV021's single-endpoint leg: a fully
+// trusted presentation whose signature still moves buffer ownership
+// explicitly. The trusted same-domain binding this grant selects
+// (shmring's arena fast path) elides the per-call ownership protocol
+// — payloads alias leased slots and never transfer — so the
+// annotation is dead weight at best and a false promise at worst.
+func (c *checker) checkTrustedOwnership(iface *ir.Interface, ep Endpoint) {
+	p := ep.Pres
+	if p.Trust != pres.TrustFull {
+		return
+	}
+	grant := trustAttrName(p)
+	for _, opName := range sortedOpNames(p.Ops) {
+		op := p.Ops[opName]
+		irOp := iface.Op(opName)
+		if irOp == nil {
+			continue // FV007 covers dangling operations
+		}
+		for _, pn := range sortedParamNames(op.Params) {
+			a := op.Params[pn]
+			t, dir, ok := resolveParam(irOp, pn)
+			if !ok || !pres.IsBuffer(t) {
+				continue // FV007 covers dangling names
+			}
+			ctx := p.Interface.Name + "." + opName + "." + pn
+			isIn := dir == ir.In || dir == ir.InOut
+			isOut := dir == ir.Out || dir == ir.InOut
+			if isIn && a.Dealloc == pres.DeallocAlways && a.Explicit("dealloc") {
+				c.report("FV021", attrPos(a, "dealloc"),
+					"%s: [%s] binding elides the per-call ownership protocol; [dealloc(always)] is unenforced on the trusted fast path", ctx, grant)
+			}
+			if isOut && a.Alloc == pres.AllocCallee && a.Explicit("alloc") {
+				c.report("FV021", attrPos(a, "alloc"),
+					"%s: [%s] binding elides the per-call ownership protocol; [alloc(callee)] is unenforced on the trusted fast path", ctx, grant)
+			}
+		}
+	}
+}
+
+// trustAttrName names the attribute that granted full trust, for
+// diagnostics: [trusted] and [unprotected] are aliases.
+func trustAttrName(p *pres.Presentation) string {
+	if _, ok := p.PosOf("trusted"); ok {
+		return "trusted"
+	}
+	return "unprotected"
 }
 
 // checkBatchable is FV016: a [batchable] operation carrying [special]

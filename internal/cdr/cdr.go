@@ -66,6 +66,13 @@ func (e *Encoder) Order() ByteOrder { return e.order }
 // Reset discards all encoded data but retains the buffer.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// ResetTo re-aims the encoder at caller-provided storage: encoded
+// data is appended into buf's backing array, capped at len(buf), so a
+// marshaler can target a transport's fixed buffer (an fbuf arena)
+// directly. Encoding past the cap falls back to append's reallocation
+// — callers detect that by comparing backing arrays.
+func (e *Encoder) ResetTo(buf []byte) { e.buf = buf[:0:len(buf)] }
+
 // Align pads the stream with zero bytes to an n-byte boundary.
 // n must be a power of two.
 func (e *Encoder) Align(n int) {

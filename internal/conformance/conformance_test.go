@@ -19,6 +19,7 @@ import (
 	"flexrpc/internal/transport/faultconn"
 	"flexrpc/internal/transport/inproc"
 	"flexrpc/internal/transport/pipeconn"
+	"flexrpc/internal/transport/shmring"
 	"flexrpc/internal/transport/suntcp"
 )
 
@@ -291,6 +292,33 @@ func cells() []cell {
 			name: "pipe/robust+fault", failClass: "remote", failCarriesMsg: true,
 			build: func(t *testing.T, w *world) invoker {
 				conn, srv := pipeconn.New(w.disp, w.plan(t))
+				sess := w.session(t)
+				go func() { _ = srv.ServeSession(context.Background(), sess) }()
+				faulty := faultconn.New(faultProfile()).Wrap(conn)
+				return newClient(t, w, runtime.NewRobustConn(faulty, w.p, robustOpts()))
+			},
+		},
+		{
+			name: "shm/plain", failClass: "remote", failCarriesMsg: true,
+			build: func(t *testing.T, w *world) invoker {
+				conn, srv := shmring.New(w.disp, w.plan(t))
+				go func() { _ = srv.Serve(context.Background()) }()
+				return newClient(t, w, conn)
+			},
+		},
+		{
+			name: "shm/robust", failClass: "remote", failCarriesMsg: true,
+			build: func(t *testing.T, w *world) invoker {
+				conn, srv := shmring.New(w.disp, w.plan(t))
+				sess := w.session(t)
+				go func() { _ = srv.ServeSession(context.Background(), sess) }()
+				return newClient(t, w, runtime.NewRobustConn(conn, w.p, robustOpts()))
+			},
+		},
+		{
+			name: "shm/robust+fault", failClass: "remote", failCarriesMsg: true,
+			build: func(t *testing.T, w *world) invoker {
+				conn, srv := shmring.New(w.disp, w.plan(t))
 				sess := w.session(t)
 				go func() { _ = srv.ServeSession(context.Background(), sess) }()
 				faulty := faultconn.New(faultProfile()).Wrap(conn)

@@ -32,6 +32,11 @@ type Metric struct {
 	CopiedBytesPerOp  float64 `json:"copied_bytes_per_op,omitempty"`
 	AllocedBytesPerOp float64 `json:"alloced_bytes_per_op,omitempty"`
 	RetriesPerOp      float64 `json:"retries_per_op,omitempty"`
+
+	// Metered marks rows whose copy/alloc meters actually ran, so an
+	// omitted copied_bytes_per_op is a measured zero rather than an
+	// unmetered figure.
+	Metered bool `json:"metered,omitempty"`
 }
 
 // FigJSON is the machine-readable form of one figure: the printed
@@ -257,6 +262,7 @@ func BenchMarshal() ([]Metric, error) {
 		snap := e.Snapshot()
 		m.CopiedBytesPerOp = float64(snap.Copy.Bytes) / meterIters
 		m.AllocedBytesPerOp = float64(snap.Alloc.Bytes) / meterIters
+		m.Metered = true
 		out = append(out, m)
 	}
 	return out, nil
@@ -267,7 +273,7 @@ func BenchMarshal() ([]Metric, error) {
 func MetricTable(title string, ms []Metric) *Table {
 	metered := false
 	for _, m := range ms {
-		if m.CopiedBytesPerOp != 0 || m.AllocedBytesPerOp != 0 {
+		if m.Metered || m.CopiedBytesPerOp != 0 || m.AllocedBytesPerOp != 0 {
 			metered = true
 		}
 	}

@@ -15,6 +15,7 @@
 package fbuf
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -126,15 +127,54 @@ func (p *Path) AllocBlocking(origin *Domain) (*Buffer, error) {
 	return p.takeLocked(origin), nil
 }
 
+// AllocBlockingContext is AllocBlocking bounded by a context: when
+// the pool is empty the caller waits for a Free, but no longer than
+// ctx allows, so a full ring respects the caller's deadline instead
+// of parking forever. A nil ctx behaves like AllocBlocking.
+func (p *Path) AllocBlockingContext(ctx context.Context, origin *Domain) (*Buffer, error) {
+	if ctx == nil {
+		return p.AllocBlocking(origin)
+	}
+	if !p.onPath(origin) {
+		return nil, fmt.Errorf("%w: %v", ErrNotOnPath, origin)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Wake every cond waiter when the context fires; waiters that are
+	// not ours recheck their own predicates and go back to sleep.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.freeCond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.free) == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		p.freeCond.Wait()
+	}
+	return p.takeLocked(origin), nil
+}
+
 func (p *Path) takeLocked(origin *Domain) *Buffer {
 	n := len(p.free)
 	b := p.free[n-1]
 	p.free = p.free[:n-1]
+	// b.mu, not just p.mu: a domain holding a stale handle to this
+	// buffer may probe it concurrently (and be told ErrFreed or
+	// ErrNotOwner) — the access check must never be a data race.
+	// Safe order: no path holds b.mu while acquiring p.mu.
+	b.mu.Lock()
 	b.owner = origin
 	b.origin = origin
 	b.length = 0
 	b.volatileBuf = false
 	b.freed = false
+	b.mu.Unlock()
 	return b
 }
 
@@ -204,6 +244,42 @@ func (b *Buffer) Produce(d *Domain, data []byte) error {
 	}
 	copy(b.storage[b.length:], data)
 	b.length += len(data)
+	return nil
+}
+
+// Arena exposes the buffer's full backing storage to its owner for
+// in-place production: a marshaler may encode directly into the
+// returned slice instead of staging bytes elsewhere and paying
+// Produce's copy — the pool is the arena. Only the owner may take the
+// arena; after writing, SetProduced declares how many bytes are
+// valid. The slice is invalidated by Free.
+func (b *Buffer) Arena(d *Domain) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.freed {
+		return nil, ErrFreed
+	}
+	if d != b.owner {
+		return nil, fmt.Errorf("%w: %v (owner %v)", ErrNotOwner, d, b.owner)
+	}
+	return b.storage, nil
+}
+
+// SetProduced declares that the owner produced n valid bytes in place
+// through Arena, replacing any previous contents.
+func (b *Buffer) SetProduced(d *Domain, n int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.freed {
+		return ErrFreed
+	}
+	if d != b.owner {
+		return fmt.Errorf("%w: %v (owner %v)", ErrNotOwner, d, b.owner)
+	}
+	if n < 0 || n > len(b.storage) {
+		return fmt.Errorf("fbuf: produced length %d outside [0, %d]", n, len(b.storage))
+	}
+	b.length = n
 	return nil
 }
 

@@ -237,7 +237,11 @@ func (d *ifaceDecl) apply(out *pres.Presentation, strict bool) error {
 			if out.Trust < pres.TrustLeaky {
 				out.Trust = pres.TrustLeaky
 			}
-		case "unprotected":
+		case "unprotected", "trusted":
+			// [trusted] is the shared-memory binding's spelling of the
+			// same grant: the peer shares a protection domain, so
+			// validation and the per-call ownership protocol may be
+			// elided (shmring's arena fast path).
 			out.Trust = pres.TrustFull
 		case "corba_style":
 			out.Style = pres.StyleCORBA

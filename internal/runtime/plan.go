@@ -75,7 +75,8 @@ type Plan struct {
 	// the default — costs one nil check inside the affected steps.
 	stats *stats.Endpoint
 
-	decPool sync.Pool // ReusableDecoder, for pooled server paths
+	decPool   sync.Pool // ReusableDecoder, for pooled server paths
+	arenaPool sync.Pool // ArenaEncoder, for encode-into-arena paths
 }
 
 // setStats points the plan's meters at e (nil disables).
@@ -214,6 +215,15 @@ func (p *Plan) ReleaseDecoder(d Decoder) {
 		p.decPool.Put(rd)
 	}
 }
+
+// RequestSteps reports how many compiled marshal steps a request of
+// this operation carries; 0 means no in or inout parameters, so a
+// bound transport can skip the encoder entirely.
+func (op *OpPlan) RequestSteps() int { return len(op.reqEnc) }
+
+// ReplySteps reports how many compiled marshal steps the reply
+// carries; 0 means no out/inout parameters and no result.
+func (op *OpPlan) ReplySteps() int { return len(op.repEnc) }
 
 // attrs returns the presentation attributes for a parameter name,
 // or a zero value when unannotated.

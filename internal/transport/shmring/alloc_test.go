@@ -1,0 +1,60 @@
+package shmring
+
+import (
+	"bytes"
+	"testing"
+
+	"flexrpc/internal/runtime"
+)
+
+// The allocation gates pin the steady-state promise of the bind-time
+// path: a null RPC over the ring — inline or through the doorbell
+// handoff — allocates nothing once the pools are warm, and a bulk
+// trusted put stays zero-alloc too (the payload is produced directly
+// into the leased slot's arena).
+
+func allocGate(t *testing.T, m mode, bound float64, f func(b *Bound)) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation gates are not meaningful under the race detector")
+	}
+	b, _ := connectMode(t, m, Config{})
+	for i := 0; i < 100; i++ {
+		f(b) // warm the call, encoder and decoder pools
+	}
+	if allocs := testing.AllocsPerRun(200, func() { f(b) }); allocs > bound {
+		t.Fatalf("%s allocates %.1f times per call, want <= %.0f", m.name, allocs, bound)
+	}
+}
+
+func TestNullCallZeroAllocsInline(t *testing.T) {
+	allocGate(t, modes()[0], 0, func(b *Bound) {
+		if _, _, err := b.Invoke("nop", nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestNullCallZeroAllocsDoorbell(t *testing.T) {
+	allocGate(t, modes()[1], 0, func(b *Bound) {
+		if _, _, err := b.Invoke("nop", nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// The 1KB trusted put costs exactly one allocation end to end —
+// boxing the borrowed []byte slice header into the dispatcher's
+// Value argument, the same single alloc the server message path
+// gates in internal/runtime. The payload itself is produced into
+// the slot arena and borrow-decoded in place, never copied.
+func TestTrustedPutSingleAlloc(t *testing.T) {
+	// args built once: the gate measures the call path, not the
+	// caller's own argument boxing.
+	args := []runtime.Value{bytes.Repeat([]byte{0x42}, 1024)}
+	allocGate(t, modes()[1], 1, func(b *Bound) {
+		if _, _, err := b.Invoke("put", args, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

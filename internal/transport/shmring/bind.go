@@ -1,0 +1,643 @@
+package shmring
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexrpc/internal/fbuf"
+	"flexrpc/internal/ir"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
+)
+
+// Options configures Connect.
+type Options struct {
+	Config
+	// Hooks supply [special] marshal routines for the client plan (the
+	// dispatcher's own hooks serve the server plan when set).
+	Hooks runtime.SpecialHooks
+	// ForceDoorbell keeps the cross-goroutine doorbell handoff even
+	// when full mutual trust would allow inline dispatch; benchmarks
+	// use it to measure the handoff itself.
+	ForceDoorbell bool
+}
+
+// statusErr mirrors the dispatcher's framed error status word.
+const statusErr = 1
+
+// A Bound is a bind-time specialized shmring connection implementing
+// runtime.Invoker/ContextInvoker: marshal plans for both presentations
+// are compiled at Connect, request bytes are produced directly into a
+// leased ring slot's arena, and the annotations decide — once, at
+// bind — how much of the untrusted-peer machinery the per-call path
+// keeps:
+//
+//   - [trusted] on both sides (the paper's §4.5 trust ladder) elides
+//     header validation, the per-call fbuf ownership protocol, and —
+//     unless ForceDoorbell — the handoff itself: the handler runs
+//     inline on the caller's goroutine, LRPC-style thread migration
+//     for the same-domain case.
+//   - [nonunique] port naming (or an interface with no port
+//     parameters) elides the per-handoff name-table lookup: the
+//     doorbell word carries a ring position resolved by direct
+//     indexing instead of an fbuf id resolved through the path's
+//     id map.
+//
+// Operations whose compiled plans carry no marshal steps at all
+// dispatch directly — the combination signature compiled the
+// transport away, which is exactly the paper's point.
+type Bound struct {
+	mu     sync.Mutex
+	ring   *Ring
+	disp   *runtime.Dispatcher
+	cplan  *runtime.Plan
+	splan  *runtime.Plan
+	binds  []boundOp
+	byName map[string]int
+
+	trusted   bool
+	nonUnique bool
+	inline    bool
+
+	// Leased slots: the bind-time lease replaces per-call pool
+	// traffic. Under trust the arenas are cached and the ownership
+	// protocol is skipped; untrusted bindings move ownership back and
+	// forth every call.
+	reqSlot, repSlot   *fbuf.Buffer
+	reqArena, repArena []byte
+
+	scratch []byte // server-side gather buffer for spilled requests
+
+	stats  *stats.Endpoint
+	closed atomic.Bool
+	done   chan struct{} // doorbell server goroutine exit
+}
+
+type boundOp struct {
+	idx    int
+	cop    *runtime.OpPlan
+	direct bool // no marshal steps on either path: dispatch directly
+}
+
+// Connect binds a client presentation to a dispatcher over a private
+// ring, compiling both marshal plans and resolving the annotation-
+// driven specializations once. The network contract must match, as
+// for any bind. Enable stats before issuing calls.
+func Connect(clientPres *pres.Presentation, disp *runtime.Dispatcher, codec runtime.Codec, opts Options) (*Bound, error) {
+	if clientPres.Interface.Signature() != disp.Pres.Interface.Signature() {
+		return nil, fmt.Errorf("shmring: contract mismatch:\n  client %s\n  server %s",
+			clientPres.Interface.Signature(), disp.Pres.Interface.Signature())
+	}
+	cfg, err := opts.Config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cplan, err := runtime.NewPlan(clientPres, codec, opts.Hooks)
+	if err != nil {
+		return nil, err
+	}
+	shooks := disp.Hooks()
+	if shooks == nil {
+		shooks = opts.Hooks
+	}
+	splan, err := runtime.NewPlan(disp.Pres, codec, shooks)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bound{
+		ring:   newRing(cfg),
+		disp:   disp,
+		cplan:  cplan,
+		splan:  splan,
+		byName: make(map[string]int),
+		done:   make(chan struct{}),
+	}
+	// The combination signature: trust is the minimum both sides
+	// extend; naming is relaxed only when neither endpoint relies on
+	// the unique-name invariant for any port parameter.
+	b.trusted = clientPres.Trust >= pres.TrustFull && disp.Pres.Trust >= pres.TrustFull
+	b.nonUnique = !uniqueNamesNeeded(clientPres) && !uniqueNamesNeeded(disp.Pres)
+	b.inline = b.trusted && !opts.ForceDoorbell
+	for i, op := range cplan.Ops {
+		b.binds = append(b.binds, boundOp{
+			idx:    i,
+			cop:    op,
+			direct: op.RequestSteps() == 0 && op.ReplySteps() == 0,
+		})
+		b.byName[op.Op.Name] = i
+	}
+	// Bind-time slot lease: one slot per direction for the steady
+	// state; splices for oversized messages come from the rest of the
+	// pool per call.
+	if b.reqSlot, err = b.ring.path.Alloc(b.ring.client); err != nil {
+		return nil, err
+	}
+	if b.repSlot, err = b.ring.path.Alloc(b.ring.server); err != nil {
+		return nil, err
+	}
+	if b.reqArena, err = b.reqSlot.Arena(b.ring.client); err != nil {
+		return nil, err
+	}
+	if b.repArena, err = b.repSlot.Arena(b.ring.server); err != nil {
+		return nil, err
+	}
+	if !b.inline {
+		go b.serveLoop()
+	} else {
+		close(b.done)
+	}
+	return b, nil
+}
+
+// uniqueNamesNeeded reports whether p relies on the system-maintained
+// unique name table: true when any port parameter lacks [nonunique].
+// Interfaces without port parameters never need it.
+func uniqueNamesNeeded(p *pres.Presentation) bool {
+	for i := range p.Interface.Ops {
+		op := &p.Interface.Ops[i]
+		opp := p.Op(op.Name)
+		for j := range op.Params {
+			prm := &op.Params[j]
+			if prm.Type == nil || prm.Type.Kind != ir.Port {
+				continue
+			}
+			if opp == nil {
+				return true
+			}
+			if a, ok := opp.Params[prm.Name]; !ok || !a.NonUnique {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Trusted reports whether the binding elides the untrusted-peer
+// machinery; NonUniqueNames whether the name-table lookup is elided.
+func (b *Bound) Trusted() bool        { return b.trusted }
+func (b *Bound) NonUniqueNames() bool { return b.nonUnique }
+func (b *Bound) InlineDispatch() bool { return b.inline }
+
+// EnableStats switches on client-side observability, pointing the
+// client plan's codec meters at the same endpoint. Call before
+// issuing calls — the plans are shared with the serve goroutine.
+func (b *Bound) EnableStats() *stats.Endpoint {
+	if b.stats == nil {
+		names := make([]string, len(b.cplan.Ops))
+		for i, op := range b.cplan.Ops {
+			names[i] = op.Op.Name
+		}
+		b.stats = stats.New(names)
+		b.cplan.SetStats(b.stats)
+	}
+	return b.stats
+}
+
+// SetStats installs (or removes) the endpoint; see EnableStats.
+func (b *Bound) SetStats(e *stats.Endpoint) {
+	b.stats = e
+	b.cplan.SetStats(e)
+}
+
+// ServerPlan exposes the compiled server plan so callers can point
+// its meters at an endpoint (benchmarks metering the full round
+// trip). Do this before issuing calls.
+func (b *Bound) ServerPlan() *runtime.Plan { return b.splan }
+
+// Stats snapshots the client-side counters.
+func (b *Bound) Stats() *stats.Snapshot { return b.stats.Snapshot() }
+
+// Close tears the binding down: both doorbells wake closed and the
+// serve goroutine (if any) exits.
+func (b *Bound) Close() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	b.ring.reqBell.close()
+	b.ring.repBell.close()
+	<-b.done
+	return nil
+}
+
+// Invoke implements runtime.Invoker.
+func (b *Bound) Invoke(op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	return b.invoke(nil, op, args, outBufs, retBuf)
+}
+
+// InvokeContext implements runtime.ContextInvoker. The context bounds
+// slot-pool waits and the reply doorbell wait; a call abandoned at
+// the doorbell poisons the binding (the ring is desynchronized), so
+// subsequent calls fail with ErrClosed.
+func (b *Bound) InvokeContext(ctx context.Context, op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return b.invoke(ctx, op, args, outBufs, retBuf)
+}
+
+func (b *Bound) invoke(ctx context.Context, op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	idx, ok := b.byName[op]
+	if !ok {
+		return nil, nil, fmt.Errorf("shmring: unknown operation %q", op)
+	}
+	if len(args) != len(b.binds[idx].cop.Op.Params) {
+		return nil, nil, fmt.Errorf("shmring: %s takes %d params, have %d", op, len(b.binds[idx].cop.Op.Params), len(args))
+	}
+	if b.stats != nil {
+		t0 := time.Now()
+		tid := b.stats.NextTraceID()
+		b.stats.Trace(tid, idx, stats.StageDispatch)
+		outs, ret, err := b.invokeBound(ctx, idx, args, outBufs, retBuf)
+		b.stats.Trace(tid, idx, stats.StageReply)
+		b.stats.RecordCall(idx, time.Since(t0), 0, 0, runtime.OutcomeOf(err))
+		return outs, ret, err
+	}
+	return b.invokeBound(ctx, idx, args, outBufs, retBuf)
+}
+
+func (b *Bound) invokeBound(ctx context.Context, idx int, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	if b.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	bop := &b.binds[idx]
+	if b.inline && bop.direct {
+		// Nothing to marshal in either direction: the bound call is a
+		// plain dispatch, no arena, no lock.
+		call := b.disp.AcquireCall(bop.cop.Op)
+		if ctx != nil {
+			call.SetContext(ctx)
+		}
+		err := b.disp.Invoke(call)
+		call.RunAfterReply()
+		b.disp.ReleaseCall(call)
+		return nil, nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed.Load() {
+		return nil, nil, ErrClosed
+	}
+	if b.inline {
+		return b.invokeInline(ctx, bop, args, outBufs, retBuf)
+	}
+	return b.invokeDoorbell(ctx, bop, args, outBufs, retBuf)
+}
+
+// invokeInline runs the call on the caller's goroutine: request bytes
+// are produced into the leased request slot's arena, the dispatcher
+// consumes them and produces the reply into the reply slot's arena,
+// and the client plan decodes it from there. No doorbell, no header:
+// under full mutual trust the op index rides in a register (the
+// argument) and validation is elided.
+func (b *Bound) invokeInline(ctx context.Context, bop *boundOp, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	body := b.reqArena
+	n, err := bop.cop.EncodeRequestArena(b.reqArena, args)
+	switch {
+	case err == nil:
+		body = b.reqArena[:n]
+	case errors.Is(err, runtime.ErrArenaOverflow):
+		// Oversized request: stage in heap storage (rare path).
+		enc := b.cplan.Codec.NewEncoder()
+		if err := bop.cop.EncodeRequest(enc, args); err != nil {
+			return nil, nil, err
+		}
+		body = enc.Bytes()
+	default:
+		return nil, nil, err
+	}
+	renc, ok := b.splan.AcquireArenaEncoder(b.repArena)
+	if !ok {
+		renc = nil
+	}
+	var reply []byte
+	if renc != nil {
+		err = b.disp.ServeMessageRawContext(ctx, b.splan, bop.idx, body, renc)
+		reply = renc.Bytes()
+	} else {
+		henc := b.splan.Codec.NewEncoder()
+		err = b.disp.ServeMessageRawContext(ctx, b.splan, bop.idx, body, henc)
+		reply = henc.Bytes()
+	}
+	if err != nil {
+		if renc != nil {
+			b.splan.ReleaseArenaEncoder(renc)
+		}
+		return nil, nil, err
+	}
+	// An oversized reply reallocated off the arena; the bytes are
+	// still valid either way, so no length check is needed inline.
+	dec := b.cplan.AcquireDecoder(reply)
+	outs, ret, derr := bop.cop.DecodeReply(dec, outBufs, retBuf)
+	b.cplan.ReleaseDecoder(dec)
+	if renc != nil {
+		b.splan.ReleaseArenaEncoder(renc)
+	}
+	return outs, ret, derr
+}
+
+// invokeDoorbell publishes the request through the doorbell handoff
+// and decodes the framed reply the serve goroutine produced.
+func (b *Bound) invokeDoorbell(ctx context.Context, bop *boundOp, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	ref, err := b.sendRequest(ctx, bop, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	b.ring.reqBell.ring(stateReq, ref)
+	rref, ok, err := b.ring.repBell.waitCtx(ctx, stateRep)
+	if err != nil {
+		// Abandoned mid-exchange: the ring state is unknown, poison
+		// the binding rather than desynchronize.
+		b.poison()
+		return nil, nil, err
+	}
+	if !ok {
+		b.closed.Store(true)
+		return nil, nil, ErrClosed
+	}
+	b.ring.repBell.reset()
+	return b.receiveReply(bop, rref, outBufs, retBuf)
+}
+
+// sendRequest produces the request frame under the binding's mode and
+// returns the doorbell reference (0 = the leased slot pair; nonzero =
+// a generic frame resolved through the path's name table).
+func (b *Bound) sendRequest(ctx context.Context, bop *boundOp, args []runtime.Value) (uint64, error) {
+	r := b.ring
+	if !b.trusted && !b.nonUnique {
+		// Unique naming: the peer insists on resolving buffers through
+		// the system-maintained name table, so every call leases fresh
+		// slots and publishes their ids — the cost [nonunique] elides.
+		return b.spillRequest(ctx, bop, args)
+	}
+	if !b.trusted {
+		// [nonunique] naming with an untrusted peer: the slot pair is
+		// bound once (the doorbell ref is a constant ring position, no
+		// id lookup), but the full fbuf discipline remains — take the
+		// arena as owner, produce in place, declare the length, move
+		// ownership.
+		arena, err := b.reqSlot.Arena(r.client)
+		if err != nil {
+			return 0, err
+		}
+		n, err := bop.cop.EncodeRequestArena(arena[headerSize:], args)
+		if errors.Is(err, runtime.ErrArenaOverflow) {
+			return b.spillRequest(ctx, bop, args)
+		}
+		if err != nil {
+			return 0, err
+		}
+		putHeader(arena, uint32(bop.idx), uint32(n), 0)
+		if err := b.reqSlot.SetProduced(r.client, headerSize+n); err != nil {
+			return 0, err
+		}
+		if err := b.reqSlot.Transfer(r.client, r.server, false); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	// Trusted: the cached arena is written directly; ownership ops and
+	// checksums are elided, only the header's op and length words are
+	// produced for the peer.
+	n, err := bop.cop.EncodeRequestArena(b.reqArena[headerSize:], args)
+	if errors.Is(err, runtime.ErrArenaOverflow) {
+		return b.spillRequest(ctx, bop, args)
+	}
+	if err != nil {
+		return 0, err
+	}
+	putHeader(b.reqArena, uint32(bop.idx), uint32(n), 0)
+	return 0, nil
+}
+
+// spillRequest publishes the request as a generic name-table frame:
+// oversized messages splice across pool slots, and unique-naming
+// bindings route every request here so the peer can resolve the
+// buffers by id.
+func (b *Bound) spillRequest(ctx context.Context, bop *boundOp, args []runtime.Value) (uint64, error) {
+	enc := b.cplan.Codec.NewEncoder()
+	if err := bop.cop.EncodeRequest(enc, args); err != nil {
+		return 0, err
+	}
+	head, _, err := b.ring.writeMessage(ctx, b.ring.client, b.ring.server, uint32(bop.idx), enc.Bytes())
+	if err != nil {
+		return 0, err
+	}
+	return uint64(head.ID()), nil
+}
+
+// receiveReply reads the framed reply (status word first) and decodes
+// it with the client plan.
+func (b *Bound) receiveReply(bop *boundOp, ref uint64, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	r := b.ring
+	var reply []byte
+	var bufs []*fbuf.Buffer
+	if ref == 0 {
+		hb := b.repArena
+		if !b.trusted {
+			var err error
+			if hb, err = b.repSlot.Bytes(r.client); err != nil {
+				return nil, nil, err
+			}
+		}
+		_, n, _, err := parseHeader(hb, b.trusted)
+		if err != nil {
+			return nil, nil, err
+		}
+		if headerSize+int(n) > len(hb) {
+			return nil, nil, fmt.Errorf("%w: reply length %d", ErrBadHeader, n)
+		}
+		reply = hb[headerSize : headerSize+int(n)]
+	} else {
+		var err error
+		_, reply, _, bufs, err = r.readMessage(r.client, ref, nil)
+		if err != nil {
+			r.freeAll(r.client, bufs)
+			return nil, nil, err
+		}
+	}
+	outs, ret, err := b.decodeFramedReply(bop, reply, outBufs, retBuf)
+	if bufs != nil {
+		r.freeAll(r.client, bufs)
+	} else if !b.trusted {
+		// Recycle the leased reply slot back to the producer.
+		if terr := b.repSlot.Transfer(r.client, r.server, false); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	return outs, ret, err
+}
+
+func (b *Bound) decodeFramedReply(bop *boundOp, reply []byte, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error) {
+	dec := b.cplan.AcquireDecoder(reply)
+	defer b.cplan.ReleaseDecoder(dec)
+	status, err := dec.Uint32()
+	if err != nil {
+		return nil, nil, fmt.Errorf("shmring: truncated reply: %w", err)
+	}
+	if status != 0 {
+		msg, merr := dec.String()
+		if merr != nil {
+			msg = "(unreadable error)"
+		}
+		return nil, nil, &runtime.RemoteError{Msg: msg}
+	}
+	return bop.cop.DecodeReply(dec, outBufs, retBuf)
+}
+
+// poison marks the binding unusable and wakes everything.
+func (b *Bound) poison() {
+	if !b.closed.Swap(true) {
+		b.ring.reqBell.close()
+		b.ring.repBell.close()
+	}
+}
+
+// serveLoop is the doorbell-mode server: it consumes request frames,
+// dispatches them, and produces framed replies into the reply slot's
+// arena (spilling across pool slots when oversized).
+func (b *Bound) serveLoop() {
+	defer close(b.done)
+	r := b.ring
+	for {
+		ref, ok := r.reqBell.wait(stateReq)
+		if !ok {
+			r.repBell.close()
+			return
+		}
+		r.reqBell.reset()
+		if err := b.serveOne(ref); err != nil {
+			r.repBell.close()
+			return
+		}
+	}
+}
+
+func (b *Bound) serveOne(ref uint64) error {
+	r := b.ring
+	var body []byte
+	var op uint32
+	var bufs []*fbuf.Buffer
+	if ref == 0 {
+		hb := b.reqArena
+		if !b.trusted {
+			var err error
+			if hb, err = b.reqSlot.Bytes(r.server); err != nil {
+				return err
+			}
+		}
+		var n, flags uint32
+		var err error
+		op, n, flags, err = parseHeader(hb, b.trusted)
+		if err != nil || flags&contMask != 0 || headerSize+int(n) > len(hb) {
+			if err == nil {
+				err = fmt.Errorf("%w: request frame", ErrBadHeader)
+			}
+			return err
+		}
+		body = hb[headerSize : headerSize+int(n)]
+	} else {
+		var aliased bool
+		var err error
+		op, body, aliased, bufs, err = r.readMessage(r.server, ref, b.scratch)
+		if err != nil {
+			r.freeAll(r.server, bufs)
+			return err
+		}
+		if !aliased && cap(body) > cap(b.scratch) {
+			b.scratch = body[:0]
+		}
+	}
+	// recycle returns the consumed request bytes to the client: free
+	// the spliced slots, or move the leased slot's ownership back. It
+	// MUST run before the reply bell rings — once the client wakes it
+	// may immediately produce the next request into the leased slot.
+	recycle := func() error {
+		if bufs != nil {
+			r.freeAll(r.server, bufs)
+			return nil
+		}
+		if !b.trusted {
+			return b.reqSlot.Transfer(r.server, r.client, false)
+		}
+		return nil
+	}
+	return b.replyOne(op, body, recycle)
+}
+
+// replyOne dispatches one request and publishes the framed reply.
+// recycle runs after the dispatch has consumed the request bytes and
+// before the reply doorbell rings.
+func (b *Bound) replyOne(op uint32, body []byte, recycle func() error) error {
+	r := b.ring
+	if !b.trusted && !b.nonUnique {
+		// Unique naming: the reply, too, travels as a name-table frame.
+		henc := b.splan.Codec.NewEncoder()
+		b.disp.ServeMessageContext(nil, b.splan, int(op), body, henc)
+		if err := recycle(); err != nil {
+			return err
+		}
+		return b.publishReply(op, henc.Bytes(), nil)
+	}
+	var arena []byte
+	if b.trusted {
+		arena = b.repArena
+	} else {
+		var err error
+		if arena, err = b.repSlot.Arena(r.server); err != nil {
+			return err
+		}
+	}
+	renc, ok := b.splan.AcquireArenaEncoder(arena[headerSize:])
+	if !ok {
+		henc := b.splan.Codec.NewEncoder()
+		b.disp.ServeMessageContext(nil, b.splan, int(op), body, henc)
+		if err := recycle(); err != nil {
+			return err
+		}
+		return b.publishReply(op, henc.Bytes(), nil)
+	}
+	b.disp.ServeMessageContext(nil, b.splan, int(op), body, renc)
+	encoded := renc.Bytes()
+	if err := recycle(); err != nil {
+		b.splan.ReleaseArenaEncoder(renc)
+		return err
+	}
+	if n, err := runtime.ArenaLen(arena[headerSize:], encoded); err == nil {
+		putHeader(arena, op, uint32(n), 0)
+		if !b.trusted {
+			if err := b.repSlot.SetProduced(r.server, headerSize+n); err != nil {
+				b.splan.ReleaseArenaEncoder(renc)
+				return err
+			}
+			if err := b.repSlot.Transfer(r.server, r.client, false); err != nil {
+				b.splan.ReleaseArenaEncoder(renc)
+				return err
+			}
+		}
+		b.splan.ReleaseArenaEncoder(renc)
+		r.repBell.ring(stateRep, 0)
+		return nil
+	}
+	// Oversized reply: the encode landed in heap storage; splice it
+	// across pool slots without re-dispatching.
+	return b.publishReply(op, encoded, renc)
+}
+
+func (b *Bound) publishReply(op uint32, frame []byte, renc runtime.ArenaEncoder) error {
+	head, _, err := b.ring.writeMessage(nil, b.ring.server, b.ring.client, op, frame)
+	if renc != nil {
+		b.splan.ReleaseArenaEncoder(renc)
+	}
+	if err != nil {
+		return err
+	}
+	b.ring.repBell.ring(stateRep, uint64(head.ID()))
+	return nil
+}

@@ -1,0 +1,458 @@
+package shmring
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"flexrpc/internal/idl/corba"
+	"flexrpc/internal/pres"
+	"flexrpc/internal/runtime"
+)
+
+// ringIface covers the shapes the ring must carry: a null call,
+// scalar in/result, bulk in, bulk result, an inout/out pair, a
+// port-carrying op (the naming annotation's subject), and a failing
+// op for the error channel.
+func ringIface(t testing.TB) *pres.Presentation {
+	t.Helper()
+	f, err := corba.Parse("ring.idl", `
+		interface Ring {
+			void nop();
+			long add(in long a, in long b);
+			void put(in sequence<octet> data);
+			sequence<octet> echo(in sequence<octet> data);
+			void exchange(inout sequence<octet> data, out unsigned long sum);
+			void grant(in Object which);
+			void fail(in string msg);
+			void hang();
+		};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pres.Default(f.Interface("Ring"), pres.StyleCORBA)
+}
+
+type probe struct {
+	putLen  int
+	granted runtime.PortName
+}
+
+func newDispatcher(t testing.TB, p *pres.Presentation, pr *probe) *runtime.Dispatcher {
+	t.Helper()
+	disp := runtime.NewDispatcher(p)
+	disp.Handle("nop", func(c *runtime.Call) error { return nil })
+	disp.Handle("add", func(c *runtime.Call) error {
+		c.SetResult(c.Arg(0).(int32) + c.Arg(1).(int32))
+		return nil
+	})
+	disp.Handle("put", func(c *runtime.Call) error {
+		pr.putLen = len(c.ArgBytes(0))
+		return nil
+	})
+	disp.Handle("echo", func(c *runtime.Call) error {
+		in := c.Arg(0).([]byte)
+		out := make([]byte, len(in))
+		copy(out, in)
+		c.SetResult(out)
+		return nil
+	})
+	disp.Handle("exchange", func(c *runtime.Call) error {
+		in := c.Arg(0).([]byte)
+		rev := make([]byte, len(in))
+		var sum uint32
+		for i, b := range in {
+			rev[len(in)-1-i] = b
+			sum += uint32(b)
+		}
+		c.SetOut(0, rev)
+		c.SetOut(1, sum)
+		return nil
+	})
+	disp.Handle("grant", func(c *runtime.Call) error {
+		pr.granted = c.Arg(0).(runtime.PortName)
+		return nil
+	})
+	disp.Handle("fail", func(c *runtime.Call) error {
+		return errors.New(c.Arg(0).(string))
+	})
+	disp.Handle("hang", func(c *runtime.Call) error {
+		select {
+		case <-c.Context().Done():
+			return c.Context().Err()
+		case <-time.After(100 * time.Millisecond):
+			return nil
+		}
+	})
+	return disp
+}
+
+func ringPlan(t testing.TB, p *pres.Presentation) *runtime.Plan {
+	t.Helper()
+	plan, err := runtime.NewPlan(p, runtime.XDRCodec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// --- generic Conn/Server (runtime.Conn over already-marshaled bodies) ---
+
+func newClientConn(t testing.TB, cfg Config) (*runtime.Client, *probe) {
+	t.Helper()
+	p := ringIface(t)
+	pr := &probe{}
+	disp := newDispatcher(t, p, pr)
+	conn, srv, err := NewWithConfig(disp, ringPlan(t, p), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(context.Background()) }()
+	client, err := runtime.NewClient(ringIface(t), runtime.XDRCodec, conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client, pr
+}
+
+func driveCalls(t *testing.T, inv interface {
+	Invoke(op string, args []runtime.Value, outBufs [][]byte, retBuf []byte) ([]runtime.Value, runtime.Value, error)
+}, pr *probe, payload []byte) {
+	t.Helper()
+	if _, _, err := inv.Invoke("nop", nil, nil, nil); err != nil {
+		t.Fatalf("nop: %v", err)
+	}
+	_, ret, err := inv.Invoke("add", []runtime.Value{int32(20), int32(22)}, nil, nil)
+	if err != nil || ret.(int32) != 42 {
+		t.Fatalf("add = %v, %v", ret, err)
+	}
+	if _, _, err := inv.Invoke("put", []runtime.Value{payload}, nil, nil); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if pr.putLen != len(payload) {
+		t.Fatalf("put saw %d bytes, want %d", pr.putLen, len(payload))
+	}
+	_, ret, err = inv.Invoke("echo", []runtime.Value{payload}, nil, nil)
+	if err != nil || !bytes.Equal(ret.([]byte), payload) {
+		t.Fatalf("echo mismatch (%d bytes back, want %d): %v", len(ret.([]byte)), len(payload), err)
+	}
+	data := []byte{1, 2, 3, 250}
+	outs, _, err := inv.Invoke("exchange", []runtime.Value{data, nil}, nil, nil)
+	if err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+	if !bytes.Equal(outs[0].([]byte), []byte{250, 3, 2, 1}) || outs[1].(uint32) != 256 {
+		t.Fatalf("exchange = %v / %v", outs[0], outs[1])
+	}
+	if _, _, err := inv.Invoke("grant", []runtime.Value{runtime.PortName(7)}, nil, nil); err != nil {
+		t.Fatalf("grant: %v", err)
+	}
+	if pr.granted != 7 {
+		t.Fatalf("grant delivered %v, want 7", pr.granted)
+	}
+	_, _, err = inv.Invoke("fail", []runtime.Value{"boom"}, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("fail = %v, want error carrying 'boom'", err)
+	}
+}
+
+func TestConnRoundTrip(t *testing.T) {
+	client, pr := newClientConn(t, Config{})
+	driveCalls(t, client, pr, []byte("ring payload"))
+}
+
+// TestConnMultiSlotSplice forces every bulk message across
+// continuation slots: the body is spliced through the pool as an
+// fbuf.Aggregate and gathered on the far side.
+func TestConnMultiSlotSplice(t *testing.T) {
+	client, pr := newClientConn(t, Config{SlotSize: 64, Slots: 16})
+	payload := bytes.Repeat([]byte{0xA5, 1, 2, 3}, 64) // 256 B >> 48 B of slot body
+	driveCalls(t, client, pr, payload)
+}
+
+// TestConnTooLarge: a message that cannot fit half the ring is
+// refused outright instead of deadlocking the pool.
+func TestConnTooLarge(t *testing.T) {
+	client, _ := newClientConn(t, Config{SlotSize: 64, Slots: 4})
+	_, _, err := client.Invoke("put", []runtime.Value{make([]byte, 4096)}, nil, nil)
+	if err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+// TestConnSession runs the at-most-once session layer over the ring.
+func TestConnSession(t *testing.T) {
+	p := ringIface(t)
+	pr := &probe{}
+	disp := newDispatcher(t, p, pr)
+	plan := ringPlan(t, p)
+	conn, srv := New(disp, plan)
+	sess := runtime.NewSessionServer(disp, plan, runtime.NewReplyCache(runtime.DefaultReplyCacheSize))
+	go func() { _ = srv.ServeSession(context.Background(), sess) }()
+	robust := runtime.NewRobustConn(conn, p, runtime.RobustOptions{
+		ClientID: 1, AtMostOnce: true,
+		Policy: runtime.RetryPolicy{MaxAttempts: 3, AttemptTimeout: time.Second},
+	})
+	client, err := runtime.NewClient(ringIface(t), runtime.XDRCodec, robust, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	driveCalls(t, client, pr, []byte("sessioned"))
+}
+
+func TestHeaderValidation(t *testing.T) {
+	var b [headerSize]byte
+	putHeader(b[:], 3, 99, 2)
+	op, n, flags, err := parseHeader(b[:], false)
+	if err != nil || op != 3 || n != 99 || flags != 2 {
+		t.Fatalf("round trip = %d %d %d %v", op, n, flags, err)
+	}
+	for i := 0; i < headerSize; i++ {
+		corrupt := b
+		corrupt[i] ^= 0x40
+		if _, _, _, err := parseHeader(corrupt[:], false); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+		// A trusted parse skips validation by design — it must still
+		// never fail on the same input.
+		if _, _, _, err := parseHeader(corrupt[:], true); err != nil {
+			t.Fatalf("trusted parse rejected input: %v", err)
+		}
+	}
+	if _, _, _, err := parseHeader(b[:8], false); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+// --- bind-time specialized path (Connect/Bound) ---
+
+type mode struct {
+	name string
+	cp   func(t testing.TB) *pres.Presentation // client presentation
+	sp   func(t testing.TB) *pres.Presentation
+	opts Options
+
+	trusted, nonUnique, inline bool
+	// failClass: inline dispatch returns the handler error as-is
+	// ("app"); doorbell modes frame it over the ring ("remote").
+	failClass string
+}
+
+func trustedPres(t testing.TB) *pres.Presentation {
+	p := ringIface(t)
+	p.Trust = pres.TrustFull
+	return p
+}
+
+func nonUniquePres(t testing.TB) *pres.Presentation {
+	p := ringIface(t)
+	p.Op("grant").Param("which").NonUnique = true
+	return p
+}
+
+func modes() []mode {
+	return []mode{
+		{
+			name: "inline", cp: trustedPres, sp: trustedPres,
+			trusted: true, nonUnique: false, inline: true, failClass: "app",
+		},
+		{
+			name: "doorbell-trusted", cp: trustedPres, sp: trustedPres,
+			opts:    Options{ForceDoorbell: true},
+			trusted: true, nonUnique: false, inline: false, failClass: "remote",
+		},
+		{
+			name: "doorbell-nonunique", cp: nonUniquePres, sp: nonUniquePres,
+			trusted: false, nonUnique: true, inline: false, failClass: "remote",
+		},
+		{
+			name: "doorbell-unique", cp: ringIface, sp: ringIface,
+			trusted: false, nonUnique: false, inline: false, failClass: "remote",
+		},
+	}
+}
+
+func connectMode(t testing.TB, m mode, cfg Config) (*Bound, *probe) {
+	t.Helper()
+	pr := &probe{}
+	disp := newDispatcher(t, m.sp(t), pr)
+	opts := m.opts
+	opts.Config = cfg
+	b, err := Connect(m.cp(t), disp, runtime.XDRCodec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	return b, pr
+}
+
+func TestConnectResolvesModes(t *testing.T) {
+	for _, m := range modes() {
+		t.Run(m.name, func(t *testing.T) {
+			b, _ := connectMode(t, m, Config{})
+			if b.Trusted() != m.trusted || b.NonUniqueNames() != m.nonUnique || b.InlineDispatch() != m.inline {
+				t.Fatalf("flags = trusted %v nonunique %v inline %v, want %v %v %v",
+					b.Trusted(), b.NonUniqueNames(), b.InlineDispatch(),
+					m.trusted, m.nonUnique, m.inline)
+			}
+		})
+	}
+}
+
+func TestBoundRoundTrip(t *testing.T) {
+	for _, m := range modes() {
+		t.Run(m.name, func(t *testing.T) {
+			b, pr := connectMode(t, m, Config{})
+			driveCalls(t, b, pr, []byte("bound payload"))
+			var rerr *runtime.RemoteError
+			_, _, err := b.Invoke("fail", []runtime.Value{"class"}, nil, nil)
+			if isRemote := errors.As(err, &rerr); isRemote != (m.failClass == "remote") {
+				t.Fatalf("fail error %T (%v), want class %s", err, err, m.failClass)
+			}
+		})
+	}
+}
+
+// TestBoundOversizeSpill drives payloads that outgrow the leased slot
+// in every mode: the request and the reply must spill into spliced
+// (or heap, inline) frames and still round trip.
+func TestBoundOversizeSpill(t *testing.T) {
+	for _, m := range modes() {
+		t.Run(m.name, func(t *testing.T) {
+			b, pr := connectMode(t, m, Config{SlotSize: 128, Slots: 16})
+			payload := bytes.Repeat([]byte{7, 1, 9, 3}, 128) // 512 B >> 112 B slot body
+			driveCalls(t, b, pr, payload)
+		})
+	}
+}
+
+func TestBoundUnknownOpAndArity(t *testing.T) {
+	b, _ := connectMode(t, modes()[0], Config{})
+	if _, _, err := b.Invoke("nosuch", nil, nil, nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, _, err := b.Invoke("add", []runtime.Value{int32(1)}, nil, nil); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}
+
+func TestBoundClosed(t *testing.T) {
+	for _, m := range modes() {
+		t.Run(m.name, func(t *testing.T) {
+			b, _ := connectMode(t, m, Config{})
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := b.Invoke("nop", nil, nil, nil); !errors.Is(err, ErrClosed) {
+				t.Fatalf("call on closed binding = %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestBoundDeadline: an expired context is rejected pre-flight; a
+// context that dies mid-doorbell-wait surfaces its error and poisons
+// the binding (the ring state is unknowable afterwards).
+func TestBoundDeadline(t *testing.T) {
+	b, _ := connectMode(t, modes()[1], Config{}) // doorbell-trusted
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := b.InvokeContext(expired, "nop", nil, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("expired ctx = %v", err)
+	}
+	// The binding still works after a pre-flight rejection.
+	if _, _, err := b.Invoke("nop", nil, nil, nil); err != nil {
+		t.Fatalf("nop after pre-flight rejection: %v", err)
+	}
+
+	ctx, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, _, err := b.InvokeContext(ctx, "hang", nil, nil, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang under deadline = %v", err)
+	}
+	if took := time.Since(start); took > 2*time.Second {
+		t.Fatalf("deadline took %v to surface", took)
+	}
+	if _, _, err := b.Invoke("nop", nil, nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("binding not poisoned after abandoned exchange: %v", err)
+	}
+}
+
+func TestBoundStats(t *testing.T) {
+	b, pr := connectMode(t, modes()[0], Config{})
+	b.EnableStats()
+	driveCalls(t, b, pr, []byte("metered"))
+	snap := b.Stats()
+	var addCalls, failErrors uint64
+	for _, op := range snap.Ops {
+		switch op.Name {
+		case "add":
+			addCalls = op.Calls
+		case "fail":
+			failErrors = op.Errors
+		}
+	}
+	if addCalls != 1 || failErrors != 1 {
+		t.Fatalf("stats: add calls %d (want 1), fail errors %d (want 1)", addCalls, failErrors)
+	}
+}
+
+// TestBoundContractMismatch mirrors every other bind: differing
+// network contracts must be refused.
+func TestBoundContractMismatch(t *testing.T) {
+	f, err := corba.Parse("other.idl", `interface Other { void nop(); };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := pres.Default(f.Interface("Other"), pres.StyleCORBA)
+	disp := newDispatcher(t, ringIface(t), &probe{})
+	if _, err := Connect(other, disp, runtime.XDRCodec, Options{}); err == nil {
+		t.Fatal("contract mismatch accepted")
+	}
+}
+
+// TestZeroCopyTrustedBorrow is the acceptance gate for the zero-copy
+// claim: a 1KB [trusted] borrow round trip meters ZERO copied bytes —
+// the client produces the payload directly into the ring slot's arena
+// (the fbuf produce step) and the server's borrow decode aliases the
+// slot storage.
+func TestZeroCopyTrustedBorrow(t *testing.T) {
+	for _, m := range []mode{modes()[0], modes()[1]} { // inline + doorbell-trusted
+		t.Run(m.name, func(t *testing.T) {
+			pr := &probe{}
+			disp := newDispatcher(t, m.sp(t), pr)
+			b, err := Connect(m.cp(t), disp, runtime.XDRCodec, m.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { b.Close() })
+			// One endpoint sees every meter on the path: the client
+			// plan's encode, the server plan's decode copies, and the
+			// dispatcher's decode/reply accounting.
+			e := b.EnableStats()
+			b.ServerPlan().SetStats(e)
+			disp.SetStats(e)
+			payload := bytes.Repeat([]byte{0x42}, 1024)
+			if _, _, err := b.Invoke("put", []runtime.Value{payload}, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			if pr.putLen != 1024 {
+				t.Fatalf("server saw %d bytes", pr.putLen)
+			}
+			snap := b.Stats()
+			if snap.Copy.Bytes != 0 {
+				t.Fatalf("copy meter reports %d copied bytes for a trusted borrow round trip, want 0", snap.Copy.Bytes)
+			}
+			if snap.Decode.Bytes == 0 {
+				t.Fatal("decode meter saw no bytes — the payload never crossed the ring")
+			}
+		})
+	}
+}

@@ -67,6 +67,13 @@ func (e *Encoder) Len() int { return len(e.buf) }
 // Reset discards all encoded data but retains the buffer capacity.
 func (e *Encoder) Reset() { e.buf = e.buf[:0] }
 
+// ResetTo re-aims the encoder at caller-provided storage: encoded
+// data is appended into buf's backing array, capped at len(buf), so a
+// marshaler can target a transport's fixed buffer (an fbuf arena)
+// directly. Encoding past the cap falls back to append's reallocation
+// — callers detect that by comparing backing arrays.
+func (e *Encoder) ResetTo(buf []byte) { e.buf = buf[:0:len(buf)] }
+
 // PutUint32 encodes a 32-bit unsigned integer.
 func (e *Encoder) PutUint32(v uint32) {
 	e.buf = append(e.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
