@@ -96,6 +96,7 @@ fuzz_smoke() {
 	go test -run='^$' -fuzz=FuzzDecodeMessage -fuzztime="$fuzztime" ./internal/runtime
 	go test -run='^$' -fuzz=FuzzServeMessage -fuzztime="$fuzztime" ./internal/runtime
 	go test -run='^$' -fuzz=FuzzBatchCodec -fuzztime="$fuzztime" ./internal/runtime
+	go test -run='^$' -fuzz=FuzzPushbackFrame -fuzztime="$fuzztime" ./internal/runtime
 	go test -run='^$' -fuzz=FuzzSlotHeader -fuzztime="$fuzztime" ./internal/transport/shmring
 	go test -run='^$' -fuzz=FuzzHistogramCodec -fuzztime="$fuzztime" ./internal/stats
 	go test -run='^$' -fuzz=FuzzTraceCodec -fuzztime="$fuzztime" ./internal/stats

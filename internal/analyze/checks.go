@@ -193,6 +193,20 @@ var registry = map[string]CheckInfo{
 			"validated ownership path and discards every elision the " +
 			"grant was written to buy.",
 	},
+	"FV022": {
+		ID: "FV022", Title: "hedged-moves-ownership", Severity: SevWarning,
+		Fix: "drop [hedged] (let the retry budget alone pace retries), or stop moving ownership in the signature",
+		Doc: "A [hedged] operation invites the client to race or " +
+			"speculatively re-send it — hedged requests, aggressive " +
+			"retry-on-pushback — but this operation's signature moves " +
+			"buffer ownership: an in parameter freed by the stub after " +
+			"marshaling ([dealloc(always)]) is double-moved by the hedge's " +
+			"second marshal, and a callee-allocated out buffer " +
+			"([alloc(callee)]) arrives once per execution with at most one " +
+			"delivery. A shed-then-retry under admission-control pushback " +
+			"hits exactly this path: the first send already consumed the " +
+			"buffer the hedge needs.",
+	},
 	"FV014": {
 		ID: "FV014", Title: "idempotent-moves-ownership", Severity: SevWarning,
 		Fix: "drop [idempotent] and rely on the at-most-once reply cache, or stop moving ownership in the signature",

@@ -83,6 +83,10 @@ var goldenCases = []struct {
 		client: "interface FileIO {\n    [idempotent] write([dealloc(always)] data);\n    [idempotent] read([alloc(callee)] return);\n};\n",
 	},
 	{
+		name:   "fv022_hedged_moves_ownership",
+		client: "interface FileIO {\n    [hedged] write([dealloc(always)] data);\n    [hedged] read([alloc(callee)] return);\n};\n",
+	},
+	{
 		name:   "fv016_batchable_copies_frames",
 		client: "interface FileIO {\n    [batchable] write([dealloc(always)] data);\n    [batchable] read([alloc(callee)] return);\n    [batchable] write_msg([special] msg);\n};\n",
 	},

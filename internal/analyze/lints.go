@@ -40,6 +40,9 @@ func (c *checker) checkEndpoint(iface *ir.Interface, ep Endpoint) {
 		if op.Batchable {
 			c.checkBatchable(p.Interface.Name, opName, irOp, op)
 		}
+		if op.Hedged {
+			c.checkHedged(p.Interface.Name, opName, irOp, op)
+		}
 		for _, pn := range sortedParamNames(op.Params) {
 			a := op.Params[pn]
 			t, dir, ok := resolveParam(irOp, pn)
@@ -74,6 +77,32 @@ func (c *checker) checkIdempotent(iface, opName string, irOp *ir.Operation, op *
 		if isOut && a.Alloc == pres.AllocCallee && a.Explicit("alloc") {
 			c.report("FV014", attrPos(a, "alloc"),
 				"%s: [idempotent] operation hands out a callee-allocated buffer ([alloc(callee)]); a retried execution allocates again with only one delivery", ctx)
+		}
+	}
+}
+
+// checkHedged is FV022: a [hedged] operation whose signature moves
+// buffer ownership. Hedging means the client may marshal and send the
+// call more than once — racing sends, or retrying eagerly on
+// admission-control pushback — so any ownership the marshal path
+// consumes is consumed again by the hedge: a double-move.
+func (c *checker) checkHedged(iface, opName string, irOp *ir.Operation, op *pres.OpPres) {
+	for _, pn := range sortedParamNames(op.Params) {
+		a := op.Params[pn]
+		t, dir, ok := resolveParam(irOp, pn)
+		if !ok || !pres.IsBuffer(t) {
+			continue // FV007 covers dangling names
+		}
+		ctx := iface + "." + opName + "." + pn
+		isIn := dir == ir.In || dir == ir.InOut
+		isOut := dir == ir.Out || dir == ir.InOut
+		if isIn && a.Dealloc == pres.DeallocAlways && a.Explicit("dealloc") {
+			c.report("FV022", attrPos(a, "dealloc"),
+				"%s: [hedged] operation transfers the caller's buffer ([dealloc(always)]); a hedged re-send would double-move it", ctx)
+		}
+		if isOut && a.Alloc == pres.AllocCallee && a.Explicit("alloc") {
+			c.report("FV022", attrPos(a, "alloc"),
+				"%s: [hedged] operation hands out a callee-allocated buffer ([alloc(callee)]); racing executions allocate twice with at most one delivery", ctx)
 		}
 	}
 }

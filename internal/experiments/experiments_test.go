@@ -250,6 +250,37 @@ func TestFigFaultsShape(t *testing.T) {
 	}
 }
 
+func TestFigOverloadShape(t *testing.T) {
+	// FigOverload self-asserts the headline claims (admission goodput
+	// and p99 beat unprotected at top load; budgeted retries beat
+	// unbudgeted) and returns an error when the data contradicts them,
+	// so a nil error here is the real assertion. The shape check below
+	// guards the grid itself.
+	cfg := OverloadConfig{Duration: 80 * time.Millisecond, Loads: []int{2, 10}}
+	tab, err := FigOverload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 loads x 3 modes)", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != len(tab.Headers) {
+			t.Fatalf("row %q has %d values for %d headers", r.Label, len(r.Values), len(tab.Headers))
+		}
+	}
+}
+
+func BenchmarkFigOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FigOverload(OverloadConfig{
+			Duration: 60 * time.Millisecond, Loads: []int{2, 10},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestBestOfPicksMinimum(t *testing.T) {
 	calls := 0
 	durs := []time.Duration{5 * time.Millisecond, 2 * time.Millisecond, 9 * time.Millisecond}

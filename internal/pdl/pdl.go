@@ -282,6 +282,8 @@ func (d *opDecl) apply(out *pres.Presentation, strict bool) error {
 			op.Idempotent = true
 		case "batchable":
 			op.Batchable = true
+		case "hedged":
+			op.Hedged = true
 		default:
 			return idl.Errorf(a.pos, "pdl: unknown operation attribute %q", a.name)
 		}

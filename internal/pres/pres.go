@@ -225,6 +225,13 @@ type OpPres struct {
 	// endpoint-private: the sub-call bodies inside a batch frame are
 	// byte-identical to unbatched ones.
 	Batchable bool
+	// Hedged ([hedged]): a client may race or aggressively re-send
+	// this operation — retry budgets, hedged requests, speculative
+	// retries on pushback. It is a client-policy hint, wire-invisible
+	// like the others; flexvet flags it on operations whose buffer
+	// annotations move ownership, where a shed-then-retry would move
+	// the same buffer twice (FV022).
+	Hedged bool
 	// Pos is the source position of the operation's PDL declaration,
 	// when one was applied.
 	Pos idl.Pos
@@ -382,6 +389,7 @@ func (p *Presentation) Clone() *Presentation {
 			CommStatus: op.CommStatus,
 			Idempotent: op.Idempotent,
 			Batchable:  op.Batchable,
+			Hedged:     op.Hedged,
 			Pos:        op.Pos,
 			At:         clonePosMap(op.At),
 		}

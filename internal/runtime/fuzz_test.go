@@ -1,7 +1,10 @@
 package runtime
 
 import (
+	"bytes"
+	"errors"
 	"testing"
+	"time"
 )
 
 // FuzzDecodeMessage promotes the quick-check properties in
@@ -68,6 +71,32 @@ func FuzzServeMessage(f *testing.F) {
 			if _, err := dec.String(); err != nil {
 				t.Fatalf("error reply missing message: %v", err)
 			}
+		}
+	})
+}
+
+// FuzzPushbackFrame feeds arbitrary bytes to the pushback parser: it
+// must never panic, reject everything malformed with ErrCorruptReply,
+// and accept only frames that re-encode byte-identically — the
+// property that makes the parser's strictness checkable (nothing is
+// silently normalized away).
+func FuzzPushbackFrame(f *testing.F) {
+	f.Add(AppendPushbackFrame(nil, false, 5*time.Millisecond))
+	f.Add(AppendPushbackFrame(nil, true, 0))
+	f.Add(AppendPushbackFrame(nil, false, time.Hour))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		ra, draining, err := ParsePushbackFrame(frame)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptReply) {
+				t.Fatalf("rejection %v does not wrap ErrCorruptReply", err)
+			}
+			return
+		}
+		if re := AppendPushbackFrame(nil, draining, ra); !bytes.Equal(re, frame) {
+			t.Fatalf("accepted frame % x re-encodes as % x", frame, re)
 		}
 	})
 }

@@ -49,6 +49,13 @@ const (
 
 	sessOK         = 0 // body is the dispatcher's reply (status framing + results)
 	sessBadRequest = 1 // request frame failed its CRC; body empty; retry
+	sessOverloaded = 2 // admission control shed the call before decode; body empty
+	sessDraining   = 3 // server is draining; body empty; retry elsewhere/later
+
+	// The pushback statuses (sessOverloaded, sessDraining) split the
+	// status word: code in the low 8 bits, advisory retry-after
+	// milliseconds in the upper 24 (see pushback.go). sessOK and
+	// sessBadRequest keep full-word encodings.
 )
 
 // ErrCorruptReply reports a session reply that failed its length or
@@ -129,6 +136,12 @@ type RobustOptions struct {
 	// Clock drives backoff sleeps and per-attempt timeouts; nil means
 	// WallClock. Tests substitute a FakeClock.
 	Clock Clock
+	// Budget throttles retries (shareable across conns to one
+	// backend); nil means retries are limited only by the policy.
+	Budget *RetryBudget
+	// Breaker short-circuits calls while the peer is persistently
+	// failing or pushing back; nil disables breaking.
+	Breaker *Breaker
 }
 
 // A RobustConn wraps a Conn with the client half of the session
@@ -146,6 +159,8 @@ type RobustConn struct {
 	atMost    bool
 	policy    RetryPolicy
 	batch     *batcher // nil until EnableBatching
+	budget    *RetryBudget
+	breaker   *Breaker
 
 	rmu sync.Mutex // guards rng
 	rng *rand.Rand
@@ -188,6 +203,8 @@ func NewRobustConn(inner Conn, p *pres.Presentation, opts RobustOptions) *Robust
 		batchable: batchable,
 		atMost:    opts.AtMostOnce,
 		policy:    opts.Policy.withDefaults(),
+		budget:    opts.Budget,
+		breaker:   opts.Breaker,
 		rng:       rand.New(rand.NewSource(seed)),
 		clock:     clock,
 	}
@@ -247,7 +264,17 @@ func (r *RobustConn) CallTraceContext(ctx context.Context, opIdx int, req, reply
 // statOp bills retries to a counter row (negative for none, e.g. for
 // batch frames that have no single op). idem permits retrying even
 // without an at-most-once session.
+//
+// Overload protection threads through here: the breaker may fail the
+// call before any attempt; the budget gates every retry; a pushback
+// reply (the server shed the call before executing it) is retryable
+// regardless of idempotency and sleeps the server's advisory
+// RetryAfter instead of the jittered backoff.
 func (r *RobustConn) callSession(ctx context.Context, wireOp, statOp int, req, replyBuf []byte, flags uint32, idem bool, tid uint32) ([]byte, error) {
+	if !r.breaker.Allow() {
+		r.stats.AddBreakerFastFail()
+		return nil, ErrCircuitOpen
+	}
 	attempts := r.policy.MaxAttempts
 	if !r.atMost && !idem {
 		attempts = 1
@@ -270,6 +297,7 @@ func (r *RobustConn) callSession(ctx context.Context, wireOp, statOp int, req, r
 	binary.BigEndian.PutUint32(frame[12:16], crc32.ChecksumIEEE(req))
 	copy(frame[robustReqHeader:], req)
 
+	r.budget.onAttempt()
 	var reply []byte
 	var err error
 	backoff := r.policy.BaseBackoff
@@ -285,8 +313,53 @@ func (r *RobustConn) callSession(ctx context.Context, wireOp, statOp int, req, r
 			r.stats.Trace(tid, statOp, stats.StageRetry)
 		}
 		reply, err = r.callOnce(ctx, wireOp, frame, replyBuf)
-		if err == nil || !Retryable(err) || attempt >= attempts {
+		if err == nil {
+			r.breaker.OnSuccess()
 			break
+		}
+		var ov *ErrOverloaded
+		pushback := errors.As(err, &ov)
+		switch {
+		case pushback:
+			r.stats.AddPushback()
+			if r.breaker.OnFailure(ov.RetryAfter) {
+				r.stats.AddBreakerOpen()
+			}
+		case Retryable(err):
+			if r.breaker.OnFailure(0) {
+				r.stats.AddBreakerOpen()
+			}
+		default:
+			// A RemoteError means the server executed and answered —
+			// the peer is healthy, whatever the application thinks.
+			var re *RemoteError
+			if errors.As(err, &re) {
+				r.breaker.OnSuccess()
+			}
+		}
+		if !Retryable(err) {
+			break
+		}
+		// A pushed-back call never reached the dispatcher, so retrying
+		// it is safe even for non-idempotent calls outside an
+		// at-most-once session.
+		max := attempts
+		if pushback && r.policy.MaxAttempts > max {
+			max = r.policy.MaxAttempts
+		}
+		if attempt >= max {
+			break
+		}
+		if !r.budget.allowRetry() {
+			r.stats.AddRetrySuppressed()
+			break
+		}
+		if pushback && ov.RetryAfter > 0 {
+			// Honor the server's advisory pause over our own schedule.
+			if serr := r.clock.Sleep(ctx, ov.RetryAfter); serr != nil {
+				break
+			}
+			continue
 		}
 		if serr := r.sleep(ctx, backoff); serr != nil {
 			break
@@ -339,6 +412,12 @@ func (r *RobustConn) callOnce(ctx context.Context, opIdx int, frame, replyBuf []
 	case sessBadRequest:
 		return nil, ErrBadRequestFrame
 	default:
+		// Pushback statuses carry a retry-after in the upper bits, so
+		// they cannot be matched whole; parse strictly and fall through
+		// to corruption for anything else.
+		if ra, draining, perr := ParsePushbackFrame(reply); perr == nil {
+			return nil, &ErrOverloaded{RetryAfter: ra, Draining: draining}
+		}
 		return nil, fmt.Errorf("%w: unknown status %d", ErrCorruptReply, status)
 	}
 }
@@ -517,6 +596,25 @@ func (c *ReplyCache) Len() int {
 	return n
 }
 
+// Flush evicts every completed reply, returning how many were
+// dropped. In-flight executions (entries not yet in order) are left to
+// finish; a drain calls Flush after the last in-flight call completes,
+// so the memory retires with the session.
+func (c *ReplyCache) Flush() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		c.lock(s)
+		for _, key := range s.order {
+			delete(s.entries, key)
+		}
+		n += len(s.order)
+		s.order = s.order[:0]
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // A SessionServer is the server half of the session layer: it
 // unwraps request frames, drives the dispatcher, and wraps replies,
 // consulting a ReplyCache so retransmitted non-idempotent calls
@@ -525,6 +623,7 @@ type SessionServer struct {
 	disp  *Dispatcher
 	plan  *Plan
 	cache *ReplyCache
+	adm   *Admission // nil: no admission control
 
 	encs sync.Pool // Encoder
 }
@@ -534,6 +633,38 @@ type SessionServer struct {
 // operations).
 func NewSessionServer(disp *Dispatcher, plan *Plan, cache *ReplyCache) *SessionServer {
 	return &SessionServer{disp: disp, plan: plan, cache: cache}
+}
+
+// SetAdmission installs an admission controller: Handle consults it
+// before the CRC check (a call that will be shed is not worth
+// checksumming) and answers rejected calls with its pushback frame.
+// Set before serving; nil (the default) admits everything.
+func (s *SessionServer) SetAdmission(a *Admission) { s.adm = a }
+
+// Admission returns the installed controller (nil when none).
+func (s *SessionServer) Admission() *Admission { return s.adm }
+
+// Drain gracefully retires the session server: new calls are rejected
+// with a draining pushback, then Drain waits (bounded by ctx) for
+// every admitted in-flight call to complete and flushes the reply
+// cache. It reports ctx.Err() when in-flight calls outlive the
+// deadline, nil once the server is idle. Requires an installed
+// Admission controller (it owns the inflight count); without one,
+// Drain only flushes the cache.
+func (s *SessionServer) Drain(ctx context.Context) error {
+	if s.adm != nil {
+		s.adm.StartDrain()
+		for s.adm.Inflight() > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			s.adm.clock.Sleep(ctx, 100*time.Microsecond)
+		}
+	}
+	if s.cache != nil {
+		s.cache.Flush()
+	}
+	return nil
 }
 
 // Handle processes one request frame and returns the reply frame.
@@ -549,10 +680,19 @@ func (s *SessionServer) Handle(ctx context.Context, opIdx int, frame []byte) []b
 	seq := binary.BigEndian.Uint32(frame[4:8])
 	flags := binary.BigEndian.Uint32(frame[8:12])
 	sum := binary.BigEndian.Uint32(frame[12:16])
+	// Admission runs before the CRC check: shedding exists to avoid
+	// work, and checksumming a call we are about to reject is work.
+	// Everything needed — client id, [idempotent] bit — is in the
+	// header. A rejected call returns the controller's shared pushback
+	// frame with zero allocation.
+	if pb := s.adm.Admit(cid, flags&flagIdempotent != 0); pb != nil {
+		return pb
+	}
 	body := frame[robustReqHeader:]
 	if crc32.ChecksumIEEE(body) != sum {
 		// Damaged in transit: tell the client to retransmit. Not
 		// cached — the retry must reach the dispatcher.
+		s.adm.Release(cid)
 		s.disp.stats.AddBadFrame()
 		return badRequestFrame()
 	}
@@ -563,14 +703,18 @@ func (s *SessionServer) Handle(ctx context.Context, opIdx int, frame []byte) []b
 		}
 		return s.exec(ctx, opIdx, body, tid)
 	}
+	var rep []byte
 	if flags&flagIdempotent != 0 || s.cache == nil {
-		return exec()
+		rep = exec()
+		s.adm.Release(cid)
+		return rep
 	}
 	// A batch frame is cached and replayed whole under the outer
 	// (cid, seq) key: the client retransmits the whole batch, so one
 	// cache entry gives every sub-call at-most-once execution.
 	key := uint64(cid)<<32 | uint64(seq)
 	rep, replayed := s.cache.do(key, exec)
+	s.adm.Release(cid)
 	if replayed {
 		s.disp.stats.AddReplay(opIdx)
 	}

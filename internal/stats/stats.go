@@ -139,6 +139,19 @@ type Endpoint struct {
 	shardContention atomic.Uint64
 	handlerPanics   atomic.Uint64
 
+	// Overload counters. Server side: calls rejected with a pushback
+	// frame before decode (admission caps or the load shedder) and
+	// calls rejected because the server is draining. Client side:
+	// pushback replies received, retries the retry budget refused to
+	// spend, circuit-breaker trips, and calls the open breaker failed
+	// without touching the wire.
+	sheds            atomic.Uint64
+	drainRejects     atomic.Uint64
+	pushbacks        atomic.Uint64
+	retrySuppressed  atomic.Uint64
+	breakerOpens     atomic.Uint64
+	breakerFastFails atomic.Uint64
+
 	tracer atomic.Pointer[Tracer]
 	lastID atomic.Uint32
 }
@@ -308,6 +321,72 @@ func (e *Endpoint) AddHandlerPanic() {
 	}
 }
 
+// AddShed counts one call the server rejected with an overload
+// pushback before decoding it.
+func (e *Endpoint) AddShed() {
+	if e != nil {
+		e.sheds.Add(1)
+	}
+}
+
+// AddDrainReject counts one call rejected because the server is
+// draining.
+func (e *Endpoint) AddDrainReject() {
+	if e != nil {
+		e.drainRejects.Add(1)
+	}
+}
+
+// AddPushback counts one pushback reply the client received.
+func (e *Endpoint) AddPushback() {
+	if e != nil {
+		e.pushbacks.Add(1)
+	}
+}
+
+// AddRetrySuppressed counts one retry the client's retry budget
+// refused — the call failed fast instead of amplifying overload.
+func (e *Endpoint) AddRetrySuppressed() {
+	if e != nil {
+		e.retrySuppressed.Add(1)
+	}
+}
+
+// AddBreakerOpen counts one circuit-breaker trip (a transition into
+// the open state).
+func (e *Endpoint) AddBreakerOpen() {
+	if e != nil {
+		e.breakerOpens.Add(1)
+	}
+}
+
+// AddBreakerFastFail counts one call the open breaker failed without
+// an attempt.
+func (e *Endpoint) AddBreakerFastFail() {
+	if e != nil {
+		e.breakerFastFails.Add(1)
+	}
+}
+
+// MergedLatency accumulates every operation row's latency histogram
+// into dst without allocating — the load-shedding controller polls it
+// from the admission path, which must stay heap-free. dst is an
+// accumulator: callers zero it (or keep it as a running total and
+// diff snapshots) themselves.
+func (e *Endpoint) MergedLatency(dst *HistogramSnapshot) {
+	if e == nil || dst == nil {
+		return
+	}
+	for i := range e.ops {
+		h := &e.ops[i].lat
+		for j := range h.buckets {
+			dst.Buckets[j] += h.buckets[j].Load()
+		}
+		dst.Count += h.count.Load()
+		dst.SumNs += h.sum.Load()
+	}
+}
+
 // OpSnapshot is the point-in-time counter row of one operation.
 type OpSnapshot struct {
 	Name        string            `json:"name"`
@@ -344,6 +423,13 @@ type Snapshot struct {
 	BatchFlushes    uint64 `json:"batch_flushes,omitempty"`
 	ShardContention uint64 `json:"shard_contention,omitempty"`
 	HandlerPanics   uint64 `json:"handler_panics,omitempty"`
+
+	Sheds            uint64 `json:"sheds,omitempty"`
+	DrainRejects     uint64 `json:"drain_rejects,omitempty"`
+	Pushbacks        uint64 `json:"pushbacks,omitempty"`
+	RetrySuppressed  uint64 `json:"retry_suppressed,omitempty"`
+	BreakerOpens     uint64 `json:"breaker_opens,omitempty"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails,omitempty"`
 
 	Trace []TraceEvent `json:"trace,omitempty"`
 }
@@ -390,6 +476,12 @@ func (e *Endpoint) Snapshot() *Snapshot {
 	s.BatchFlushes = e.batchFlushes.Load()
 	s.ShardContention = e.shardContention.Load()
 	s.HandlerPanics = e.handlerPanics.Load()
+	s.Sheds = e.sheds.Load()
+	s.DrainRejects = e.drainRejects.Load()
+	s.Pushbacks = e.pushbacks.Load()
+	s.RetrySuppressed = e.retrySuppressed.Load()
+	s.BreakerOpens = e.breakerOpens.Load()
+	s.BreakerFastFails = e.breakerFastFails.Load()
 	if tr := e.tracer.Load(); tr != nil {
 		s.Trace = tr.Events()
 	}
@@ -444,6 +536,12 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.BatchFlushes += o.BatchFlushes
 	s.ShardContention += o.ShardContention
 	s.HandlerPanics += o.HandlerPanics
+	s.Sheds += o.Sheds
+	s.DrainRejects += o.DrainRejects
+	s.Pushbacks += o.Pushbacks
+	s.RetrySuppressed += o.RetrySuppressed
+	s.BreakerOpens += o.BreakerOpens
+	s.BreakerFastFails += o.BreakerFastFails
 	s.Trace = append(s.Trace, o.Trace...)
 	sort.SliceStable(s.Trace, func(i, j int) bool { return s.Trace[i].At < s.Trace[j].At })
 }
@@ -492,8 +590,14 @@ func (s *Snapshot) Text() string {
 	line("server.coalesced_writes", s.CoalescedWrites)
 	line("server.shard_contention", s.ShardContention)
 	line("server.handler_panics", s.HandlerPanics)
+	line("server.sheds", s.Sheds)
+	line("server.drain_rejects", s.DrainRejects)
 	line("client.batched_calls", s.BatchedCalls)
 	line("client.batch_flushes", s.BatchFlushes)
+	line("client.pushbacks", s.Pushbacks)
+	line("client.retry_suppressed", s.RetrySuppressed)
+	line("client.breaker_opens", s.BreakerOpens)
+	line("client.breaker_fast_fails", s.BreakerFastFails)
 	if len(s.Trace) > 0 {
 		fmt.Fprintf(&b, "trace.events %d\n", len(s.Trace))
 		for _, ev := range s.Trace {

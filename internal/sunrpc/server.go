@@ -1,12 +1,15 @@
 package sunrpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"flexrpc/internal/stats"
 	"flexrpc/internal/xdr"
@@ -47,6 +50,18 @@ type Server struct {
 
 	concurrency int
 	stats       *stats.Endpoint
+
+	// Overload protection: maxInflight bounds calls across every
+	// connection; over-cap (and post-drain) calls answer SYSTEM_ERR —
+	// the only pushback the bare Sun RPC wire can carry — instead of
+	// queueing behind work the server cannot finish.
+	maxInflight int64
+	inflight    atomic.Int64
+	draining    atomic.Bool
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
 }
 
 // NewServer creates a server for prog/vers. Procedure 0 (the null
@@ -74,6 +89,79 @@ func (s *Server) SetConcurrency(n int) { s.concurrency = n }
 // SetStats points the server's queue/flush/panic counters at e; a nil
 // endpoint (the default) records nothing. Set before serving.
 func (s *Server) SetStats(e *stats.Endpoint) { s.stats = e }
+
+// SetMaxInflight bounds concurrently dispatched calls across every
+// connection; calls past the bound answer SYSTEM_ERR without invoking
+// a handler. n <= 0 (the default) means unlimited. Set before serving.
+func (s *Server) SetMaxInflight(n int) { s.maxInflight = int64(n) }
+
+// Inflight reports the calls currently being dispatched.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully retires the server: listeners passed to Serve stop
+// accepting, new calls on existing connections answer SYSTEM_ERR, and
+// Drain waits (bounded by ctx) for in-flight dispatches to finish
+// before closing the remaining connections. It reports ctx.Err() when
+// in-flight calls outlive the deadline (connections are closed
+// regardless, so blocked peers unpark).
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	for _, l := range s.listeners {
+		l.Close()
+	}
+	s.listeners = nil
+	s.mu.Unlock()
+
+	var err error
+	for s.inflight.Load() > 0 {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+		case <-time.After(200 * time.Microsecond):
+		}
+		if err != nil {
+			break
+		}
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.conns = nil
+	s.mu.Unlock()
+	return err
+}
+
+// track registers conn for closure at drain time; it reports false
+// (and closes conn) when the server is already draining.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
 
 // ServeConn processes calls from conn until it closes, returning nil
 // on clean EOF. With SetConcurrency(n > 1) requests are executed by a
@@ -210,6 +298,22 @@ func (s *Server) dispatch(d *xdr.Decoder, enc *xdr.Encoder) {
 		encodeAcceptedReply(enc, h.XID, SystemErr)
 		return
 	}
+	// Admission: a draining or over-capacity server answers SYSTEM_ERR
+	// before touching a handler. The bare Sun RPC wire has no richer
+	// pushback (the session layer's frames ride above it); SYSTEM_ERR
+	// is retryable by construction, which is all shedding needs.
+	n := s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.draining.Load() {
+		s.stats.AddDrainReject()
+		encodeAcceptedReply(enc, h.XID, SystemErr)
+		return
+	}
+	if s.maxInflight > 0 && n > s.maxInflight {
+		s.stats.AddShed()
+		encodeAcceptedReply(enc, h.XID, SystemErr)
+		return
+	}
 	switch {
 	case h.Prog != s.prog:
 		encodeAcceptedReply(enc, h.XID, ProgUnavail)
@@ -251,8 +355,16 @@ func (s *Server) runHandler(proc uint32, h ProcHandler, d *xdr.Decoder, enc *xdr
 }
 
 // Serve accepts connections from l and serves each on its own
-// goroutine until the listener closes.
+// goroutine until the listener closes (or Drain closes it).
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
@@ -261,7 +373,11 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		if !s.track(conn) {
+			continue
+		}
 		go func() {
+			defer s.untrack(conn)
 			defer conn.Close()
 			_ = s.ServeConn(conn)
 		}()

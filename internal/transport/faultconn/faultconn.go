@@ -43,6 +43,12 @@ type Profile struct {
 	Disconnect  float64 // connection torn down mid-call
 	Delay       float64 // added latency, uniform in [DelayMin, DelayMax]
 
+	// Overload-shaped faults: the peer behaviors an overloaded or
+	// dying server actually exhibits, as distinct from a lossy wire.
+	Stall        float64 // peer accepts the request, then never reads/answers
+	SlowLoris    float64 // peer trickles partial writes, then dies
+	CrashMidCall float64 // peer executes, then crashes before the caller recovers the reply
+
 	DelayMin time.Duration
 	DelayMax time.Duration
 }
@@ -58,6 +64,9 @@ type Counts struct {
 	Truncated       int64
 	Disconnects     int64
 	Delays          int64
+	Stalls          int64
+	SlowLoris       int64
+	Crashes         int64
 }
 
 // A Schedule draws fault decisions from a seeded source. One
@@ -96,6 +105,9 @@ type decision struct {
 	corrupt     bool
 	truncate    bool
 	disconnect  bool
+	stall       bool
+	slowLoris   bool
+	crash       bool
 	delay       time.Duration
 	corruptPos  int
 	corruptBit  byte
@@ -126,6 +138,15 @@ func (s *Schedule) draw() decision {
 	}
 	if d.truncate = roll(s.p.Truncate); d.truncate {
 		s.counts.Truncated++
+	}
+	if d.stall = roll(s.p.Stall); d.stall {
+		s.counts.Stalls++
+	}
+	if d.slowLoris = roll(s.p.SlowLoris); d.slowLoris {
+		s.counts.SlowLoris++
+	}
+	if d.crash = roll(s.p.CrashMidCall); d.crash {
+		s.counts.Crashes++
 	}
 	if roll(s.p.Delay) {
 		s.counts.Delays++
@@ -200,9 +221,24 @@ func (c *Conn) CallContext(ctx context.Context, opIdx int, req, replyBuf []byte)
 	if c.stats != nil {
 		c.stats.Wire.Add(len(req))
 	}
+	if d.stall {
+		// The peer accepted the request — the bytes were metered, a
+		// real server would have them queued — and then never reads
+		// further or answers: the overloaded-server shape, distinct
+		// from a lost datagram because the connection stays up.
+		return nil, awaitLoss(ctx)
+	}
 	reply, err := runtime.CallConn(ctx, c.inner, opIdx, req, replyBuf)
 	if err != nil {
 		return nil, err
+	}
+	if d.crash {
+		// The server executed, then the process died before the caller
+		// could recover the reply: the worst case for at-most-once —
+		// only the reply cache on a restarted peer (or idempotency)
+		// makes the retry safe.
+		c.inner.Close()
+		return nil, ErrDisconnected
 	}
 	if c.stats != nil {
 		c.stats.Wire.Add(len(reply))
@@ -220,6 +256,19 @@ func (c *Conn) CallContext(ctx context.Context, opIdx int, req, replyBuf []byte)
 	}
 	if d.truncate && len(reply) > 0 {
 		reply = reply[:len(reply)/2]
+	}
+	if d.slowLoris && len(reply) > 0 {
+		// Slow-loris peer: a long trickle delivering only a fragment.
+		// At message level the trickle collapses to one pause (the
+		// profile's DelayMin) plus a deep truncation to a quarter of
+		// the frame; the byte-level NetConn wrapper models the drip
+		// itself.
+		if c.sched.p.DelayMin > 0 {
+			if err := sleepCtx(ctx, c.sched.p.DelayMin); err != nil {
+				return nil, err
+			}
+		}
+		reply = reply[:len(reply)/4]
 	}
 	if d.corrupt && len(reply) > 0 {
 		// Copy before flipping: the reply may alias server-side
@@ -279,6 +328,34 @@ func (n *NetConn) Write(p []byte) (int, error) {
 		time.Sleep(d.delay)
 	}
 	if d.disconnect {
+		n.Conn.Close()
+		return 0, ErrDisconnected
+	}
+	if d.stall {
+		// Stalled peer: the write "succeeds" into a dead socket buffer
+		// and nothing ever answers. The bytes are discarded so the
+		// reader on the far side starves exactly like a wedged server.
+		return len(p), nil
+	}
+	if d.slowLoris && len(p) > 8 {
+		// Slow-loris: drip half the record out in small chunks with a
+		// pause per chunk, then tear the connection down mid-record.
+		half := p[:len(p)/2]
+		pause := n.sched.p.DelayMin
+		if pause <= 0 {
+			pause = 100 * time.Microsecond
+		}
+		for off := 0; off < len(half); off += 16 {
+			end := off + 16
+			if end > len(half) {
+				end = len(half)
+			}
+			if _, err := n.Conn.Write(half[off:end]); err != nil {
+				n.Conn.Close()
+				return 0, ErrDisconnected
+			}
+			time.Sleep(pause)
+		}
 		n.Conn.Close()
 		return 0, ErrDisconnected
 	}

@@ -279,6 +279,139 @@ func TestNetConnTruncateSurfacesError(t *testing.T) {
 	}
 }
 
+// A stalled peer accepts the request and never answers; the caller's
+// deadline (not the transport) ends the wait, exactly like a lost
+// reply but with the connection still up.
+func TestStallStarvesUntilDeadline(t *testing.T) {
+	client, sched, counter := newFaultyStack(t, faultconn.Profile{
+		Seed:  13,
+		Stall: 1, // every call stalls
+	}, runtime.RobustOptions{
+		ClientID:   12,
+		AtMostOnce: true,
+		Policy:     runtime.RetryPolicy{MaxAttempts: 2, BaseBackoff: 100 * time.Microsecond},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := client.InvokeContext(ctx, "bump", []runtime.Value{int32(1)}, nil, nil)
+	if err == nil {
+		t.Fatal("call against a fully stalled peer succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from the stall, got %v", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("stalled call took %v to surface", took)
+	}
+	if counter.Load() != 0 {
+		t.Fatal("stalled request reached the handler")
+	}
+	if c := sched.Counts(); c.Stalls == 0 {
+		t.Fatalf("no stalls recorded: %+v", c)
+	}
+}
+
+// A crash mid-call executes server-side, then tears the connection
+// down before the reply lands: without retries the caller sees the
+// disconnect and the counter still moved — the shape the reply cache
+// exists to make safe.
+func TestCrashMidCallExecutesThenDisconnects(t *testing.T) {
+	client, sched, counter := newFaultyStack(t, faultconn.Profile{
+		Seed:         5,
+		CrashMidCall: 1,
+	}, runtime.RobustOptions{
+		ClientID: 13,
+		Policy:   runtime.RetryPolicy{MaxAttempts: 1},
+	})
+	_, _, err := client.Invoke("bump", []runtime.Value{int32(1)}, nil, nil)
+	if !errors.Is(err, faultconn.ErrDisconnected) {
+		t.Fatalf("want ErrDisconnected from the crash, got %v", err)
+	}
+	if counter.Load() != 1 {
+		t.Fatalf("counter = %d, want 1 (crash happens after execution)", counter.Load())
+	}
+	if c := sched.Counts(); c.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", c.Crashes)
+	}
+}
+
+// A slow-loris reply delivers only a fragment: the session layer's
+// CRC rejects it, and with retries enabled the at-most-once cache
+// replays the intact original rather than re-executing.
+func TestSlowLorisRetriesToCachedReply(t *testing.T) {
+	client, sched, counter := newFaultyStack(t, faultconn.Profile{
+		Seed:      21,
+		SlowLoris: 0.5,
+		DelayMin:  100 * time.Microsecond,
+	}, runtime.RobustOptions{
+		ClientID:   14,
+		AtMostOnce: true,
+		Policy: runtime.RetryPolicy{
+			MaxAttempts: 30,
+			BaseBackoff: 100 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			Seed:        21,
+		},
+	})
+	const calls = 100
+	for i := 0; i < calls; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, ret, err := client.InvokeContext(ctx, "bump", []runtime.Value{int32(1)}, nil, nil)
+		cancel()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if got := ret.(int32); got != int32(i+1) {
+			t.Fatalf("call %d: counter reply %d, want %d", i, got, i+1)
+		}
+	}
+	if counter.Load() != calls {
+		t.Fatalf("server executed %d times for %d calls", counter.Load(), calls)
+	}
+	if c := sched.Counts(); c.SlowLoris == 0 {
+		t.Fatalf("no slow-loris faults recorded: %+v", c)
+	}
+}
+
+// The byte-level slow-loris drips half a record in small chunks and
+// dies; the Sun RPC client must surface an error, not wedge.
+func TestNetConnSlowLorisSurfacesError(t *testing.T) {
+	const prog, vers = 400101, 1
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	srv := sunrpc.NewServer(prog, vers)
+	srv.Register(1, func(args *xdr.Decoder, reply *xdr.Encoder) error {
+		data, derr := args.Opaque()
+		if derr != nil {
+			return sunrpc.ErrGarbageArgs
+		}
+		reply.PutOpaque(data)
+		return nil
+	})
+	go func() { _ = srv.Serve(l) }()
+
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faultconn.New(faultconn.Profile{Seed: 8, SlowLoris: 1, DelayMin: 50 * time.Microsecond})
+	c := sunrpc.NewClient(sched.WrapNet(nc), prog, vers)
+	defer c.Close()
+	err = c.Call(1,
+		func(e *xdr.Encoder) { e.PutOpaque(make([]byte, 512)) },
+		func(d *xdr.Decoder) error { return nil })
+	if err == nil {
+		t.Fatal("call over a slow-loris connection succeeded")
+	}
+	if sched.Counts().SlowLoris == 0 {
+		t.Fatal("no slow-loris writes recorded")
+	}
+}
+
 // Disconnect faults tear down the inner conn; the error surfaces to
 // the caller rather than wedging.
 func TestDisconnectSurfaces(t *testing.T) {

@@ -130,8 +130,16 @@ const (
 // — the user-space analogue of a futex wait, with the recheck closing
 // the lost-wakeup window. Spurious wakeups (a token sent between the
 // flag store and the recheck) are absorbed by the predicate loop.
+//
+// Closure is a separate dead flag rather than a state stored into the
+// word: storing would clobber a published-but-unconsumed reply, and a
+// drain wants exactly the opposite — the completed call delivers, the
+// next wait observes death. The close wakes unconditionally (no
+// parked check) so a waiter between its parked store and its channel
+// receive cannot sleep through it.
 type doorbell struct {
 	word   atomic.Uint64
+	dead   atomic.Bool
 	parked atomic.Bool
 	wake   chan struct{}
 	spin   int
@@ -163,16 +171,29 @@ func (d *doorbell) ring(state, ref uint64) {
 // current exchange completes).
 func (d *doorbell) reset() { d.word.Store(stateIdle) }
 
-// close marks the doorbell permanently closed.
-func (d *doorbell) close() { d.ring(stateClosed, 0) }
+// close marks the doorbell permanently closed. The turn word is left
+// alone — a published reply stays readable — and the wake token is
+// sent unconditionally so any parked (or about-to-park) waiter
+// observes the dead flag promptly instead of spinning out a deadline.
+func (d *doorbell) close() {
+	d.dead.Store(true)
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
 
-// check polls the word once for want (or closure).
+// check polls the word once for want (or closure). A ready want wins
+// over death, so closure never swallows a completed exchange.
 func (d *doorbell) check(want uint64) (ref uint64, ok, done bool) {
 	w := d.word.Load()
 	switch w & stateMask {
 	case want:
 		return w >> stateBits, true, true
 	case stateClosed:
+		return 0, false, true
+	}
+	if d.dead.Load() {
 		return 0, false, true
 	}
 	return 0, false, false
@@ -234,6 +255,31 @@ type Ring struct {
 	slots    int
 	reqBell  *doorbell
 	repBell  *doorbell
+
+	// poison carries the taxonomy cause of closure (nil for a plain
+	// Close); whoever closes first wins, so every blocked peer unparks
+	// with the same classified error.
+	poison atomic.Pointer[error]
+}
+
+// poisonWith records cause (first writer wins) and closes both
+// doorbells, unparking any blocked peer.
+func (r *Ring) poisonWith(cause error) {
+	if cause != nil {
+		r.poison.CompareAndSwap(nil, &cause)
+	}
+	r.reqBell.close()
+	r.repBell.close()
+}
+
+// closeErr is the error a call blocked on the ring returns after
+// closure: ErrClosed, wrapping the poison cause when one was recorded
+// so errors.Is sees both the transport closure and its reason.
+func (r *Ring) closeErr() error {
+	if p := r.poison.Load(); p != nil {
+		return fmt.Errorf("%w: %w", ErrClosed, *p)
+	}
+	return ErrClosed
 }
 
 // Config sizes a ring.
@@ -485,7 +531,7 @@ func (c *Conn) Call(opIdx int, req, replyBuf []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return nil, ErrClosed
+		return nil, c.r.closeErr()
 	}
 	head, _, err := c.r.writeMessage(nil, c.r.client, c.r.server, uint32(opIdx), req)
 	if err != nil {
@@ -498,7 +544,7 @@ func (c *Conn) Call(opIdx int, req, replyBuf []byte) ([]byte, error) {
 	ref, ok := c.r.repBell.wait(stateRep)
 	if !ok {
 		c.closed = true
-		return nil, ErrClosed
+		return nil, c.r.closeErr()
 	}
 	c.r.repBell.reset()
 	_, body, aliased, bufs, err := c.r.readMessage(c.r.client, ref, replyBuf)
@@ -527,9 +573,16 @@ func (c *Conn) Call(opIdx int, req, replyBuf []byte) ([]byte, error) {
 
 // Close wakes both ends and marks the ring closed.
 func (c *Conn) Close() error {
-	c.r.reqBell.close()
-	c.r.repBell.close()
+	c.r.poisonWith(nil)
 	return nil
+}
+
+// Poison closes the ring carrying cause: a peer blocked in Call (or a
+// server blocked waiting for requests) unparks promptly with an error
+// wrapping both ErrClosed and cause, so drains and fault injection
+// surface a classified taxonomy error instead of a bare closure.
+func (c *Conn) Poison(cause error) {
+	c.r.poisonWith(cause)
 }
 
 // Serve runs the request loop until the client closes the ring or
@@ -544,6 +597,17 @@ func (s *Server) Serve(ctx context.Context) error {
 // the ring.
 func (s *Server) ServeSession(ctx context.Context, sess *runtime.SessionServer) error {
 	return s.serve(ctx, sess)
+}
+
+// Drain poisons the ring with cause (runtime.ErrDraining when nil):
+// the serve loop exits after any in-progress exchange, and a client
+// blocked mid-call unparks with an error wrapping ErrClosed and
+// cause instead of spinning until its deadline.
+func (s *Server) Drain(cause error) {
+	if cause == nil {
+		cause = runtime.ErrDraining
+	}
+	s.r.poisonWith(cause)
 }
 
 func (s *Server) serve(ctx context.Context, sess *runtime.SessionServer) error {

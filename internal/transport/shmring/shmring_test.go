@@ -205,6 +205,69 @@ func TestConnSession(t *testing.T) {
 	driveCalls(t, client, pr, []byte("sessioned"))
 }
 
+// TestDrainUnparksBlockedCaller is the regression test for the
+// spin-then-park closure race: a caller parked on the reply doorbell
+// must observe a drain promptly and return the drain's taxonomy error
+// — not spin until its own deadline. The client's session layer runs
+// on a FakeClock that is never advanced, so its AttemptTimeout can
+// never fire: if the unpark were deadline-driven rather than
+// event-driven, the call below would hang forever instead of
+// returning.
+func TestDrainUnparksBlockedCaller(t *testing.T) {
+	p := ringIface(t)
+	pr := &probe{}
+	disp := newDispatcher(t, p, pr)
+	plan := ringPlan(t, p)
+	conn, srv := New(disp, plan)
+	// No serve loop: the reply doorbell never rings, so the caller
+	// parks exactly as it would behind a stalled server.
+	fc := runtime.NewFakeClock()
+	robust := runtime.NewRobustConn(conn, p, runtime.RobustOptions{
+		ClientID: 1, AtMostOnce: true,
+		Policy: runtime.RetryPolicy{MaxAttempts: 1, AttemptTimeout: time.Hour},
+		Clock:  fc,
+	})
+	client, err := runtime.NewClient(ringIface(t), runtime.XDRCodec, robust, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := client.Invoke("nop", nil, nil, nil)
+		errc <- err
+	}()
+	// Let the caller publish its request and park on the reply bell,
+	// then drain the server side.
+	time.Sleep(5 * time.Millisecond)
+	srv.Drain(nil)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("unparked with %v, want ErrClosed in the chain", err)
+		}
+		if !errors.Is(err, runtime.ErrDraining) {
+			t.Fatalf("unparked with %v, want runtime.ErrDraining in the chain", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("caller still parked 2s after drain — wakeup lost")
+	}
+}
+
+// TestPoisonCarriesCause: an explicit poison cause survives into the
+// blocked caller's error chain alongside ErrClosed.
+func TestPoisonCarriesCause(t *testing.T) {
+	p := ringIface(t)
+	pr := &probe{}
+	disp := newDispatcher(t, p, pr)
+	conn, _ := New(disp, ringPlan(t, p))
+	cause := errors.New("taxonomy: injected crash")
+	conn.Poison(cause)
+	_, err := conn.Call(0, []byte{}, nil)
+	if !errors.Is(err, ErrClosed) || !errors.Is(err, cause) {
+		t.Fatalf("Call after poison = %v, want ErrClosed wrapping the cause", err)
+	}
+}
+
 func TestHeaderValidation(t *testing.T) {
 	var b [headerSize]byte
 	putHeader(b[:], 3, 99, 2)
