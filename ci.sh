@@ -3,7 +3,8 @@
 # `./ci.sh vet-examples` runs only the flexvet sweep over examples/;
 # `./ci.sh vet-go` runs only the Go-source analyzer stage;
 # `./ci.sh certify` runs only the plan-certificate diff;
-# `./ci.sh fuzz-smoke` runs only the short fuzz pass.
+# `./ci.sh fuzz-smoke` runs only the short fuzz pass;
+# `./ci.sh flexload-smoke` runs only the load-generator smoke.
 set -eu
 
 cd "$(dirname "$0")"
@@ -84,6 +85,23 @@ certify() {
 	done
 }
 
+flexload_smoke() {
+	# A 1-second flexload run: 256 connections against the in-process
+	# shared-pool server. -check makes flexc itself assert non-zero
+	# goodput and zero error-taxonomy violations, so a wedged pool,
+	# leaked reader, or broken session layer fails CI here.
+	idl=$(mktemp -t flexload_smoke_XXXXXX.idl)
+	cat >"$idl" <<-'EOF'
+		interface Smoke {
+		    void nop();
+		    long ping(in long x);
+		};
+	EOF
+	echo "flexc load -conns 256 -measure 1s -check $idl"
+	go run ./cmd/flexc load -conns 256 -think 1ms -warmup 100ms -measure 1s -check "$idl"
+	rm -f "$idl"
+}
+
 fuzz_smoke() {
 	# Short coverage-guided runs over the network-facing decoders and
 	# the stats snapshot codecs. `go test -fuzz` takes one target per
@@ -122,6 +140,11 @@ if [ "${1:-}" = "fuzz-smoke" ]; then
 	exit 0
 fi
 
+if [ "${1:-}" = "flexload-smoke" ]; then
+	flexload_smoke
+	exit 0
+fi
+
 echo "== gofmt"
 out=$(gofmt -l .)
 if [ -n "$out" ]; then
@@ -141,6 +164,9 @@ go test -race ./...
 
 echo "== bench smoke (compile + one iteration per benchmark)"
 go test -run='^$' -bench=. -benchtime=1x ./...
+
+echo "== flexload smoke"
+flexload_smoke
 
 echo "== fuzz smoke"
 fuzz_smoke

@@ -3,7 +3,7 @@
 // paper's reported numbers quoted for comparison.
 //
 //	go run ./cmd/experiments            # all figures
-//	go run ./cmd/experiments -fig 6     # one figure (2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm, overload)
+//	go run ./cmd/experiments -fig 6     # one figure (2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm, overload, c10k)
 //	go run ./cmd/experiments -quick     # smaller workloads, noisier
 //	go run ./cmd/experiments -csv       # machine-readable rows
 //	go run ./cmd/experiments -json      # also write BENCH_<fig>.json per figure
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to run: 2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm, overload or all")
+		fig     = flag.String("fig", "all", "figure to run: 2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm, overload, c10k or all")
 		quick   = flag.Bool("quick", false, "smaller workloads (faster, noisier)")
 		csv     = flag.Bool("csv", false, "emit comma-separated rows instead of aligned tables")
 		jsonOut = flag.Bool("json", false, "also write BENCH_<fig>.json (ns/op, allocs/op, B/op) per figure")
@@ -248,8 +248,24 @@ func run(fig string, quick, csv, jsonOut bool) error {
 			return err
 		}
 	}
+	if want("c10k") {
+		ran = true
+		c10kCfg := experiments.DefaultC10KConfig()
+		if quick {
+			c10kCfg.Conns = []int{100, 1000}
+			c10kCfg.Measure = 100 * time.Millisecond
+		}
+		t, err := experiments.FigC10K(c10kCfg)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		if err := emitJSON("c10k", t, nil); err != nil {
+			return err
+		}
+	}
 	if !ran {
-		return fmt.Errorf("unknown figure %q (want 2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm, overload or all)", fig)
+		return fmt.Errorf("unknown figure %q (want 2, 6, 7, 10, 11, 12, ports, marshal, faults, scale, shm, overload, c10k or all)", fig)
 	}
 	return nil
 }

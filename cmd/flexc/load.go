@@ -1,0 +1,196 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"flexrpc/internal/core"
+	"flexrpc/internal/flexload"
+	"flexrpc/internal/ir"
+	"flexrpc/internal/netsim"
+	frt "flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
+	"flexrpc/internal/transport/suntcp"
+)
+
+// runLoad is the flexc load subcommand: compile an interface, bring up
+// an in-process shared-pool Sun RPC server with default handlers, and
+// drive it with the flexload generator — N connections, open- or
+// closed-loop, reporting goodput, latency percentiles and the session
+// layer's retry/shed counters. With -check the run doubles as a smoke
+// gate: non-zero goodput and a clean error taxonomy or a non-zero
+// exit.
+func runLoad(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flexc load", flag.ContinueOnError)
+	var (
+		frontend  = fs.String("frontend", "corba", "IDL front-end: corba, sun or mig")
+		ifaceName = fs.String("interface", "", "interface to drive (required when the file has several)")
+		pdlFile   = fs.String("pdl", "", "PDL file modifying the presentation")
+		style     = fs.String("style", "", "default presentation style: corba, sun or mig")
+		opName    = fs.String("op", "", "operation to drive (default: the first)")
+		conns     = fs.Int("conns", 256, "client connections")
+		mode      = fs.String("mode", "closed", "pacing: closed (think time) or open (Poisson arrivals)")
+		rate      = fs.Float64("rate", 1000, "open-loop aggregate arrival rate, calls/sec")
+		think     = fs.Duration("think", time.Millisecond, "closed-loop think time between calls")
+		warmup    = fs.Duration("warmup", 100*time.Millisecond, "warmup phase (unmeasured)")
+		measure   = fs.Duration("measure", time.Second, "measure window")
+		cooldown  = fs.Duration("cooldown", 50*time.Millisecond, "cooldown phase (unmeasured)")
+		payload   = fs.Int("payload", 0, "bytes per sequence<octet> in-argument")
+		workers   = fs.Int("workers", 8, "server shared worker-pool size")
+		slo       = fs.Duration("slo", 50*time.Millisecond, "latency SLO bounding goodput (0: count all completions)")
+		seed      = fs.Int64("seed", 1, "arrival/jitter seed")
+		jsonOut   = fs.Bool("json", false, "emit the report as JSON instead of text")
+		check     = fs.Bool("check", false, "exit non-zero unless goodput > 0 and the run is error-free")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: flexc load [flags] <idl-file>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fe, err := core.FrontendByName(*frontend)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Frontend:  fe,
+		Filename:  fs.Arg(0),
+		Source:    string(src),
+		Interface: *ifaceName,
+	}
+	if opts.Style, err = parseStyle(*style); err != nil {
+		return err
+	}
+	if *pdlFile != "" {
+		pdlSrc, err := os.ReadFile(*pdlFile)
+		if err != nil {
+			return err
+		}
+		opts.PDL = string(pdlSrc)
+		opts.PDLFilename = *pdlFile
+	}
+	compiled, err := core.Compile(opts)
+	if err != nil {
+		return err
+	}
+
+	var loadMode flexload.Mode
+	switch *mode {
+	case "closed":
+		loadMode = flexload.Closed
+	case "open":
+		loadMode = flexload.Open
+	default:
+		return fmt.Errorf("load: unknown mode %q (want closed or open)", *mode)
+	}
+
+	// Default handlers: every out/inout/result gets its zero value, so
+	// any compiled interface is drivable without user code.
+	disp := frt.NewDispatcher(compiled.Pres)
+	for i := range compiled.Iface.Ops {
+		op := &compiled.Iface.Ops[i]
+		disp.Handle(op.Name, func(c *frt.Call) error {
+			for j := range op.Params {
+				prm := &op.Params[j]
+				if prm.Dir == ir.Out || prm.Dir == ir.InOut {
+					c.SetOut(j, frt.ZeroValue(prm.Type))
+				}
+			}
+			if op.HasResult() {
+				c.SetResult(frt.ZeroValue(op.Result))
+			}
+			return nil
+		})
+	}
+	plan, err := frt.NewPlan(compiled.Pres, frt.XDRCodec, nil)
+	if err != nil {
+		return err
+	}
+	op := &compiled.Iface.Ops[0]
+	if *opName != "" {
+		op = nil
+		for i := range compiled.Iface.Ops {
+			if compiled.Iface.Ops[i].Name == *opName {
+				op = &compiled.Iface.Ops[i]
+				break
+			}
+		}
+		if op == nil {
+			return fmt.Errorf("load: operation %q not in interface", *opName)
+		}
+	}
+	var callArgs []frt.Value
+	for j := range op.Params {
+		prm := &op.Params[j]
+		v := frt.ZeroValue(prm.Type)
+		if prm.Type.Kind == ir.Bytes && *payload > 0 && (prm.Dir == ir.In || prm.Dir == ir.InOut) {
+			v = make([]byte, *payload)
+		}
+		callArgs = append(callArgs, v)
+	}
+	opIdx := plan.OpIndex(op.Name)
+	enc := frt.XDRCodec.NewEncoder()
+	if err := plan.Ops[opIdx].EncodeRequest(enc, callArgs); err != nil {
+		return err
+	}
+	req := enc.Bytes()
+
+	serverStats := stats.New(nil)
+	cacheCap := 2 * *conns
+	if cacheCap < frt.DefaultReplyCacheSize {
+		cacheCap = frt.DefaultReplyCacheSize
+	}
+	sess := frt.NewSessionServer(disp, plan, frt.NewReplyCacheSharded(cacheCap, 64))
+	srv := suntcp.NewSessionServer(sess, compiled.Pres.Interface)
+	srv.SetConcurrency(*workers)
+	srv.SetStats(serverStats)
+
+	rep, err := flexload.Run(flexload.Target{
+		Dial: func(id int) (frt.Conn, error) {
+			cc, sc := netsim.BufferedPipe(netsim.LinkParams{}, 64)
+			go func() { _ = srv.ServeConn(sc) }()
+			return suntcp.Dial(cc, compiled.Pres), nil
+		},
+		Pres:    compiled.Pres,
+		Op:      op.Name,
+		Request: req,
+	}, flexload.Options{
+		Clients:     *conns,
+		Mode:        loadMode,
+		Rate:        *rate,
+		Think:       *think,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Cooldown:    *cooldown,
+		Seed:        *seed,
+		Robust:      &frt.RobustOptions{AtMostOnce: true},
+		ServerStats: serverStats,
+		SLO:         *slo,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if _, err := stdout.Write(rep.JSON()); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(stdout, rep.Text())
+	}
+	if *check {
+		if rep.GoodputPerSec <= 0 {
+			return findings(fmt.Errorf("load check: zero goodput (%d completed of %d issued)", rep.Completed, rep.Issued))
+		}
+		if rep.Errors != 0 {
+			return findings(fmt.Errorf("load check: %d calls failed the error taxonomy (errors+timeouts) out of %d issued", rep.Errors, rep.Issued))
+		}
+	}
+	return nil
+}

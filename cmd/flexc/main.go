@@ -24,6 +24,15 @@
 //
 //	flexc stats -calls 1000 -payload 1024 fileio.idl
 //	flexc stats -pdl client.pdl -json fileio.idl
+//
+// The load subcommand drives a compiled interface with the flexload
+// generator against an in-process shared-pool server — N connections,
+// open- or closed-loop pacing, goodput and latency percentiles; with
+// -check it exits non-zero unless goodput is positive and the run is
+// error-free:
+//
+//	flexc load -conns 256 -measure 1s fileio.idl
+//	flexc load -mode open -rate 5000 -json -check fileio.idl
 package main
 
 import (
@@ -85,6 +94,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "stats" {
 		return runStats(args[1:], stdout)
+	}
+	if len(args) > 0 && args[0] == "load" {
+		return runLoad(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("flexc", flag.ContinueOnError)
 	var (

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"flexrpc/internal/core"
+	"flexrpc/internal/flexload"
+	"flexrpc/internal/netsim"
+	"flexrpc/internal/pres"
+	frt "flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
+	"flexrpc/internal/transport/suntcp"
+)
+
+// C10k experiment: the connection axis. The compact-connection server
+// keeps per-connection cost to one reader goroutine and one small
+// struct; execution happens in a bounded shared worker pool, so total
+// goroutines are O(conns + workers), not O(conns × workers) the way a
+// per-connection pool would be. flexload offers a fixed aggregate
+// open-loop rate across every connection count, so the columns compare
+// like with like: the load is constant, only the connection count
+// grows, and throughput and p99 must hold while goroutines/connection
+// stays ~1.
+
+// C10KConfig sizes the c10k experiment.
+type C10KConfig struct {
+	Conns   []int         // connection counts, one row each
+	Workers int           // shared worker-pool size
+	Rate    float64       // aggregate open-loop offered load, calls/sec
+	Warmup  time.Duration // flexload warmup phase
+	Measure time.Duration // flexload measure window
+	SLO     time.Duration // latency bound that defines goodput
+	Seed    int64         // flexload seed
+}
+
+// DefaultC10KConfig returns the full-size run: 100 → 1k → 10k
+// connections under the same 2000 calls/sec aggregate offered load.
+func DefaultC10KConfig() C10KConfig {
+	return C10KConfig{
+		Conns:   []int{100, 1000, 10000},
+		Workers: 8,
+		Rate:    2000,
+		Warmup:  100 * time.Millisecond,
+		Measure: 300 * time.Millisecond,
+		SLO:     50 * time.Millisecond,
+		Seed:    1,
+	}
+}
+
+func (c C10KConfig) withDefaults() C10KConfig {
+	d := DefaultC10KConfig()
+	if len(c.Conns) == 0 {
+		c.Conns = d.Conns
+	}
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.Rate <= 0 {
+		c.Rate = d.Rate
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = d.Warmup
+	}
+	if c.Measure <= 0 {
+		c.Measure = d.Measure
+	}
+	if c.SLO <= 0 {
+		c.SLO = d.SLO
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// c10kCellResult carries one connection count's raw numbers so the
+// claims can be asserted on values rather than rendered strings.
+type c10kCellResult struct {
+	conns      int
+	report     *flexload.Report
+	goroutines int     // server-side goroutine delta after all conns up
+	perConn    float64 // goroutines / connection
+}
+
+// FigC10K runs flexload against the shared-pool server at each
+// connection count and self-asserts the headline claims at the
+// largest: goroutine count stays ≤ conns + constant·workers, and the
+// offered load is still served within the SLO.
+func FigC10K(cfg C10KConfig) (*Table, error) {
+	cfg = cfg.withDefaults()
+	compiled, err := core.Compile(core.Options{
+		Frontend: core.FrontendCORBA, Filename: "c10k.idl",
+		Source: `interface C10k { void nop(); };`,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("C10k: null RPC, %d shared workers, %.0f calls/s aggregate open-loop offered load; goodput = completions within the %v SLO",
+			cfg.Workers, cfg.Rate, cfg.SLO),
+		Note: "per-connection cost is one reader goroutine + one compact struct; " +
+			"execution is the shared pool, so goroutines grow with conns, not conns × workers",
+		Headers: []string{"offered", "goodput/s", "p50 ms", "p99 ms", "goroutines", "g/conn"},
+	}
+	results := make([]c10kCellResult, 0, len(cfg.Conns))
+	for _, conns := range cfg.Conns {
+		r, err := c10kCell(compiled.Pres, cfg, conns)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("conns %d", conns),
+			Values: []string{
+				fmt.Sprintf("%d", r.report.Offered),
+				fmt.Sprintf("%.0f", r.report.GoodputPerSec),
+				f2(float64(r.report.P50Ns) / 1e6),
+				f2(float64(r.report.P99Ns) / 1e6),
+				fmt.Sprintf("%d", r.goroutines),
+				f2(r.perConn),
+			},
+		})
+	}
+	if err := assertC10KClaims(cfg, results); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// assertC10KClaims checks the figure's headline claims at the largest
+// connection count, failing the whole run when the data contradicts
+// them — the JSON this figure emits is a certificate, not just a log.
+func assertC10KClaims(cfg C10KConfig, results []c10kCellResult) error {
+	top := results[0]
+	for _, r := range results {
+		if r.conns > top.conns {
+			top = r
+		}
+	}
+	// (a) O(conns + workers): one reader per connection plus the shared
+	// pool and a constant of harness slack. A per-connection pool would
+	// sit at conns × (workers+1) and fail this by orders of magnitude.
+	limit := top.conns + 8*cfg.Workers + 64
+	if top.goroutines > limit {
+		return fmt.Errorf("c10k claim failed: %d goroutines for %d conns (limit conns + 8·workers + 64 = %d); per-connection cost is not O(1)",
+			top.goroutines, top.conns, limit)
+	}
+	// (b) the offered load is still served within the SLO at the top
+	// connection count: goodput within a factor of two of the offered
+	// rate, and the overwhelming majority of completions inside the SLO.
+	rep := top.report
+	if rep.GoodputPerSec < cfg.Rate/2 {
+		return fmt.Errorf("c10k claim failed: goodput %.0f/s < half the %.0f/s offered rate at %d conns",
+			rep.GoodputPerSec, cfg.Rate, top.conns)
+	}
+	if rep.Completed == 0 || rep.WithinSLO*10 < rep.Completed*9 {
+		return fmt.Errorf("c10k claim failed: only %d/%d completions within the %v SLO at %d conns",
+			rep.WithinSLO, rep.Completed, cfg.SLO, top.conns)
+	}
+	if rep.Errors != 0 {
+		return fmt.Errorf("c10k claim failed: %d call errors at %d conns", rep.Errors, top.conns)
+	}
+	return nil
+}
+
+// c10kCell brings up one shared-pool server, pre-dials every
+// connection (each costs exactly one ServeConn reader goroutine —
+// client read loops start lazily, on the first call), measures the
+// goroutine delta, then lets flexload drive the open-loop load.
+func c10kCell(p *pres.Presentation, cfg C10KConfig, conns int) (c10kCellResult, error) {
+	disp := frt.NewDispatcher(p)
+	disp.Handle("nop", func(c *frt.Call) error { return nil })
+	plan, err := frt.NewPlan(p, frt.XDRCodec, nil)
+	if err != nil {
+		return c10kCellResult{}, err
+	}
+	serverStats := stats.New(nil)
+	cacheCap := 2 * conns
+	if cacheCap < frt.DefaultReplyCacheSize {
+		cacheCap = frt.DefaultReplyCacheSize
+	}
+	sess := frt.NewSessionServer(disp, plan, frt.NewReplyCacheSharded(cacheCap, 64))
+	srv := suntcp.NewSessionServer(sess, p.Interface)
+	srv.SetConcurrency(cfg.Workers)
+	srv.SetStats(serverStats)
+
+	opIdx := plan.OpIndex("nop")
+	enc := frt.XDRCodec.NewEncoder()
+	if err := plan.Ops[opIdx].EncodeRequest(enc, nil); err != nil {
+		return c10kCellResult{}, err
+	}
+	req := enc.Bytes()
+
+	baseline := runtime.NumGoroutine()
+	dialed := make([]*suntcp.Conn, conns)
+	for i := range dialed {
+		cc, sc := netsim.BufferedPipe(netsim.LinkParams{}, 64)
+		go func() { _ = srv.ServeConn(sc) }()
+		dialed[i] = suntcp.Dial(cc, p)
+	}
+	// Wait for every reader (and the lazily-created worker pool) to be
+	// up before counting: the delta is the server's standing cost with
+	// all connections established and no traffic yet.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() < baseline+conns && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	delta := runtime.NumGoroutine() - baseline
+
+	rep, err := flexload.Run(flexload.Target{
+		Dial:    func(id int) (frt.Conn, error) { return dialed[id], nil },
+		Pres:    p,
+		Op:      "nop",
+		Request: req,
+	}, flexload.Options{
+		Clients:     conns,
+		Mode:        flexload.Open,
+		Rate:        cfg.Rate,
+		Warmup:      cfg.Warmup,
+		Measure:     cfg.Measure,
+		Cooldown:    50 * time.Millisecond,
+		Seed:        cfg.Seed,
+		Robust:      &frt.RobustOptions{AtMostOnce: true},
+		ServerStats: serverStats,
+		SLO:         cfg.SLO,
+	})
+	if err != nil {
+		return c10kCellResult{}, err
+	}
+
+	// flexload closed every connection on its way out; drain the server
+	// so the shared pool is gone before the next cell counts goroutines.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return c10kCellResult{}, fmt.Errorf("c10k: drain after %d conns: %w", conns, err)
+	}
+	return c10kCellResult{
+		conns:      conns,
+		report:     rep,
+		goroutines: delta,
+		perConn:    float64(delta) / float64(conns),
+	}, nil
+}

@@ -271,6 +271,43 @@ func TestFigOverloadShape(t *testing.T) {
 	}
 }
 
+func TestFigC10KShape(t *testing.T) {
+	// FigC10K self-asserts the headline claims (goroutines stay
+	// O(conns + workers); the offered load is served within the SLO at
+	// the top connection count), so a nil error is the real assertion.
+	cfg := C10KConfig{
+		Conns:   []int{32, 128},
+		Rate:    600,
+		Warmup:  30 * time.Millisecond,
+		Measure: 100 * time.Millisecond,
+	}
+	tab, err := FigC10K(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Values) != len(tab.Headers) {
+			t.Fatalf("row %q has %d values for %d headers", r.Label, len(r.Values), len(tab.Headers))
+		}
+	}
+}
+
+func BenchmarkFigC10K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := FigC10K(C10KConfig{
+			Conns:   []int{64, 256},
+			Rate:    600,
+			Warmup:  20 * time.Millisecond,
+			Measure: 80 * time.Millisecond,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFigOverload(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := FigOverload(OverloadConfig{

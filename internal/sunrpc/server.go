@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"runtime/debug"
 	"sync"
@@ -38,6 +39,14 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sunrpc: handler for proc %d panicked: %v", e.Proc, e.Value)
 }
 
+// Accept-loop backoff bounds for transient errors (EMFILE and
+// friends): start small so tests and recovering servers resume
+// quickly, cap low enough that Drain is never held up long.
+const (
+	acceptBackoffMin = time.Millisecond
+	acceptBackoffMax = 100 * time.Millisecond
+)
+
 // A Server dispatches Sun RPC calls for one program/version.
 type Server struct {
 	prog     uint32
@@ -62,6 +71,8 @@ type Server struct {
 	mu        sync.Mutex
 	listeners []net.Listener
 	conns     map[net.Conn]struct{}
+	pool      *workerPool // shared across connections; nil until first concurrent conn
+	poolUsers int         // connection readers currently able to submit to pool
 }
 
 // NewServer creates a server for prog/vers. Procedure 0 (the null
@@ -78,12 +89,15 @@ func (s *Server) Register(proc uint32, h ProcHandler) {
 	s.handlers[proc] = h
 }
 
-// SetConcurrency sets the number of worker goroutines each connection
-// dispatches handlers on. n <= 1 (the default) keeps the serial
-// in-order loop; n > 1 executes up to n requests from one connection
-// in parallel, with a per-connection writer goroutine serializing
-// (and coalescing) the replies. Out-of-order replies are legal on the
-// Sun RPC wire — the client demultiplexes by xid. Set before serving.
+// SetConcurrency sets the size of the server's shared worker pool.
+// n <= 1 (the default) keeps the serial in-order loop on every
+// connection; n > 1 dispatches requests from all connections onto one
+// bounded pool of n workers, so the goroutine bill is O(conns +
+// workers) — one reader per connection plus the shared pool — rather
+// than O(conns × workers). Replies are coalesced per connection by
+// whichever worker holds the flush at the time (see srvConn). Out-of-
+// order replies are legal on the Sun RPC wire — the client
+// demultiplexes by xid. Set before serving.
 func (s *Server) SetConcurrency(n int) { s.concurrency = n }
 
 // SetStats points the server's queue/flush/panic counters at e; a nil
@@ -104,9 +118,11 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Drain gracefully retires the server: listeners passed to Serve stop
 // accepting, new calls on existing connections answer SYSTEM_ERR, and
 // Drain waits (bounded by ctx) for in-flight dispatches to finish
-// before closing the remaining connections. It reports ctx.Err() when
-// in-flight calls outlive the deadline (connections are closed
-// regardless, so blocked peers unpark).
+// before closing the remaining connections and stopping the shared
+// worker pool. It reports ctx.Err() when in-flight calls outlive the
+// deadline (connections are closed regardless, so blocked peers
+// unpark; the pool is left running in that case, since a stuck reader
+// may still hold a reference to it).
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.mu.Lock()
@@ -137,6 +153,35 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.conns = nil
 	s.mu.Unlock()
+
+	// Stop the shared pool once every connection reader has wound
+	// down (closing the conns above unblocks them). A reader mid-
+	// submit still holds a pool reference, so closing the jobs
+	// channel earlier could panic a send; poolUsers counts exactly
+	// those readers.
+	for {
+		s.mu.Lock()
+		users := s.poolUsers
+		var pool *workerPool
+		if users == 0 {
+			pool, s.pool = s.pool, nil
+		}
+		s.mu.Unlock()
+		if users == 0 {
+			if pool != nil {
+				close(pool.jobs)
+				pool.wg.Wait()
+			}
+			break
+		}
+		if ctx.Err() != nil {
+			if err == nil {
+				err = ctx.Err()
+			}
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
 	return err
 }
 
@@ -164,16 +209,16 @@ func (s *Server) untrack(conn net.Conn) {
 }
 
 // ServeConn processes calls from conn until it closes, returning nil
-// on clean EOF. With SetConcurrency(n > 1) requests are executed by a
-// worker pool and replies are coalesced; otherwise requests run
-// serially in arrival order.
+// on clean EOF. With SetConcurrency(n > 1) requests are executed by
+// the server's shared worker pool and replies are coalesced; otherwise
+// requests run serially in arrival order.
 func (s *Server) ServeConn(conn net.Conn) error {
 	limit := s.MaxMessageSize
 	if limit <= 0 {
 		limit = DefaultMaxRecord
 	}
 	if s.concurrency > 1 {
-		return s.serveConcurrent(conn, s.concurrency, limit)
+		return s.serveShared(conn, limit)
 	}
 	var enc xdr.Encoder
 	var recBuf []byte
@@ -194,82 +239,140 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	}
 }
 
-// serveConcurrent is the scaling server loop: a reader feeds request
-// records through a bounded queue to n workers, which dispatch
-// handlers in parallel and hand finished replies to a single writer
-// goroutine. The writer serializes record marking (the only ordering
-// the stream needs — xids identify replies) and coalesces every reply
-// available at flush time into one Write call. Buffers and encoders
-// are pooled, so the steady-state path allocates nothing.
-func (s *Server) serveConcurrent(conn net.Conn, n, limit int) error {
-	jobs := make(chan *[]byte, n)
-	replies := make(chan *xdr.Encoder, n)
-	bufs := sync.Pool{New: func() any { return new([]byte) }}
-	encs := sync.Pool{New: func() any { return new(xdr.Encoder) }}
+// A workerPool executes dispatches for every concurrent connection of
+// one Server: a fixed set of workers draining one bounded jobs
+// channel. Each job carries the connection it belongs to, so replies
+// land on the right stream; record buffers are pooled across
+// connections, so the steady-state path allocates nothing.
+type workerPool struct {
+	jobs chan poolJob
+	wg   sync.WaitGroup
+	bufs sync.Pool
+}
 
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			dec := xdr.NewDecoder(nil)
-			for holder := range jobs {
-				rec := *holder
-				enc := encs.Get().(*xdr.Encoder)
-				enc.Reset()
-				dec.Reset(rec)
-				s.dispatch(dec, enc)
-				*holder = rec[:cap(rec)]
-				bufs.Put(holder)
-				replies <- enc
-			}
-		}()
+type poolJob struct {
+	c      *srvConn
+	holder *[]byte
+}
+
+func newWorkerPool(s *Server, n int) *workerPool {
+	p := &workerPool{
+		jobs: make(chan poolJob, n),
+		bufs: sync.Pool{New: func() any { return new([]byte) }},
 	}
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.run(s)
+	}
+	return p
+}
 
-	// Writer: drain everything queued, write it as one flush, repeat.
-	writerDone := make(chan struct{})
-	var writeErr error
-	go func() {
-		defer close(writerDone)
-		var flush []byte
-		for enc := range replies {
-			flush = appendRecord(flush[:0], enc.Bytes())
-			encs.Put(enc)
-			count := 1
-		drain:
-			for {
-				select {
-				case more, ok := <-replies:
-					if !ok {
-						break drain
-					}
-					flush = appendRecord(flush, more.Bytes())
-					encs.Put(more)
-					count++
-				default:
-					break drain
-				}
-			}
-			if writeErr != nil {
-				continue // draining so workers never block
-			}
-			if _, err := conn.Write(flush); err != nil {
-				writeErr = fmt.Errorf("sunrpc: write: %w", err)
-				// The stream is poisoned mid-record; unblock the
-				// reader so the connection winds down.
-				conn.Close()
-				continue
-			}
-			s.stats.AddFlush(count)
+func (p *workerPool) run(s *Server) {
+	defer p.wg.Done()
+	dec := xdr.NewDecoder(nil)
+	var enc xdr.Encoder
+	for j := range p.jobs {
+		rec := *j.holder
+		enc.Reset()
+		dec.Reset(rec)
+		s.dispatch(dec, &enc)
+		*j.holder = rec[:cap(rec)]
+		p.bufs.Put(j.holder)
+		j.c.enqueueReply(s, enc.Bytes())
+		j.c.inflight.Done()
+	}
+}
+
+// srvConn is the compact per-connection state of the shared-pool
+// server: the net.Conn, a WaitGroup tracking this connection's jobs
+// inside the pool, and the coalescing write state. No goroutines —
+// the reader loop lives in serveShared's frame and replies are
+// flushed by whichever pool worker finishes first (see enqueueReply).
+type srvConn struct {
+	conn     net.Conn
+	inflight sync.WaitGroup // jobs submitted to the pool, not yet replied
+
+	mu       sync.Mutex
+	pending  []byte // record-marked replies awaiting the flusher
+	queued   int    // reply count inside pending
+	spare    []byte // previous flush buffer, recycled on swap
+	flushing bool   // some worker currently owns this connection's flush
+	werr     error  // first write error; poisons the stream
+}
+
+// enqueueReply appends one finished reply to the connection's pending
+// buffer and, unless another worker already owns the flush, becomes
+// the flusher: it keeps writing until nothing is pending, so every
+// reply that lands while a Write is in flight coalesces into the next
+// one. This is the combining-writer replacement for the per-connection
+// writer goroutine the old server spent.
+func (c *srvConn) enqueueReply(s *Server, rep []byte) {
+	c.mu.Lock()
+	if c.werr != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.pending = appendRecord(c.pending, rep)
+	c.queued++
+	if c.flushing {
+		c.mu.Unlock()
+		return
+	}
+	c.flushing = true
+	for c.werr == nil && len(c.pending) > 0 {
+		buf, n := c.pending, c.queued
+		c.pending, c.queued = c.spare[:0], 0
+		c.spare = nil
+		c.mu.Unlock()
+		_, err := c.conn.Write(buf)
+		c.mu.Lock()
+		c.spare = buf
+		if err != nil {
+			c.werr = fmt.Errorf("sunrpc: write: %w", err)
+			// The stream is poisoned mid-record; unblock the reader
+			// so the connection winds down.
+			c.conn.Close()
+			c.pending = c.pending[:0]
+			c.queued = 0
+			break
 		}
+		s.stats.AddFlush(n)
+	}
+	c.flushing = false
+	c.mu.Unlock()
+}
+
+// serveShared is the scaling server loop: this goroutine reads
+// request records and feeds them to the server-wide worker pool;
+// workers dispatch handlers and flush replies back to the connection
+// through the combining writer in srvConn. Per-connection cost is one
+// goroutine and one srvConn, independent of the pool size.
+func (s *Server) serveShared(conn net.Conn, limit int) error {
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		conn.Close()
+		return nil
+	}
+	if s.pool == nil {
+		s.pool = newWorkerPool(s, s.concurrency)
+	}
+	pool := s.pool
+	s.poolUsers++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.poolUsers--
+		s.mu.Unlock()
 	}()
 
+	c := &srvConn{conn: conn}
 	var readErr error
 	for {
-		holder := bufs.Get().(*[]byte)
+		holder := pool.bufs.Get().(*[]byte)
 		rec, err := readRecordLimit(conn, *holder, limit)
 		if err != nil {
-			bufs.Put(holder)
+			pool.bufs.Put(holder)
 			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
 				readErr = fmt.Errorf("sunrpc: read: %w", err)
 			}
@@ -277,14 +380,15 @@ func (s *Server) serveConcurrent(conn net.Conn, n, limit int) error {
 		}
 		*holder = rec
 		s.stats.AddQueued()
-		jobs <- holder
+		c.inflight.Add(1)
+		pool.jobs <- poolJob{c, holder}
 	}
-	close(jobs)
-	wg.Wait()
-	close(replies)
-	<-writerDone
-	if writeErr != nil {
-		return writeErr
+	c.inflight.Wait()
+	c.mu.Lock()
+	werr := c.werr
+	c.mu.Unlock()
+	if werr != nil {
+		return werr
 	}
 	return readErr
 }
@@ -355,7 +459,11 @@ func (s *Server) runHandler(proc uint32, h ProcHandler, d *xdr.Decoder, enc *xdr
 }
 
 // Serve accepts connections from l and serves each on its own
-// goroutine until the listener closes (or Drain closes it).
+// goroutine until the listener closes (or Drain closes it). A
+// transient Accept failure (a net.Error reporting Temporary, e.g.
+// EMFILE under fd pressure) backs off exponentially with jitter
+// instead of spinning hot or killing the accept loop; the delay
+// resets after a successful accept.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.draining.Load() {
@@ -365,14 +473,28 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.listeners = append(s.listeners, l)
 	s.mu.Unlock()
+	var delay time.Duration
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() && !s.draining.Load() {
+				if delay == 0 {
+					delay = acceptBackoffMin
+				} else if delay *= 2; delay > acceptBackoffMax {
+					delay = acceptBackoffMax
+				}
+				// Half fixed, half jittered: shards hitting the same
+				// resource exhaustion decorrelate their retries.
+				time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)))
+				continue
+			}
 			return err
 		}
+		delay = 0
 		if !s.track(conn) {
 			continue
 		}
@@ -382,4 +504,28 @@ func (s *Server) Serve(l net.Listener) error {
 			_ = s.ServeConn(conn)
 		}()
 	}
+}
+
+// ServeShards runs one accept loop per listener (accept sharding):
+// each shard accepts on its own goroutine, so a multi-listener
+// deployment spreads accept work and none of the shards can starve
+// the others. It returns once every shard has stopped — Drain closes
+// them all — reporting the first shard error.
+func (s *Server) ServeShards(ls ...net.Listener) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(ls))
+	for i, l := range ls {
+		wg.Add(1)
+		go func(i int, l net.Listener) {
+			defer wg.Done()
+			errs[i] = s.Serve(l)
+		}(i, l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
