@@ -98,7 +98,12 @@ flexload_smoke() {
 		};
 	EOF
 	echo "flexc load -conns 256 -measure 1s -check $idl"
-	go run ./cmd/flexc load -conns 256 -think 1ms -warmup 100ms -measure 1s -check "$idl"
+	# Run under `if` so `set -e` cannot skip the temp-file cleanup
+	# when the check fails.
+	if ! go run ./cmd/flexc load -conns 256 -think 1ms -warmup 100ms -measure 1s -check "$idl"; then
+		rm -f "$idl"
+		exit 1
+	fi
 	rm -f "$idl"
 }
 

@@ -73,12 +73,14 @@ type Server struct {
 	conns     map[net.Conn]struct{}
 	pool      *workerPool // shared across connections; nil until first concurrent conn
 	poolUsers int         // connection readers currently able to submit to pool
+	poolWake  sync.Cond   // broadcast (under mu) when poolUsers reaches zero
 }
 
 // NewServer creates a server for prog/vers. Procedure 0 (the null
 // procedure every Sun RPC program must provide) is pre-registered.
 func NewServer(prog, vers uint32) *Server {
 	s := &Server{prog: prog, vers: vers, handlers: make(map[uint32]ProcHandler)}
+	s.poolWake.L = &s.mu
 	s.handlers[0] = func(*xdr.Decoder, *xdr.Encoder) error { return nil }
 	return s
 }
@@ -121,8 +123,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // before closing the remaining connections and stopping the shared
 // worker pool. It reports ctx.Err() when in-flight calls outlive the
 // deadline (connections are closed regardless, so blocked peers
-// unpark; the pool is left running in that case, since a stuck reader
-// may still hold a reference to it).
+// unpark; the pool is then detached and retired in the background
+// once its last reader leaves, since a stuck reader may still hold a
+// reference to it). Connections served via ServeConn directly were
+// never handed to the server, so Drain cannot close them: their
+// callers must close them, or the readers they occupy keep the pool
+// alive past the deadline.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.mu.Lock()
@@ -158,29 +164,50 @@ func (s *Server) Drain(ctx context.Context) error {
 	// down (closing the conns above unblocks them). A reader mid-
 	// submit still holds a pool reference, so closing the jobs
 	// channel earlier could panic a send; poolUsers counts exactly
-	// those readers.
-	for {
-		s.mu.Lock()
-		users := s.poolUsers
-		var pool *workerPool
-		if users == 0 {
-			pool, s.pool = s.pool, nil
+	// those readers, and the last one out broadcasts poolWake. The
+	// waker goroutine turns a ctx expiry into a broadcast so the
+	// wait below never outlives the deadline.
+	wakerDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.poolWake.Broadcast()
+			s.mu.Unlock()
+		case <-wakerDone:
 		}
-		s.mu.Unlock()
+	}()
+	s.mu.Lock()
+	for s.poolUsers > 0 && ctx.Err() == nil {
+		s.poolWake.Wait()
+	}
+	pool, users := s.pool, s.poolUsers
+	s.pool = nil
+	s.mu.Unlock()
+	close(wakerDone)
+	if pool != nil {
 		if users == 0 {
-			if pool != nil {
-				close(pool.jobs)
-				pool.wg.Wait()
-			}
-			break
-		}
-		if ctx.Err() != nil {
+			close(pool.jobs)
+			pool.wg.Wait()
+		} else {
+			// Deadline expired with readers still registered. The pool
+			// is detached (no new connection can reach it, since the
+			// server is draining) and retired in the background the
+			// moment the last reader leaves, so repeated drain/recreate
+			// cycles cannot accumulate worker goroutines.
 			if err == nil {
 				err = ctx.Err()
 			}
-			break
+			go func() {
+				s.mu.Lock()
+				for s.poolUsers > 0 {
+					s.poolWake.Wait()
+				}
+				s.mu.Unlock()
+				close(pool.jobs)
+				pool.wg.Wait()
+			}()
 		}
-		time.Sleep(200 * time.Microsecond)
 	}
 	return err
 }
@@ -279,7 +306,6 @@ func (p *workerPool) run(s *Server) {
 		*j.holder = rec[:cap(rec)]
 		p.bufs.Put(j.holder)
 		j.c.enqueueReply(s, enc.Bytes())
-		j.c.inflight.Done()
 	}
 }
 
@@ -290,26 +316,43 @@ func (p *workerPool) run(s *Server) {
 // flushed by whichever pool worker finishes first (see enqueueReply).
 type srvConn struct {
 	conn     net.Conn
-	inflight sync.WaitGroup // jobs submitted to the pool, not yet replied
+	inflight sync.WaitGroup // jobs submitted to the pool, replies not yet flushed (or discarded)
 
 	mu       sync.Mutex
-	pending  []byte // record-marked replies awaiting the flusher
-	queued   int    // reply count inside pending
-	spare    []byte // previous flush buffer, recycled on swap
-	flushing bool   // some worker currently owns this connection's flush
-	werr     error  // first write error; poisons the stream
+	flushed  sync.Cond // broadcast after every flush attempt; L is &mu
+	pending  []byte    // record-marked replies awaiting the flusher
+	queued   int       // reply count inside pending
+	spare    []byte    // previous flush buffer, recycled on swap
+	flushing bool      // some worker currently owns this connection's flush
+	werr     error     // first write error; poisons the stream
 }
+
+// srvConnMaxPending caps the bytes of finished replies buffered on one
+// connection awaiting flush. The connection's reader parks before
+// pulling the next record while pending is over the cap (see
+// serveShared), so a slow-reading client that keeps pipelining
+// requests stalls its own reader — TCP pushes back on the peer — and
+// pins O(cap + in-flight jobs) server memory instead of growing
+// without bound. The cap gates the reader rather than the pool
+// workers so one slow client can never park the shared pool.
+const srvConnMaxPending = 256 << 10
 
 // enqueueReply appends one finished reply to the connection's pending
 // buffer and, unless another worker already owns the flush, becomes
 // the flusher: it keeps writing until nothing is pending, so every
 // reply that lands while a Write is in flight coalesces into the next
 // one. This is the combining-writer replacement for the per-connection
-// writer goroutine the old server spent.
+// writer goroutine the old server spent. The connection's inflight
+// count is released here — per reply flushed, or at discard on a
+// poisoned stream — never at mere enqueue, so serveShared's
+// inflight.Wait() doubles as wait-for-flush and ServeConn cannot
+// return (and Serve cannot close the conn) while replies are still
+// buffered.
 func (c *srvConn) enqueueReply(s *Server, rep []byte) {
 	c.mu.Lock()
 	if c.werr != nil {
 		c.mu.Unlock()
+		c.inflight.Done() // discarded: the stream is already poisoned
 		return
 	}
 	c.pending = appendRecord(c.pending, rep)
@@ -330,13 +373,17 @@ func (c *srvConn) enqueueReply(s *Server, rep []byte) {
 		if err != nil {
 			c.werr = fmt.Errorf("sunrpc: write: %w", err)
 			// The stream is poisoned mid-record; unblock the reader
-			// so the connection winds down.
+			// so the connection winds down, and discard whatever
+			// queued behind the failed write.
 			c.conn.Close()
+			n += c.queued
 			c.pending = c.pending[:0]
 			c.queued = 0
-			break
+		} else {
+			s.stats.AddFlush(n)
 		}
-		s.stats.AddFlush(n)
+		c.inflight.Add(-n)
+		c.flushed.Broadcast()
 	}
 	c.flushing = false
 	c.mu.Unlock()
@@ -363,12 +410,27 @@ func (s *Server) serveShared(conn net.Conn, limit int) error {
 	defer func() {
 		s.mu.Lock()
 		s.poolUsers--
+		if s.poolUsers == 0 {
+			s.poolWake.Broadcast()
+		}
 		s.mu.Unlock()
 	}()
 
 	c := &srvConn{conn: conn}
+	c.flushed.L = &c.mu
 	var readErr error
 	for {
+		// Backpressure: while the peer reads replies slower than it
+		// pipelines requests, park this reader until the flusher works
+		// the backlog under the cap — a pending record over the cap
+		// always has an active flusher, and a write error (Drain
+		// closing the conn included) broadcasts too, so this wait
+		// cannot outlive the connection.
+		c.mu.Lock()
+		for c.werr == nil && len(c.pending) > srvConnMaxPending {
+			c.flushed.Wait()
+		}
+		c.mu.Unlock()
 		holder := pool.bufs.Get().(*[]byte)
 		rec, err := readRecordLimit(conn, *holder, limit)
 		if err != nil {
