@@ -55,7 +55,7 @@ vet_go() {
 		rm -f "$out"
 		exit 1
 	fi
-	for id in FV017 FV018 FV019 FV020; do
+	for id in FV017 FV018 FV019 FV020 FV023; do
 		if ! grep -q "\"id\": *\"$id\"" "$out"; then
 			echo "seeded violation $id in examples/vetgo not detected:"
 			cat "$out"
@@ -107,6 +107,55 @@ flexload_smoke() {
 	rm -f "$idl"
 }
 
+netpoll_smoke() {
+	# The portable fallback must keep building: darwin has no raw-epoll
+	# poller, so netpoll_stub.go serves it and every conn falls back to
+	# a goroutine reader with identical semantics.
+	echo "GOOS=darwin go build ./... (netpoll portable fallback)"
+	GOOS=darwin go build ./...
+
+	# Idle-connection scale: raise RLIMIT_NOFILE as far as the host
+	# allows, then size the smoke to the descriptor budget — 100k conns
+	# want ~200k fds (two per in-process connection); capped hosts run
+	# the largest count that fits instead of skipping.
+	want="${NETPOLL_SMOKE_CONNS:-100000}"
+	ulimit -n "$(ulimit -Hn)" 2>/dev/null || true
+	limit=$(ulimit -n)
+	conns=$want
+	if [ "$limit" != "unlimited" ]; then
+		budget=$(((limit - 768) / 2))
+		if [ "$budget" -lt "$conns" ]; then
+			echo "RLIMIT_NOFILE=$limit caps the netpoll smoke at $budget conns (wanted $want)"
+			conns=$budget
+		fi
+	fi
+	echo "NETPOLL_SMOKE_CONNS=$conns go test -run TestNetpollIdleConnScale ./internal/sunrpc"
+	if ! NETPOLL_SMOKE_CONNS="$conns" go test -count=1 -v -run 'TestNetpollIdleConnScale$' ./internal/sunrpc; then
+		exit 1
+	fi
+
+	# The CLI surfaces users drive: netpoll-mode and multi-process
+	# flexload, both self-checked (-check fails on zero goodput or any
+	# error-taxonomy violation).
+	idl=$(mktemp -t netpoll_smoke_XXXXXX.idl)
+	cat >"$idl" <<-'EOF'
+		interface Np {
+		    void nop();
+		};
+	EOF
+	echo "flexc load -netpoll -conns 128 -measure 500ms -check $idl"
+	if ! go run ./cmd/flexc load -netpoll -conns 128 -workers 4 -think 1ms -warmup 100ms -measure 500ms -check "$idl"; then
+		rm -f "$idl"
+		exit 1
+	fi
+	echo "flexc load -procs 2 -conns 64 -measure 500ms -check $idl"
+	if ! go run ./cmd/flexc load -procs 2 -conns 64 -workers 4 -think 1ms -warmup 100ms -measure 500ms -check "$idl"; then
+		rm -f "$idl"
+		exit 1
+	fi
+	rm -f "$idl"
+}
+
 fuzz_smoke() {
 	# Short coverage-guided runs over the network-facing decoders and
 	# the stats snapshot codecs. `go test -fuzz` takes one target per
@@ -150,6 +199,11 @@ if [ "${1:-}" = "flexload-smoke" ]; then
 	exit 0
 fi
 
+if [ "${1:-}" = "netpoll-smoke" ]; then
+	netpoll_smoke
+	exit 0
+fi
+
 echo "== gofmt"
 out=$(gofmt -l .)
 if [ -n "$out" ]; then
@@ -172,6 +226,9 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 
 echo "== flexload smoke"
 flexload_smoke
+
+echo "== netpoll smoke"
+netpoll_smoke
 
 echo "== fuzz smoke"
 fuzz_smoke

@@ -254,6 +254,8 @@ func run(fig string, quick, csv, jsonOut bool) error {
 		if quick {
 			c10kCfg.Conns = []int{100, 1000}
 			c10kCfg.Measure = 100 * time.Millisecond
+			c10kCfg.NetpollConns = []int{1000}
+			c10kCfg.NetpollActive = 128
 		}
 		t, err := experiments.FigC10K(c10kCfg)
 		if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -459,4 +460,83 @@ func ifaceNameFor(frontend string) string {
 		return "f"
 	}
 	return "F"
+}
+
+// ---- flexc load ------------------------------------------------------
+
+// TestMain lets the test binary stand in for the flexc executable when
+// `flexc load -procs N` re-executes itself as a load worker: the
+// parent sets FLEXC_LOAD_WORKER on every child, and the dispatch here
+// runs before the testing framework would choke on the worker's argv.
+func TestMain(m *testing.M) {
+	if os.Getenv(loadWorkerEnv) != "" {
+		if err := run(os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "flexc:", err)
+			os.Exit(exitCode(err))
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+const loadIDL = `interface L { void nop(); long ping(in long x); };`
+
+// TestLoadMultiProcess: -procs forks real worker processes that drive
+// the parent's unix-socket server and stream WireReports back; the
+// combined report must cover every connection from every worker, pass
+// the -check gate, and carry percentiles recomputed from the merged
+// histograms.
+func TestLoadMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("forks worker processes")
+	}
+	dir := t.TempDir()
+	idl := write(t, dir, "l.idl", loadIDL)
+	var out bytes.Buffer
+	err := run([]string{"load",
+		"-procs", "2", "-conns", "9", "-workers", "4",
+		"-think", "1ms", "-warmup", "30ms", "-measure", "150ms", "-cooldown", "20ms",
+		"-json", "-check", idl}, &out)
+	if err != nil {
+		t.Fatalf("load -procs 2: %v\n%s", err, out.String())
+	}
+	var rep struct {
+		Clients   int     `json:"clients"`
+		Completed uint64  `json:"completed"`
+		Errors    uint64  `json:"errors"`
+		Goodput   float64 `json:"goodput_per_sec"`
+		P50       int64   `json:"p50_ns"`
+		P99       int64   `json:"p99_ns"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("report: %v\n%s", err, out.String())
+	}
+	if rep.Clients != 9 {
+		t.Fatalf("combined clients = %d, want 9 (worker shares lost)", rep.Clients)
+	}
+	if rep.Completed == 0 || rep.Goodput <= 0 {
+		t.Fatalf("no traffic completed: %s", out.String())
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors across workers:\n%s", rep.Errors, out.String())
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Fatalf("merged percentiles broken: p50=%d p99=%d", rep.P50, rep.P99)
+	}
+}
+
+// TestLoadNetpoll: -netpoll serves the event-driven runtime over a
+// real unix socket; the run must complete cleanly (on platforms
+// without a poller this exercises the transparent fallback).
+func TestLoadNetpoll(t *testing.T) {
+	dir := t.TempDir()
+	idl := write(t, dir, "l.idl", loadIDL)
+	var out bytes.Buffer
+	err := run([]string{"load",
+		"-netpoll", "-conns", "16", "-workers", "4",
+		"-think", "1ms", "-warmup", "30ms", "-measure", "150ms", "-cooldown", "20ms",
+		"-json", "-check", idl}, &out)
+	if err != nil {
+		t.Fatalf("load -netpoll: %v\n%s", err, out.String())
+	}
 }

@@ -10,8 +10,9 @@
 //	    ./examples/vetgo
 //
 // expects findings FV017 (borrow escape), FV018 (impure [idempotent]
-// handler), FV019 (pooled bind without StepHooks) and FV020 (dropped
-// context) — all in this file.
+// handler), FV019 (pooled bind without StepHooks), FV020 (dropped
+// context) and FV023 (netpoll-mode record borrow escape) — all in
+// this file.
 package main
 
 import (
@@ -91,6 +92,30 @@ func bindPooled(p *flexrpc.Presentation, conn flexrpc.Conn) (*flexrpc.Client, er
 	return flexrpc.NewParallelClient(p, flexrpc.XDRCodec, conn, plainHooks{}) // FV019
 }
 
+// lastRecord retains decoder bytes from the raw Sun RPC handler below
+// — the seeded FV023 retention target.
+var lastRecord []byte
+
+// rawServer is the seeded FV023: the handler would be safe on the
+// serial path, where each connection's record buffer stays private
+// until its next request, but SetNetpoll(true) routes every record
+// through the shared worker pool, which recycles the buffer the
+// moment the handler returns.
+func rawServer() *flexrpc.SunServer {
+	s := flexrpc.NewSunServer(0x20049630, 1)
+	s.SetNetpoll(true)
+	s.Register(1, func(d *flexrpc.SunDecoder, e *flexrpc.SunEncoder) error {
+		payload, err := d.Opaque()
+		if err != nil {
+			return err
+		}
+		lastRecord = payload // FV023: pooled record bytes escape the handler
+		e.PutUint32(uint32(len(payload)))
+		return nil
+	})
+	return s
+}
+
 func main() {
 	compiled, err := flexrpc.Compile(flexrpc.Options{
 		Frontend: flexrpc.FrontendCORBA,
@@ -136,5 +161,9 @@ func main() {
 	} else {
 		fmt.Println("pooled bind accepted (until a [special] parameter appears)")
 	}
+	// The raw Sun RPC server builds cleanly too: serial traffic would
+	// never expose the retained record bytes — only netpoll-mode
+	// concurrency does, which is exactly when no test is watching.
+	_ = rawServer()
 	fmt.Println("run flexc vet -go to see what the smoke test missed")
 }

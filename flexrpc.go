@@ -43,7 +43,9 @@ import (
 	"flexrpc/internal/pres"
 	"flexrpc/internal/runtime"
 	"flexrpc/internal/stats"
+	"flexrpc/internal/sunrpc"
 	"flexrpc/internal/transport/inproc"
+	"flexrpc/internal/xdr"
 )
 
 // Re-exported compiler types.
@@ -136,6 +138,24 @@ type (
 	// Decoder reads wire-format primitives (used by compiled stubs).
 	Decoder = runtime.Decoder
 )
+
+// Re-exported Sun RPC server-runtime types (the record-marked TCP
+// transport; see DESIGN.md §8). The raw ProcHandler surface decodes
+// straight out of the record buffer, so handlers obey the borrow
+// contract flexvet's FV023 check enforces in netpoll mode.
+type (
+	// SunServer is the record-marked Sun RPC (RFC 5531) server.
+	SunServer = sunrpc.Server
+	// SunProcHandler is a raw per-procedure handler.
+	SunProcHandler = sunrpc.ProcHandler
+	// SunDecoder reads XDR primitives from a request record.
+	SunDecoder = xdr.Decoder
+	// SunEncoder appends XDR primitives to a reply record.
+	SunEncoder = xdr.Encoder
+)
+
+// NewSunServer builds a Sun RPC server for one program/version.
+func NewSunServer(prog, vers uint32) *SunServer { return sunrpc.NewServer(prog, vers) }
 
 // Re-exported robustness-layer types (deadlines, retries,
 // at-most-once execution; see DESIGN.md §6).

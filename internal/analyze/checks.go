@@ -207,6 +207,20 @@ var registry = map[string]CheckInfo{
 			"hits exactly this path: the first send already consumed the " +
 			"buffer the hedge needs.",
 	},
+	"FV023": {
+		ID: "FV023", Title: "netpoll-borrow-escape", Severity: SevError,
+		Fix: "copy before retaining: d.OpaqueCopy(), d.OpaqueInto(dst), or append([]byte(nil), b...)",
+		Doc: "A raw Sun RPC handler (Server.Register) in a package that " +
+			"switches the server to netpoll mode (SetNetpoll(true)) retains a " +
+			"[]byte from xdr.Decoder.Opaque or FixedOpaque past handler " +
+			"return. Those accessors alias the request record buffer; the " +
+			"serial path keeps that buffer connection-private until the next " +
+			"record, which masks the bug, but the netpoll runtime dispatches " +
+			"through the shared worker pool, which returns the buffer to the " +
+			"pool the moment the handler returns — the retained slice is " +
+			"rewritten under concurrent handlers for other connections. The " +
+			"FV017 borrow contract applied to the raw decoder surface.",
+	},
 	"FV014": {
 		ID: "FV014", Title: "idempotent-moves-ownership", Severity: SevWarning,
 		Fix: "drop [idempotent] and rely on the at-most-once reply cache, or stop moving ownership in the signature",

@@ -10,6 +10,10 @@
 // an escaping assignment, or sent on a channel). Closures merely
 // passed as call arguments are presumed synchronous — flagging them
 // would condemn every timing or locking helper.
+//
+// The propagation and escape machinery (borrowAnalysis) is shared
+// with FV023, which runs the same analysis over the raw Sun RPC
+// handler surface with decoder-aliasing sources.
 package gocheck
 
 import (
@@ -40,20 +44,175 @@ func runBorrowEscape(p *Pass) {
 	}
 }
 
-// checkBorrowEscapes analyzes one handler body.
+// borrowAnalysis is the shared borrow-propagation and escape-flagging
+// engine: source classifies the direct borrowing expressions (which
+// differ between the Call accessor surface and the raw decoder
+// surface), and the message formats carry each check's lifetime
+// story. The engine tracks borrowed locals to a fixed point, then
+// flags stores, sends, goroutine handoffs and escaping-closure
+// captures.
+type borrowAnalysis struct {
+	p        *Pass
+	scope    ast.Node       // the handler function node; "local" is judged against it
+	body     *ast.BlockStmt // the handler body
+	borrowed map[*types.Var]string
+	// source classifies an expression as directly aliasing recycled
+	// storage (not counting tracked locals or reslices, which the
+	// engine handles).
+	source func(e ast.Expr) (string, bool)
+	// Message formats. storeFmt: (src, kind); sendFmt, goFmt: (src);
+	// captureFmt: (name, src).
+	storeFmt, sendFmt, goFmt, captureFmt string
+}
+
+// borrowedExpr classifies an expression as aliasing recycled storage:
+// a direct source, a tracked local, or a reslice of either.
+func (ba *borrowAnalysis) borrowedExpr(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		return ba.borrowedExpr(x.X)
+	case *ast.Ident:
+		if v, ok := ba.p.Pkg.Info.Uses[x].(*types.Var); ok {
+			if src, ok := ba.borrowed[v]; ok {
+				return src, true
+			}
+		}
+		return "", false
+	}
+	return ba.source(e)
+}
+
+// rhsFor pairs assignment targets with the expressions flowing into
+// them: position-matched for n:=n assignments, and the single
+// multi-value expression for v, err := f() forms — where only the
+// first target receives the []byte (the rest are error/ok values).
+func rhsFor(as *ast.AssignStmt, i int) ast.Expr {
+	if len(as.Lhs) == len(as.Rhs) {
+		return as.Rhs[i]
+	}
+	if len(as.Rhs) == 1 && i == 0 {
+		return as.Rhs[0]
+	}
+	return nil
+}
+
+// run executes the analysis over the handler body.
+func (ba *borrowAnalysis) run() {
+	info := ba.p.Pkg.Info
+
+	// Pass 1 (iterated to a fixed point for use-before-def chains):
+	// propagate borrows through local assignments.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(ba.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				rhs := rhsFor(as, i)
+				if rhs == nil {
+					continue
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := localVar(info, id)
+				if obj == nil || !declaredWithin(obj, ba.scope) {
+					continue
+				}
+				if src, ok := ba.borrowedExpr(rhs); ok {
+					if _, seen := ba.borrowed[obj]; !seen {
+						ba.borrowed[obj] = src
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag the escapes.
+	ast.Inspect(ba.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				rhs := rhsFor(x, i)
+				if rhs == nil {
+					continue
+				}
+				kind, escapes := escapingLHS(info, lhs, ba.scope)
+				if !escapes {
+					continue
+				}
+				if src, isBorrowed := ba.borrowedExpr(rhs); isBorrowed {
+					ba.p.Reportf(rhs.Pos(), ba.storeFmt, src, kind)
+				}
+				if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+					ba.reportClosureCaptures(lit)
+				}
+			}
+		case *ast.SendStmt:
+			if src, ok := ba.borrowedExpr(x.Value); ok {
+				ba.p.Reportf(x.Value.Pos(), ba.sendFmt, src)
+			}
+			if lit, ok := ast.Unparen(x.Value).(*ast.FuncLit); ok {
+				ba.reportClosureCaptures(lit)
+			}
+		case *ast.GoStmt:
+			// Everything a goroutine sees outlives the handler: the
+			// function literal's captures and any borrowed arguments.
+			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
+				ba.reportClosureCaptures(lit)
+			}
+			for _, arg := range x.Call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					ba.reportClosureCaptures(lit)
+					continue
+				}
+				if src, ok := ba.borrowedExpr(arg); ok {
+					ba.p.Reportf(arg.Pos(), ba.goFmt, src)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportClosureCaptures flags references to borrowed variables from
+// inside an escaping closure.
+func (ba *borrowAnalysis) reportClosureCaptures(lit *ast.FuncLit) {
+	info := ba.p.Pkg.Info
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			if src, isBorrowed := ba.borrowed[v]; isBorrowed && !declaredWithin(v, lit) {
+				ba.p.Reportf(id.Pos(), ba.captureFmt, id.Name, src)
+			}
+		}
+		return true
+	})
+}
+
+// checkBorrowEscapes analyzes one Dispatcher.Handle handler body.
 func checkBorrowEscapes(p *Pass, h handlerSite) {
 	info := p.Pkg.Info
-	scope := h.node()
-
-	// borrowed holds local variables known to alias recycled
-	// storage, mapped to what they alias (for the message).
-	borrowed := make(map[*types.Var]string)
-
-	// borrowedExpr classifies an expression as aliasing recycled
-	// storage: a direct borrowing accessor call, a tracked local, a
-	// reslice of either, or a type assertion over Call.Arg.
-	var borrowedExpr func(e ast.Expr) (string, bool)
-	borrowedExpr = func(e ast.Expr) (string, bool) {
+	ba := &borrowAnalysis{
+		p:        p,
+		scope:    h.node(),
+		body:     h.body,
+		borrowed: make(map[*types.Var]string),
+		storeFmt: "handler stores a []byte aliasing %s into %s; the buffer is recycled after the reply is marshaled",
+		sendFmt:  "handler sends a []byte aliasing %s on a channel; the receiver outlives the call and the buffer is recycled",
+		goFmt:    "handler hands a []byte aliasing %s to a goroutine; the goroutine can outlive the call and the buffer is recycled under it",
+		captureFmt: "closure captures %s, a []byte aliasing %s; " +
+			"if the closure outlives the handler the buffer is recycled under it",
+	}
+	ba.source = func(e ast.Expr) (string, bool) {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.CallExpr:
 			if recv, method, ok := callMethod(info, x); ok && recv == "Call" {
@@ -74,98 +233,11 @@ func checkBorrowEscapes(p *Pass, h handlerSite) {
 					return borrowSources["Arg"], true
 				}
 			}
-			return borrowedExpr(x.X)
-		case *ast.SliceExpr:
-			return borrowedExpr(x.X)
-		case *ast.Ident:
-			if v, ok := info.Uses[x].(*types.Var); ok {
-				if src, ok := borrowed[v]; ok {
-					return src, true
-				}
-			}
+			return ba.borrowedExpr(x.X)
 		}
 		return "", false
 	}
-
-	// Pass 1 (iterated to a fixed point for use-before-def chains):
-	// propagate borrows through local assignments.
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(h.body, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok || len(as.Lhs) != len(as.Rhs) {
-				return true
-			}
-			for i, lhs := range as.Lhs {
-				id, ok := lhs.(*ast.Ident)
-				if !ok {
-					continue
-				}
-				obj := localVar(info, id)
-				if obj == nil || !declaredWithin(obj, scope) {
-					continue
-				}
-				if src, ok := borrowedExpr(as.Rhs[i]); ok {
-					if _, seen := borrowed[obj]; !seen {
-						borrowed[obj] = src
-						changed = true
-					}
-				}
-			}
-			return true
-		})
-	}
-
-	// Pass 2: flag the escapes.
-	ast.Inspect(h.body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.AssignStmt:
-			if len(x.Lhs) != len(x.Rhs) {
-				return true
-			}
-			for i, lhs := range x.Lhs {
-				kind, escapes := escapingLHS(info, lhs, scope)
-				if !escapes {
-					continue
-				}
-				if src, isBorrowed := borrowedExpr(x.Rhs[i]); isBorrowed {
-					p.Reportf(x.Rhs[i].Pos(),
-						"handler stores a []byte aliasing %s into %s; the buffer is recycled after the reply is marshaled",
-						src, kind)
-				}
-				if lit, ok := ast.Unparen(x.Rhs[i]).(*ast.FuncLit); ok {
-					reportClosureCaptures(p, lit, borrowed)
-				}
-			}
-		case *ast.SendStmt:
-			if src, ok := borrowedExpr(x.Value); ok {
-				p.Reportf(x.Value.Pos(),
-					"handler sends a []byte aliasing %s on a channel; the receiver outlives the call and the buffer is recycled",
-					src)
-			}
-			if lit, ok := ast.Unparen(x.Value).(*ast.FuncLit); ok {
-				reportClosureCaptures(p, lit, borrowed)
-			}
-		case *ast.GoStmt:
-			// Everything a goroutine sees outlives the handler: the
-			// function literal's captures and any borrowed arguments.
-			if lit, ok := ast.Unparen(x.Call.Fun).(*ast.FuncLit); ok {
-				reportClosureCaptures(p, lit, borrowed)
-			}
-			for _, arg := range x.Call.Args {
-				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
-					reportClosureCaptures(p, lit, borrowed)
-					continue
-				}
-				if src, ok := borrowedExpr(arg); ok {
-					p.Reportf(arg.Pos(),
-						"handler hands a []byte aliasing %s to a goroutine; the goroutine can outlive the call and the buffer is recycled under it",
-						src)
-				}
-			}
-		}
-		return true
-	})
+	ba.run()
 }
 
 // isByteSlice reports whether a type assertion asserts to []byte.
@@ -237,24 +309,4 @@ func escapingLHS(info *types.Info, lhs ast.Expr, scope ast.Node) (string, bool) 
 		return "an element of a non-local container", true
 	}
 	return "", false
-}
-
-// reportClosureCaptures flags references to borrowed variables from
-// inside an escaping closure.
-func reportClosureCaptures(p *Pass, lit *ast.FuncLit, borrowed map[*types.Var]string) {
-	info := p.Pkg.Info
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		if v, ok := info.Uses[id].(*types.Var); ok {
-			if src, isBorrowed := borrowed[v]; isBorrowed && !declaredWithin(v, lit) {
-				p.Reportf(id.Pos(),
-					"closure captures %s, a []byte aliasing %s; if the closure outlives the handler the buffer is recycled under it",
-					id.Name, src)
-			}
-		}
-		return true
-	})
 }

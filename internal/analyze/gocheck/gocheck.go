@@ -47,6 +47,7 @@ var Analyzers = []*Analyzer{
 	IdempotentPurity,
 	PooledHooks,
 	ContextDiscipline,
+	NetpollBorrow,
 }
 
 // A Pass carries one package through one analyzer.

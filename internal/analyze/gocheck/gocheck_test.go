@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 // fixtures are the seeded-violation packages under testdata/src. The
 // clean package must produce no findings; the rest pin one check each.
-var fixtures = []string{"clean", "fv017", "fv018", "fv019", "fv020"}
+var fixtures = []string{"clean", "fv017", "fv018", "fv019", "fv020", "fv023"}
 
 func repoRoot(t *testing.T) string {
 	t.Helper()
@@ -146,7 +146,7 @@ func TestSelfClean(t *testing.T) {
 		}
 		seeded[d.ID] = true
 	}
-	for _, id := range []string{"FV017", "FV019", "FV020"} {
+	for _, id := range []string{"FV017", "FV019", "FV020", "FV023"} {
 		if !seeded[id] {
 			t.Errorf("seeded violation %s in examples/vetgo not detected", id)
 		}

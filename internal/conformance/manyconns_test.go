@@ -2,15 +2,42 @@ package conformance
 
 import (
 	"bytes"
+	"net"
+	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
+	"time"
 
+	"flexrpc/internal/netpoll"
 	"flexrpc/internal/netsim"
 	"flexrpc/internal/runtime"
+	"flexrpc/internal/stats"
 	"flexrpc/internal/transport/faultconn"
 	"flexrpc/internal/transport/suntcp"
 )
+
+// socketpairConns builds a connected pair of real-descriptor stream
+// sockets, so the server half is eligible for netpoll registration
+// (netsim pipes expose no descriptor and would silently fall back).
+func socketpairConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		t.Fatalf("socketpair: %v", err)
+	}
+	mk := func(fd int, name string) net.Conn {
+		f := os.NewFile(uintptr(fd), name)
+		defer f.Close() // net.FileConn dups the descriptor
+		c, err := net.FileConn(f)
+		if err != nil {
+			t.Fatalf("FileConn: %v", err)
+		}
+		return c
+	}
+	return mk(fds[0], "sp-client"), mk(fds[1], "sp-server")
+}
 
 // TestMatrixManyConns is the connection-scaling conformance cell: 512
 // concurrent connections, each with its own client, robust session and
@@ -25,7 +52,7 @@ func TestMatrixManyConns(t *testing.T) {
 	const conns = 512
 	const callsPer = 4
 
-	run := func(t *testing.T, concurrency int) {
+	run := func(t *testing.T, concurrency int, useNetpoll bool) {
 		w := newWorld(t)
 		// The cache must retain every reply for the run's duration: 512
 		// clients x 9 calls each is ~4.6k distinct (cid,seq) keys, and
@@ -34,11 +61,21 @@ func TestMatrixManyConns(t *testing.T) {
 			runtime.NewReplyCacheSharded(16*conns, 16))
 		srv := suntcp.NewSessionServer(sess, w.p.Interface)
 		srv.SetConcurrency(concurrency)
+		e := stats.New(nil)
+		srv.SetStats(e)
+		if useNetpoll {
+			srv.SetNetpoll(true)
+		}
 
 		var exchanges atomic.Int64
 		var wg sync.WaitGroup
 		for i := 0; i < conns; i++ {
-			cc, sc := netsim.BufferedPipe(netsim.LinkParams{}, 16)
+			var cc, sc net.Conn
+			if useNetpoll {
+				cc, sc = socketpairConns(t)
+			} else {
+				cc, sc = netsim.BufferedPipe(netsim.LinkParams{}, 16)
+			}
 			go func() { _ = srv.ServeConn(sc) }()
 			t.Cleanup(func() { cc.Close(); sc.Close() })
 
@@ -49,6 +86,16 @@ func TestMatrixManyConns(t *testing.T) {
 				// state must be tracked per client, not globally.
 				opts := robustOpts()
 				opts.ClientID = uint32(i + 1)
+				// 512 simultaneous clients under the race detector on a
+				// small box inflate per-call latency well past the
+				// default 50ms attempt budget — the netpoll mode worst
+				// of all, since its readiness loop multiplexes every
+				// conn over min(GOMAXPROCS, shards) pollers. The cell
+				// checks correctness invariants, not latency — widen
+				// the attempt window so retries measure faults, not
+				// scheduler pressure.
+				opts.Policy.AttemptTimeout = 500 * time.Millisecond
+				opts.Policy.MaxBackoff = 5 * time.Millisecond
 				faulty := faultconn.New(faultProfile()).Wrap(suntcp.Dial(cc, w.p))
 				conn := runtime.NewRobustConn(faulty, w.p, opts)
 				defer conn.Close()
@@ -108,8 +155,20 @@ func TestMatrixManyConns(t *testing.T) {
 		if exchanges.Load() != conns*callsPer {
 			t.Fatalf("only %d/%d exchanges succeeded", exchanges.Load(), conns*callsPer)
 		}
+
+		// On platforms with a poller, every socketpair connection must
+		// have been served by the event-driven path, not the fallback.
+		if useNetpoll && netpoll.Supported() {
+			if got := e.Snapshot().PollerConnsRegistered; got != conns {
+				t.Fatalf("netpoll registered %d conns, want %d (fallback leak)", got, conns)
+			}
+		}
 	}
 
-	t.Run("serial", func(t *testing.T) { run(t, 1) })
-	t.Run("shared-pool", func(t *testing.T) { run(t, 8) })
+	t.Run("serial", func(t *testing.T) { run(t, 1, false) })
+	t.Run("shared-pool", func(t *testing.T) { run(t, 8, false) })
+	// Same invariants when the readiness loop replaces per-conn reader
+	// goroutines: replies stay un-cross-wired, at-most-once holds, and
+	// the error taxonomy is unchanged.
+	t.Run("netpoll", func(t *testing.T) { run(t, 8, true) })
 }

@@ -3,11 +3,16 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"net"
+	"os"
+	"path/filepath"
 	"runtime"
+	"syscall"
 	"time"
 
 	"flexrpc/internal/core"
 	"flexrpc/internal/flexload"
+	"flexrpc/internal/netpoll"
 	"flexrpc/internal/netsim"
 	"flexrpc/internal/pres"
 	frt "flexrpc/internal/runtime"
@@ -34,19 +39,38 @@ type C10KConfig struct {
 	Measure time.Duration // flexload measure window
 	SLO     time.Duration // latency bound that defines goodput
 	Seed    int64         // flexload seed
+
+	// NetpollConns adds rows served by the netpoll runtime
+	// (SetNetpoll: readiness-driven reads, zero goroutines per idle
+	// connection) over real unix sockets. Each in-process connection
+	// burns two descriptors, so counts are clamped to the RLIMIT_NOFILE
+	// budget with the clamp recorded in the table note. Nil/empty means
+	// no netpoll rows; the rows are also skipped on platforms without
+	// poller support.
+	NetpollConns []int
+	// NetpollShards is the number of unix listeners (accept shards)
+	// for the netpoll rows; <= 0 means 4.
+	NetpollShards int
+	// NetpollActive is how many of the registered connections flexload
+	// actively drives (the rest sit idle — the population whose cost
+	// the netpoll runtime takes to zero); <= 0 means min(conns, 256).
+	NetpollActive int
 }
 
 // DefaultC10KConfig returns the full-size run: 100 → 1k → 10k
-// connections under the same 2000 calls/sec aggregate offered load.
+// connections under the same 2000 calls/sec aggregate offered load,
+// plus netpoll rows asking for 10k and 100k connections (fd-budget
+// permitting).
 func DefaultC10KConfig() C10KConfig {
 	return C10KConfig{
-		Conns:   []int{100, 1000, 10000},
-		Workers: 8,
-		Rate:    2000,
-		Warmup:  100 * time.Millisecond,
-		Measure: 300 * time.Millisecond,
-		SLO:     50 * time.Millisecond,
-		Seed:    1,
+		Conns:        []int{100, 1000, 10000},
+		Workers:      8,
+		Rate:         2000,
+		Warmup:       100 * time.Millisecond,
+		Measure:      300 * time.Millisecond,
+		SLO:          50 * time.Millisecond,
+		Seed:         1,
+		NetpollConns: []int{10000, 100000},
 	}
 }
 
@@ -72,6 +96,9 @@ func (c C10KConfig) withDefaults() C10KConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = d.Seed
+	}
+	if c.NetpollShards <= 0 {
+		c.NetpollShards = 4
 	}
 	return c
 }
@@ -103,7 +130,7 @@ func FigC10K(cfg C10KConfig) (*Table, error) {
 			cfg.Workers, cfg.Rate, cfg.SLO),
 		Note: "per-connection cost is one reader goroutine + one compact struct; " +
 			"execution is the shared pool, so goroutines grow with conns, not conns × workers",
-		Headers: []string{"offered", "goodput/s", "p50 ms", "p99 ms", "goroutines", "g/conn"},
+		Headers: []string{"offered", "goodput/s", "p50 ms", "p99 ms", "goroutines", "g/conn", "KiB/conn"},
 	}
 	results := make([]c10kCellResult, 0, len(cfg.Conns))
 	for _, conns := range cfg.Conns {
@@ -121,10 +148,14 @@ func FigC10K(cfg C10KConfig) (*Table, error) {
 				f2(float64(r.report.P99Ns) / 1e6),
 				fmt.Sprintf("%d", r.goroutines),
 				f2(r.perConn),
+				"-",
 			},
 		})
 	}
 	if err := assertC10KClaims(cfg, results); err != nil {
+		return nil, err
+	}
+	if err := figC10KNetpollRows(compiled.Pres, cfg, t); err != nil {
 		return nil, err
 	}
 	return t, nil
@@ -244,5 +275,287 @@ func c10kCell(p *pres.Presentation, cfg C10KConfig, conns int) (c10kCellResult, 
 		report:     rep,
 		goroutines: delta,
 		perConn:    float64(delta) / float64(conns),
+	}, nil
+}
+
+// ---- netpoll rows ---------------------------------------------------
+
+// c10kNetpollResult carries one netpoll row's raw numbers.
+type c10kNetpollResult struct {
+	conns      int
+	report     *flexload.Report
+	goroutines int     // server+harness goroutine delta with all conns registered
+	perConn    float64 // goroutines / connection
+	heapBytes  float64 // heap delta per connection, both ends in-process
+}
+
+// netpollConnBudget clamps a requested connection count to the
+// process's descriptor budget: each in-process connection costs two
+// fds (the client end and the accepted end), plus slack for listeners,
+// pollers, stdio and the harness. The soft limit is raised to the hard
+// limit first — the in-process equivalent of ci.sh's ulimit raise.
+func netpollConnBudget(want int) (got int, note string) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return want, ""
+	}
+	if rl.Cur < rl.Max {
+		raised := rl
+		raised.Cur = rl.Max
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raised); err == nil {
+			rl = raised
+		}
+	}
+	budget := (int(rl.Cur) - 768) / 2
+	if budget < 1 {
+		budget = 1
+	}
+	if want <= budget {
+		return want, ""
+	}
+	return budget, fmt.Sprintf("netpoll row clamped %d → %d conns by RLIMIT_NOFILE=%d (two fds per in-process conn)",
+		want, budget, rl.Cur)
+}
+
+// figC10KNetpollRows appends the netpoll rows: the same offered load,
+// but the population of connections is held by the readiness runtime —
+// goroutines stay ≈ pollers + shards + workers no matter how many
+// connections are registered, where the goroutine-reader rows above
+// grow one-per-connection.
+func figC10KNetpollRows(p *pres.Presentation, cfg C10KConfig, t *Table) error {
+	if len(cfg.NetpollConns) == 0 {
+		return nil
+	}
+	if !netpoll.Supported() {
+		t.Note += "; netpoll rows skipped: no poller on this platform"
+		return nil
+	}
+	var results []c10kNetpollResult
+	seen := make(map[int]bool)
+	for _, want := range cfg.NetpollConns {
+		conns, note := netpollConnBudget(want)
+		if note != "" {
+			t.Note += "; " + note
+		}
+		if seen[conns] {
+			continue // a larger request clamped onto an earlier row
+		}
+		seen[conns] = true
+		r, err := c10kNetpollCell(p, cfg, conns)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("netpoll conns %d", conns),
+			Values: []string{
+				fmt.Sprintf("%d", r.report.Offered),
+				fmt.Sprintf("%.0f", r.report.GoodputPerSec),
+				f2(float64(r.report.P50Ns) / 1e6),
+				f2(float64(r.report.P99Ns) / 1e6),
+				fmt.Sprintf("%d", r.goroutines),
+				f2(r.perConn),
+				f2(r.heapBytes / 1024),
+			},
+		})
+	}
+	return assertC10KNetpollClaims(cfg, results)
+}
+
+// assertC10KNetpollClaims checks the tentpole claim on the largest
+// netpoll row: the goroutine count is a function of pollers, shards
+// and workers — not of the connection count — and the offered load is
+// still served within the SLO with every connection registered.
+func assertC10KNetpollClaims(cfg C10KConfig, results []c10kNetpollResult) error {
+	if len(results) == 0 {
+		return nil
+	}
+	top := results[0]
+	for _, r := range results {
+		if r.conns > top.conns {
+			top = r
+		}
+	}
+	// (a) O(pollers + shards + workers): idle connections cost zero
+	// goroutines. The goroutine-reader path sits at ≈ conns and fails
+	// this by orders of magnitude at 10k.
+	limit := runtime.GOMAXPROCS(0) + cfg.NetpollShards + cfg.Workers + 64
+	if top.goroutines > limit {
+		return fmt.Errorf("c10k netpoll claim failed: %d goroutines for %d conns (limit GOMAXPROCS + shards + workers + 64 = %d); idle connections are not goroutine-free",
+			top.goroutines, top.conns, limit)
+	}
+	// (b) the load still flows with the full population registered.
+	rep := top.report
+	if rep.GoodputPerSec < cfg.Rate/2 {
+		return fmt.Errorf("c10k netpoll claim failed: goodput %.0f/s < half the %.0f/s offered rate at %d conns",
+			rep.GoodputPerSec, cfg.Rate, top.conns)
+	}
+	if rep.Completed == 0 || rep.WithinSLO*10 < rep.Completed*9 {
+		return fmt.Errorf("c10k netpoll claim failed: only %d/%d completions within the %v SLO at %d conns",
+			rep.WithinSLO, rep.Completed, cfg.SLO, top.conns)
+	}
+	if rep.Errors != 0 {
+		return fmt.Errorf("c10k netpoll claim failed: %d call errors at %d conns", rep.Errors, top.conns)
+	}
+	return nil
+}
+
+// c10kNetpollCell brings up a netpoll-mode server on sharded unix
+// listeners, dials the full connection population (every accepted conn
+// registers with the fixed poller set; no goroutine is spawned for
+// it), measures the goroutine and heap deltas, then lets flexload
+// drive the open-loop load over an active subset while the rest of the
+// population sits idle.
+func c10kNetpollCell(p *pres.Presentation, cfg C10KConfig, conns int) (c10kNetpollResult, error) {
+	disp := frt.NewDispatcher(p)
+	disp.Handle("nop", func(c *frt.Call) error { return nil })
+	plan, err := frt.NewPlan(p, frt.XDRCodec, nil)
+	if err != nil {
+		return c10kNetpollResult{}, err
+	}
+	serverStats := stats.New(nil)
+	cacheCap := 2 * conns
+	if cacheCap < frt.DefaultReplyCacheSize {
+		cacheCap = frt.DefaultReplyCacheSize
+	}
+	sess := frt.NewSessionServer(disp, plan, frt.NewReplyCacheSharded(cacheCap, 64))
+	srv := suntcp.NewSessionServer(sess, p.Interface)
+	srv.SetConcurrency(cfg.Workers)
+	srv.SetStats(serverStats)
+	srv.SetNetpoll(true)
+
+	dir, err := os.MkdirTemp("", "c10knp")
+	if err != nil {
+		return c10kNetpollResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	shards := cfg.NetpollShards
+	lns := make([]net.Listener, shards)
+	socks := make([]string, shards)
+	for i := range lns {
+		socks[i] = filepath.Join(dir, fmt.Sprintf("s%d.sock", i))
+		if lns[i], err = net.Listen("unix", socks[i]); err != nil {
+			return c10kNetpollResult{}, err
+		}
+	}
+
+	// Two GC cycles before the baseline: sync.Pool contents from the
+	// earlier cells survive one collection as victims, and their
+	// release between the two measurements would otherwise swallow the
+	// per-connection growth.
+	runtime.GC()
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	baseline := runtime.NumGoroutine()
+	go func() { _ = srv.ServeShards(lns...) }()
+
+	drain := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return srv.Drain(ctx)
+	}
+
+	dialed := make([]net.Conn, 0, conns)
+	closeDialed := func() {
+		for _, c := range dialed {
+			c.Close()
+		}
+	}
+	for i := 0; i < conns; i++ {
+		cc, err := net.Dial("unix", socks[i%shards])
+		if err != nil {
+			closeDialed()
+			_ = drain()
+			return c10kNetpollResult{}, fmt.Errorf("c10k netpoll: dial %d of %d: %w", i, conns, err)
+		}
+		dialed = append(dialed, cc)
+	}
+
+	// The goroutine and heap deltas are the standing cost of the full
+	// registered population — wait until the poller set owns every
+	// connection before measuring.
+	deadline := time.Now().Add(30 * time.Second)
+	var registered uint64
+	for time.Now().Before(deadline) {
+		registered = serverStats.Snapshot().PollerConnsRegistered
+		if registered >= uint64(conns) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if registered < uint64(conns) {
+		closeDialed()
+		_ = drain()
+		return c10kNetpollResult{}, fmt.Errorf("c10k netpoll: only %d of %d conns registered with the pollers", registered, conns)
+	}
+	runtime.GC()
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	delta := runtime.NumGoroutine() - baseline
+	var heapPerConn float64
+	if m1.HeapAlloc > m0.HeapAlloc {
+		heapPerConn = float64(m1.HeapAlloc-m0.HeapAlloc) / float64(conns)
+	}
+
+	active := cfg.NetpollActive
+	if active <= 0 {
+		active = 256
+	}
+	if active > conns {
+		active = conns
+	}
+	opIdx := plan.OpIndex("nop")
+	enc := frt.XDRCodec.NewEncoder()
+	if err := plan.Ops[opIdx].EncodeRequest(enc, nil); err != nil {
+		closeDialed()
+		_ = drain()
+		return c10kNetpollResult{}, err
+	}
+	req := enc.Bytes()
+	clients := make([]*suntcp.Conn, active)
+	for i := range clients {
+		clients[i] = suntcp.Dial(dialed[i], p)
+	}
+	rep, err := flexload.Run(flexload.Target{
+		Dial:    func(id int) (frt.Conn, error) { return clients[id], nil },
+		Pres:    p,
+		Op:      "nop",
+		Request: req,
+	}, flexload.Options{
+		Clients:     active,
+		Mode:        flexload.Open,
+		Rate:        cfg.Rate,
+		Warmup:      cfg.Warmup,
+		Measure:     cfg.Measure,
+		Cooldown:    50 * time.Millisecond,
+		Seed:        cfg.Seed,
+		Robust:      &frt.RobustOptions{AtMostOnce: true},
+		ServerStats: serverStats,
+		SLO:         cfg.SLO,
+	})
+	if err != nil {
+		closeDialed()
+		_ = drain()
+		return c10kNetpollResult{}, err
+	}
+
+	// flexload closed the active subset; Drain tears down the rest of
+	// the registered population server-side, then the idle client ends
+	// release their descriptors.
+	if err := drain(); err != nil {
+		closeDialed()
+		return c10kNetpollResult{}, fmt.Errorf("c10k netpoll: drain after %d conns: %w", conns, err)
+	}
+	for _, c := range dialed[active:] {
+		c.Close()
+	}
+	return c10kNetpollResult{
+		conns:      conns,
+		report:     rep,
+		goroutines: delta,
+		perConn:    float64(delta) / float64(conns),
+		heapBytes:  heapPerConn,
 	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"flexrpc/internal/netpoll"
 	"flexrpc/internal/netsim"
 )
 
@@ -276,17 +277,23 @@ func TestFigC10KShape(t *testing.T) {
 	// O(conns + workers); the offered load is served within the SLO at
 	// the top connection count), so a nil error is the real assertion.
 	cfg := C10KConfig{
-		Conns:   []int{32, 128},
-		Rate:    600,
-		Warmup:  30 * time.Millisecond,
-		Measure: 100 * time.Millisecond,
+		Conns:         []int{32, 128},
+		Rate:          600,
+		Warmup:        30 * time.Millisecond,
+		Measure:       100 * time.Millisecond,
+		NetpollConns:  []int{64, 384},
+		NetpollActive: 32,
 	}
 	tab, err := FigC10K(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 2 {
-		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	want := 2
+	if netpoll.Supported() {
+		want = 4 // the netpoll rows self-assert goroutines ≈ pollers + shards + workers
+	}
+	if len(tab.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), want)
 	}
 	for _, r := range tab.Rows {
 		if len(r.Values) != len(tab.Headers) {

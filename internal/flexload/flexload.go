@@ -85,6 +85,11 @@ type Options struct {
 	// Seed derives every client's arrival/jitter rng; identical seeds
 	// (plus a FakeClock) reproduce a run byte-for-byte.
 	Seed int64
+	// ClientIDBase offsets every client's global identity: worker k of
+	// a multi-process run passes its client offset so at-most-once
+	// ClientIDs (and the derived seeds) never collide across the
+	// processes sharing one server.
+	ClientIDBase int
 	// Robust, when non-nil, wraps each client's conn in a RobustConn
 	// with this template: ClientID and the retry-jitter seed are
 	// re-derived per client, Clock is overridden with the run's.
@@ -300,11 +305,12 @@ func Run(t Target, o Options) (*Report, error) {
 			return nil, fmt.Errorf("flexload: dial client %d: %w", id, err)
 		}
 		ep := r.shards[id%nShards]
+		gid := o.ClientIDBase + id // process-global identity
 		if o.Robust != nil {
 			ro := *o.Robust
-			ro.ClientID = uint32(id + 1)
+			ro.ClientID = uint32(gid + 1)
 			ro.Clock = r.clock
-			ro.Policy.Seed = int64(splitmix64(uint64(o.Seed)*0x9E3779B97F4A7C15 + uint64(id) + 1))
+			ro.Policy.Seed = int64(splitmix64(uint64(o.Seed)*0x9E3779B97F4A7C15 + uint64(gid) + 1))
 			rc := runtime.NewRobustConn(conn, t.Pres, ro)
 			rc.SetStats(ep)
 			conn = rc
@@ -313,7 +319,7 @@ func Run(t Target, o Options) (*Report, error) {
 			id:   id,
 			conn: conn,
 			ep:   ep,
-			rng:  rand.New(rand.NewSource(int64(splitmix64(uint64(o.Seed) + uint64(id)*0xBF58476D1CE4E5B9 + 7)))),
+			rng:  rand.New(rand.NewSource(int64(splitmix64(uint64(o.Seed) + uint64(gid)*0xBF58476D1CE4E5B9 + 7)))),
 		}
 	}
 	defer func() {

@@ -1,0 +1,90 @@
+package flexload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flexrpc/internal/stats"
+)
+
+// WireReport is the cross-process exchange format for multi-process
+// load generation: the worker's Report plus its merged client-side
+// stats snapshot. Report.JSON deliberately omits the snapshot (raw
+// histograms are not part of the stable human report), but the parent
+// process needs them — summary percentiles cannot be combined, only
+// the underlying bucket counts can.
+type WireReport struct {
+	Report   Report          `json:"report"`
+	Snapshot *stats.Snapshot `json:"snapshot,omitempty"`
+}
+
+// Wire packages the report for transfer to a merging parent.
+func (r *Report) Wire() *WireReport {
+	return &WireReport{Report: *r, Snapshot: r.Merged}
+}
+
+// CombineWire merges worker reports into one run-wide Report: tallies
+// add, QueueMax takes the max, the snapshots merge bucket-wise via
+// stats.Snapshot.Merge, and the latency percentiles are recomputed
+// from the merged histogram — never averaged across workers. All
+// workers must have driven the same op over the same measure window.
+func CombineWire(ws []*WireReport) (*Report, error) {
+	if len(ws) == 0 {
+		return nil, errors.New("flexload: no worker reports to combine")
+	}
+	first := &ws[0].Report
+	rep := &Report{
+		Mode:      first.Mode,
+		Op:        first.Op,
+		MeasureNs: first.MeasureNs,
+		SLONs:     first.SLONs,
+	}
+	merged := &stats.Snapshot{}
+	for i, w := range ws {
+		r := &w.Report
+		if r.Op != rep.Op || r.MeasureNs != rep.MeasureNs {
+			return nil, fmt.Errorf("flexload: worker %d ran op %q for %v; cannot combine with op %q for %v",
+				i, r.Op, time.Duration(r.MeasureNs), rep.Op, time.Duration(rep.MeasureNs))
+		}
+		rep.Clients += r.Clients
+		rep.Offered += r.Offered
+		rep.Issued += r.Issued
+		rep.Completed += r.Completed
+		rep.Errors += r.Errors
+		rep.Timeouts += r.Timeouts
+		rep.WithinSLO += r.WithinSLO
+		rep.Retries += r.Retries
+		rep.Pushbacks += r.Pushbacks
+		rep.RetrySuppressed += r.RetrySuppressed
+		rep.Sheds += r.Sheds
+		rep.QueueDrops += r.QueueDrops
+		if r.QueueMax > rep.QueueMax {
+			rep.QueueMax = r.QueueMax
+		}
+		if w.Snapshot != nil {
+			merged.Merge(w.Snapshot)
+		}
+	}
+	rep.Merged = merged
+	for i := range merged.Ops {
+		if merged.Ops[i].Name == rep.Op {
+			lat := &merged.Ops[i].Latency
+			rep.MeanNs = int64(lat.Mean())
+			rep.P50Ns = int64(lat.Quantile(0.50))
+			rep.P99Ns = int64(lat.Quantile(0.99))
+			rep.P999Ns = int64(lat.Quantile(0.999))
+		}
+	}
+	good := rep.Completed
+	if rep.SLONs > 0 {
+		good = rep.WithinSLO
+	}
+	if rep.MeasureNs > 0 {
+		rep.GoodputPerSec = float64(good) / time.Duration(rep.MeasureNs).Seconds()
+	}
+	if rep.Issued > 0 {
+		rep.RetriesPerCall = float64(rep.Retries) / float64(rep.Issued)
+	}
+	return rep, nil
+}

@@ -1,0 +1,62 @@
+// Package netpoll is a small edge-triggered readiness poller for the
+// sunrpc server runtime.
+//
+// One Poller owns one OS readiness queue (epoll on linux) and one
+// goroutine that drains it. Connections register a raw file descriptor
+// together with a callback; the poller invokes the callback every time
+// the descriptor transitions to readable (edge-triggered: the callback
+// must drain the descriptor to EAGAIN before it can expect another
+// wakeup). This inverts the classic Go goroutine-per-connection model:
+// a server with 100k idle connections keeps them all parked inside a
+// single epoll set instead of 100k blocked reader goroutines.
+//
+// The package is deliberately x/sys-free: on linux it speaks raw
+// syscall.EpollCreate1 / EpollCtl / EpollWait. On other platforms
+// Supported() reports false and New returns ErrUnsupported; callers
+// (internal/sunrpc) fall back to the portable goroutine-per-connection
+// reader, so darwin builds and CI hosts without epoll keep passing.
+//
+// fd ownership: the poller never closes a registered descriptor. The
+// registering side must Deregister before closing the fd — closing a
+// descriptor that is still in the epoll set invites the classic
+// fd-reuse race where a recycled descriptor number receives a stale
+// event. Callbacks run on the poller goroutine; they must not block
+// indefinitely or every other connection on the same poller stalls.
+package netpoll
+
+import "errors"
+
+// ErrUnsupported is returned by New on platforms without an
+// edge-triggered readiness facility.
+var ErrUnsupported = errors.New("netpoll: not supported on this platform")
+
+// ErrClosed is returned by Register/Deregister after Close.
+var ErrClosed = errors.New("netpoll: poller closed")
+
+// Supported reports whether this platform has an edge-triggered
+// readiness poller (linux epoll). When false, New returns
+// ErrUnsupported and callers should use a goroutine-per-connection
+// fallback.
+func Supported() bool { return supported }
+
+// Callback is invoked on the poller goroutine when a registered
+// descriptor becomes readable. hup reports a hangup/error condition
+// (EPOLLHUP/EPOLLRDHUP/EPOLLERR); the descriptor may still have
+// buffered data to drain before EOF.
+type Callback func(hup bool)
+
+// Poller owns one readiness queue and the goroutine draining it.
+type Poller struct {
+	poller
+}
+
+// New creates a poller and starts its event loop. onWake, if non-nil,
+// is called once per wakeup with the number of connection events
+// delivered in the batch (wake-pipe events excluded) — the stats hook.
+func New(onWake func(events int)) (*Poller, error) {
+	p := &Poller{}
+	if err := p.init(onWake); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,170 @@
+//go:build linux
+
+package netpoll
+
+import (
+	"fmt"
+	"sync"
+	"syscall"
+)
+
+const supported = true
+
+// epollET is EPOLLET as a uint32 bit. syscall.EPOLLET is declared as a
+// negative int (-0x80000000) because the kernel flag occupies the sign
+// bit of the 32-bit events word; redeclare it unsigned so it composes
+// with the other flags without a conversion dance.
+const epollET = uint32(1) << 31
+
+type poller struct {
+	epfd  int
+	wakeR int // level-triggered self-wake pipe, read end
+	wakeW int
+
+	onWake func(int)
+
+	mu     sync.Mutex
+	ready  map[int]Callback
+	closed bool
+
+	done chan struct{} // closed when the event loop exits
+}
+
+func (p *poller) init(onWake func(int)) error {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return fmt.Errorf("netpoll: epoll_create1: %w", err)
+	}
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_CLOEXEC|syscall.O_NONBLOCK); err != nil {
+		syscall.Close(epfd)
+		return fmt.Errorf("netpoll: pipe2: %w", err)
+	}
+	// The wake pipe is registered level-triggered so a single byte is
+	// enough to keep the loop waking until it observes closed.
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(pipe[0])}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, pipe[0], &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pipe[0])
+		syscall.Close(pipe[1])
+		return fmt.Errorf("netpoll: epoll_ctl wake: %w", err)
+	}
+	p.epfd = epfd
+	p.wakeR = pipe[0]
+	p.wakeW = pipe[1]
+	p.onWake = onWake
+	p.ready = make(map[int]Callback)
+	p.done = make(chan struct{})
+	go p.loop()
+	return nil
+}
+
+// Register adds fd to the epoll set, edge-triggered, with hangup
+// notification. The callback fires on every readable edge; data that
+// arrived before Register is NOT reported (no edge), so callers must
+// attempt one read immediately after registering.
+func (p *poller) Register(fd int, cb Callback) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	// Table entry first: the edge can fire the instant EpollCtl
+	// returns, on the poller goroutine, and must find its callback.
+	p.ready[fd] = cb
+	p.mu.Unlock()
+
+	ev := syscall.EpollEvent{
+		Events: syscall.EPOLLIN | syscall.EPOLLRDHUP | epollET,
+		Fd:     int32(fd),
+	}
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		p.mu.Lock()
+		delete(p.ready, fd)
+		p.mu.Unlock()
+		return fmt.Errorf("netpoll: epoll_ctl add fd %d: %w", fd, err)
+	}
+	return nil
+}
+
+// Deregister removes fd from the epoll set. Call before closing the
+// descriptor. Stale events already in flight become no-ops (the table
+// lookup misses).
+func (p *poller) Deregister(fd int) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	delete(p.ready, fd)
+	p.mu.Unlock()
+	if err := syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil); err != nil {
+		return fmt.Errorf("netpoll: epoll_ctl del fd %d: %w", fd, err)
+	}
+	return nil
+}
+
+// Close stops the event loop. It signals the loop via the wake pipe
+// and returns without waiting for in-flight callbacks: a callback
+// blocked handing work downstream must be unblocked by its own
+// shutdown path (the sunrpc server drains its worker pool first). The
+// loop closes the epoll and pipe descriptors on exit.
+func (p *poller) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	var one [1]byte
+	syscall.Write(p.wakeW, one[:]) // best-effort; loop also checks closed
+	return nil
+}
+
+// Done is closed when the event loop goroutine has exited and the
+// poller's descriptors are released.
+func (p *poller) Done() <-chan struct{} { return p.done }
+
+func (p *poller) loop() {
+	defer func() {
+		syscall.Close(p.epfd)
+		syscall.Close(p.wakeR)
+		syscall.Close(p.wakeW)
+		close(p.done)
+	}()
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(p.epfd, events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return
+		}
+		conns := 0
+		for i := 0; i < n; i++ {
+			fd := int(events[i].Fd)
+			if fd == p.wakeR {
+				continue
+			}
+			p.mu.Lock()
+			cb := p.ready[fd]
+			p.mu.Unlock()
+			if cb != nil {
+				conns++
+				hup := events[i].Events&(syscall.EPOLLHUP|syscall.EPOLLRDHUP|syscall.EPOLLERR) != 0
+				cb(hup)
+			}
+		}
+		if conns > 0 && p.onWake != nil {
+			p.onWake(conns)
+		}
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}

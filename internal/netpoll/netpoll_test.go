@@ -1,0 +1,145 @@
+package netpoll
+
+import (
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func socketpair(t *testing.T) (int, int) {
+	t.Helper()
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		t.Fatalf("socketpair: %v", err)
+	}
+	for _, fd := range fds {
+		if err := syscall.SetNonblock(fd, true); err != nil {
+			t.Fatalf("set nonblock: %v", err)
+		}
+	}
+	return fds[0], fds[1]
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPollerReadableEdges(t *testing.T) {
+	if !Supported() {
+		t.Skip("netpoll unsupported on this platform")
+	}
+	var wakeups atomic.Int64
+	p, err := New(func(n int) { wakeups.Add(int64(n)) })
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	a, b := socketpair(t)
+	defer syscall.Close(a)
+	defer syscall.Close(b)
+
+	var fired atomic.Int64
+	var sawHup atomic.Bool
+	if err := p.Register(a, func(hup bool) {
+		fired.Add(1)
+		if hup {
+			sawHup.Store(true)
+		}
+		// Edge-triggered contract: drain to EAGAIN.
+		buf := make([]byte, 64)
+		for {
+			if _, err := syscall.Read(a, buf); err != nil {
+				break
+			}
+		}
+	}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	if _, err := syscall.Write(b, []byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	waitFor(t, "first edge", func() bool { return fired.Load() >= 1 })
+
+	// A second write after a full drain is a new edge.
+	if _, err := syscall.Write(b, []byte("y")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	waitFor(t, "second edge", func() bool { return fired.Load() >= 2 })
+
+	// Peer close delivers a hangup edge.
+	syscall.Close(b)
+	waitFor(t, "hangup edge", func() bool { return sawHup.Load() })
+
+	if wakeups.Load() < 2 {
+		t.Fatalf("onWake reported %d events, want >= 2", wakeups.Load())
+	}
+}
+
+func TestPollerDeregisterDropsEvents(t *testing.T) {
+	if !Supported() {
+		t.Skip("netpoll unsupported on this platform")
+	}
+	p, err := New(nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+
+	a, b := socketpair(t)
+	defer syscall.Close(a)
+	defer syscall.Close(b)
+
+	var fired atomic.Int64
+	if err := p.Register(a, func(bool) { fired.Add(1) }); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := p.Deregister(a); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	if _, err := syscall.Write(b, []byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("deregistered fd fired %d times", n)
+	}
+}
+
+func TestPollerCloseReleasesLoop(t *testing.T) {
+	if !Supported() {
+		t.Skip("netpoll unsupported on this platform")
+	}
+	before := runtime.NumGoroutine()
+	p, err := New(nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-p.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("poller loop did not exit after Close")
+	}
+	if err := p.Register(0, func(bool) {}); err != ErrClosed {
+		t.Fatalf("Register after Close = %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	waitFor(t, "goroutine count to settle", func() bool {
+		return runtime.NumGoroutine() <= before
+	})
+}

@@ -139,6 +139,17 @@ type Endpoint struct {
 	shardContention atomic.Uint64
 	handlerPanics   atomic.Uint64
 
+	// Netpoll server-runtime counters: poller wakeups (readiness
+	// events delivered to registered connections), connections
+	// registered with a poller over the server's lifetime, accepts
+	// delayed by the per-shard accept rate limiter, and reads that
+	// ended mid-record (the partial record persists in per-conn
+	// reassembly state until the next readiness event).
+	pollerWakeups   atomic.Uint64
+	pollerConnsReg  atomic.Uint64
+	acceptThrottled atomic.Uint64
+	partialReads    atomic.Uint64
+
 	// Overload counters. Server side: calls rejected with a pushback
 	// frame before decode (admission caps or the load shedder) and
 	// calls rejected because the server is draining. Client side:
@@ -313,6 +324,38 @@ func (e *Endpoint) AddShardContention() {
 	}
 }
 
+// AddPollerWakeups counts n readiness events delivered to registered
+// connections in one poller wakeup batch.
+func (e *Endpoint) AddPollerWakeups(n int) {
+	if e != nil && n > 0 {
+		e.pollerWakeups.Add(uint64(n))
+	}
+}
+
+// AddPollerConnRegistered counts one connection registered with a
+// netpoll poller.
+func (e *Endpoint) AddPollerConnRegistered() {
+	if e != nil {
+		e.pollerConnsReg.Add(1)
+	}
+}
+
+// AddAcceptThrottled counts one accept delayed by the per-shard
+// accept rate limiter.
+func (e *Endpoint) AddAcceptThrottled() {
+	if e != nil {
+		e.acceptThrottled.Add(1)
+	}
+}
+
+// AddPartialRead counts one readiness batch that ended mid-record,
+// leaving a partial record parked in per-connection reassembly state.
+func (e *Endpoint) AddPartialRead() {
+	if e != nil {
+		e.partialReads.Add(1)
+	}
+}
+
 // AddHandlerPanic counts one handler panic recovered by a transport
 // server that has no per-op counter row to bill it to.
 func (e *Endpoint) AddHandlerPanic() {
@@ -424,6 +467,11 @@ type Snapshot struct {
 	ShardContention uint64 `json:"shard_contention,omitempty"`
 	HandlerPanics   uint64 `json:"handler_panics,omitempty"`
 
+	PollerWakeups         uint64 `json:"poller_wakeups,omitempty"`
+	PollerConnsRegistered uint64 `json:"poller_conns_registered,omitempty"`
+	AcceptThrottled       uint64 `json:"accept_throttled,omitempty"`
+	PartialReads          uint64 `json:"partial_reads,omitempty"`
+
 	Sheds            uint64 `json:"sheds,omitempty"`
 	DrainRejects     uint64 `json:"drain_rejects,omitempty"`
 	Pushbacks        uint64 `json:"pushbacks,omitempty"`
@@ -476,6 +524,10 @@ func (e *Endpoint) Snapshot() *Snapshot {
 	s.BatchFlushes = e.batchFlushes.Load()
 	s.ShardContention = e.shardContention.Load()
 	s.HandlerPanics = e.handlerPanics.Load()
+	s.PollerWakeups = e.pollerWakeups.Load()
+	s.PollerConnsRegistered = e.pollerConnsReg.Load()
+	s.AcceptThrottled = e.acceptThrottled.Load()
+	s.PartialReads = e.partialReads.Load()
 	s.Sheds = e.sheds.Load()
 	s.DrainRejects = e.drainRejects.Load()
 	s.Pushbacks = e.pushbacks.Load()
@@ -536,6 +588,10 @@ func (s *Snapshot) Merge(o *Snapshot) {
 	s.BatchFlushes += o.BatchFlushes
 	s.ShardContention += o.ShardContention
 	s.HandlerPanics += o.HandlerPanics
+	s.PollerWakeups += o.PollerWakeups
+	s.PollerConnsRegistered += o.PollerConnsRegistered
+	s.AcceptThrottled += o.AcceptThrottled
+	s.PartialReads += o.PartialReads
 	s.Sheds += o.Sheds
 	s.DrainRejects += o.DrainRejects
 	s.Pushbacks += o.Pushbacks
@@ -590,6 +646,10 @@ func (s *Snapshot) Text() string {
 	line("server.coalesced_writes", s.CoalescedWrites)
 	line("server.shard_contention", s.ShardContention)
 	line("server.handler_panics", s.HandlerPanics)
+	line("server.poller_wakeups", s.PollerWakeups)
+	line("server.poller_conns_registered", s.PollerConnsRegistered)
+	line("server.accept_throttled", s.AcceptThrottled)
+	line("server.partial_reads", s.PartialReads)
 	line("server.sheds", s.Sheds)
 	line("server.drain_rejects", s.DrainRejects)
 	line("client.batched_calls", s.BatchedCalls)

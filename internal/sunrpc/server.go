@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flexrpc/internal/netpoll"
 	"flexrpc/internal/stats"
 	"flexrpc/internal/xdr"
 )
@@ -39,13 +40,10 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("sunrpc: handler for proc %d panicked: %v", e.Proc, e.Value)
 }
 
-// Accept-loop backoff bounds for transient errors (EMFILE and
-// friends): start small so tests and recovering servers resume
-// quickly, cap low enough that Drain is never held up long.
-const (
-	acceptBackoffMin = time.Millisecond
-	acceptBackoffMax = 100 * time.Millisecond
-)
+// Accept-loop backoff cap for resource-exhaustion errors (EMFILE and
+// friends): long enough that a starved shard is not spinning, low
+// enough that Drain is never held up long.
+const acceptBackoffMax = 100 * time.Millisecond
 
 // A Server dispatches Sun RPC calls for one program/version.
 type Server struct {
@@ -60,6 +58,20 @@ type Server struct {
 	concurrency int
 	stats       *stats.Endpoint
 
+	// Netpoll mode (see netpoll.go): event-driven readiness readers
+	// instead of a goroutine per connection. npRead pools the scratch
+	// buffers poller reads drain into.
+	netpoll        bool
+	netpollPollers int
+	npRead         sync.Pool
+
+	// Accept rate limiting: a token bucket per accept shard (see
+	// accept.go). The clock is swappable so tests drive it with a
+	// FakeClock.
+	acceptRate  float64
+	acceptBurst int
+	clock       Clock
+
 	// Overload protection: maxInflight bounds calls across every
 	// connection; over-cap (and post-drain) calls answer SYSTEM_ERR —
 	// the only pushback the bare Sun RPC wire can carry — instead of
@@ -68,12 +80,14 @@ type Server struct {
 	inflight    atomic.Int64
 	draining    atomic.Bool
 
-	mu        sync.Mutex
-	listeners []net.Listener
-	conns     map[net.Conn]struct{}
-	pool      *workerPool // shared across connections; nil until first concurrent conn
-	poolUsers int         // connection readers currently able to submit to pool
-	poolWake  sync.Cond   // broadcast (under mu) when poolUsers reaches zero
+	mu         sync.Mutex
+	listeners  []net.Listener
+	conns      map[net.Conn]struct{}
+	pool       *workerPool // shared across connections; nil until first concurrent conn
+	poolUsers  int         // connection readers currently able to submit to pool
+	poolWake   sync.Cond   // broadcast (under mu) when poolUsers reaches zero
+	pollers    []*netpoll.Poller
+	pollerNext int // round-robin poller assignment for new conns
 }
 
 // NewServer creates a server for prog/vers. Procedure 0 (the null
@@ -81,6 +95,7 @@ type Server struct {
 func NewServer(prog, vers uint32) *Server {
 	s := &Server{prog: prog, vers: vers, handlers: make(map[uint32]ProcHandler)}
 	s.poolWake.L = &s.mu
+	s.npRead.New = func() any { b := make([]byte, npReadBuf); return &b }
 	s.handlers[0] = func(*xdr.Decoder, *xdr.Encoder) error { return nil }
 	return s
 }
@@ -153,12 +168,19 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 
+	// Snapshot then close outside the lock: a netpoll conn's Close
+	// finishes the connection inline (untrack, pool departure), which
+	// needs s.mu itself.
 	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.conns = nil
 	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
 
 	// Stop the shared pool once every connection reader has wound
 	// down (closing the conns above unblocks them). A reader mid-
@@ -209,6 +231,19 @@ func (s *Server) Drain(ctx context.Context) error {
 			}()
 		}
 	}
+
+	// Netpoll pollers go last: every registered conn counts as a pool
+	// user, so once the wait above has seen poolUsers reach zero no
+	// callback can be mid-flight. Close signals the event loops and
+	// returns without waiting (a loop wedged behind a stuck pool in
+	// the deadline-expired case exits once the pool drains).
+	s.mu.Lock()
+	pollers := s.pollers
+	s.pollers = nil
+	s.mu.Unlock()
+	for _, p := range pollers {
+		p.Close()
+	}
 	return err
 }
 
@@ -243,6 +278,23 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	limit := s.MaxMessageSize
 	if limit <= 0 {
 		limit = DefaultMaxRecord
+	}
+	if s.netpoll {
+		// Netpoll mode: register with a poller and park until the
+		// connection winds down. Unlike the goroutine paths, these
+		// conns are tracked, so Drain closes them. Conns without a
+		// usable descriptor (in-memory pipes) and platforms without a
+		// poller fall through to the goroutine readers.
+		if c, handled := s.registerNetpoll(conn); handled {
+			if c == nil {
+				return nil // dropped: server already draining
+			}
+			<-c.done
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return err
+		}
 	}
 	if s.concurrency > 1 {
 		return s.serveShared(conn, limit)
@@ -316,6 +368,7 @@ func (p *workerPool) run(s *Server) {
 // flushed by whichever pool worker finishes first (see enqueueReply).
 type srvConn struct {
 	conn     net.Conn
+	np       *npConn        // non-nil in netpoll mode: reply accounting feeds the read state machine
 	inflight sync.WaitGroup // jobs submitted to the pool, replies not yet flushed (or discarded)
 
 	mu       sync.Mutex
@@ -353,6 +406,9 @@ func (c *srvConn) enqueueReply(s *Server, rep []byte) {
 	if c.werr != nil {
 		c.mu.Unlock()
 		c.inflight.Done() // discarded: the stream is already poisoned
+		if c.np != nil {
+			c.np.afterEnqueue(1)
+		}
 		return
 	}
 	c.pending = appendRecord(c.pending, rep)
@@ -362,6 +418,7 @@ func (c *srvConn) enqueueReply(s *Server, rep []byte) {
 		return
 	}
 	c.flushing = true
+	done := 0
 	for c.werr == nil && len(c.pending) > 0 {
 		buf, n := c.pending, c.queued
 		c.pending, c.queued = c.spare[:0], 0
@@ -374,8 +431,14 @@ func (c *srvConn) enqueueReply(s *Server, rep []byte) {
 			c.werr = fmt.Errorf("sunrpc: write: %w", err)
 			// The stream is poisoned mid-record; unblock the reader
 			// so the connection winds down, and discard whatever
-			// queued behind the failed write.
-			c.conn.Close()
+			// queued behind the failed write. The netpoll path must
+			// deregister the fd before closing it, which cannot happen
+			// under mu — poisonLocked defers it to afterEnqueue.
+			if c.np != nil {
+				c.np.poisonLocked()
+			} else {
+				c.conn.Close()
+			}
 			n += c.queued
 			c.pending = c.pending[:0]
 			c.queued = 0
@@ -383,10 +446,14 @@ func (c *srvConn) enqueueReply(s *Server, rep []byte) {
 			s.stats.AddFlush(n)
 		}
 		c.inflight.Add(-n)
+		done += n
 		c.flushed.Broadcast()
 	}
 	c.flushing = false
 	c.mu.Unlock()
+	if c.np != nil {
+		c.np.afterEnqueue(done)
+	}
 }
 
 // serveShared is the scaling server loop: this goroutine reads
@@ -520,12 +587,15 @@ func (s *Server) runHandler(proc uint32, h ProcHandler, d *xdr.Decoder, enc *xdr
 	return h(d, enc)
 }
 
-// Serve accepts connections from l and serves each on its own
-// goroutine until the listener closes (or Drain closes it). A
-// transient Accept failure (a net.Error reporting Temporary, e.g.
-// EMFILE under fd pressure) backs off exponentially with jitter
-// instead of spinning hot or killing the accept loop; the delay
-// resets after a successful accept.
+// Serve accepts connections from l and serves each until the listener
+// closes (or Drain closes it) — in netpoll mode by registering the
+// conn with a poller, otherwise on its own goroutine. Accept failures
+// are classified by errno (see classifyAcceptError): connections that
+// died in the backlog retry immediately, resource exhaustion (EMFILE
+// and friends) backs off at the 100ms cap, anything else is permanent
+// and stops the shard. With SetAcceptRate configured, a per-shard
+// token bucket paces accepts so an accept storm cannot monopolize the
+// pollers.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.draining.Load() {
@@ -535,28 +605,37 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 	s.listeners = append(s.listeners, l)
 	s.mu.Unlock()
-	var delay time.Duration
+	limiter := s.newAcceptLimiter()
 	for {
+		if limiter != nil && limiter.take() {
+			s.stats.AddAcceptThrottled()
+		}
 		conn, err := l.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Temporary() && !s.draining.Load() {
-				if delay == 0 {
-					delay = acceptBackoffMin
-				} else if delay *= 2; delay > acceptBackoffMax {
-					delay = acceptBackoffMax
-				}
-				// Half fixed, half jittered: shards hitting the same
-				// resource exhaustion decorrelate their retries.
-				time.Sleep(delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1)))
+			if s.draining.Load() {
+				return err
+			}
+			switch classifyAcceptError(err) {
+			case acceptRetry:
+				continue
+			case acceptBackoff:
+				// Resource exhaustion does not clear in a millisecond;
+				// go straight to the cap. Half fixed, half jittered:
+				// shards hitting the same exhaustion decorrelate.
+				d := acceptBackoffMax
+				time.Sleep(d/2 + time.Duration(rand.Int63n(int64(d/2)+1)))
 				continue
 			}
 			return err
 		}
-		delay = 0
+		if s.netpoll {
+			if _, handled := s.registerNetpoll(conn); handled {
+				continue
+			}
+		}
 		if !s.track(conn) {
 			continue
 		}

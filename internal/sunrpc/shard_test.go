@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -61,13 +62,15 @@ func (l *memListener) dial() (net.Conn, error) {
 	}
 }
 
-// tempError mimics the transient accept errors the kernel hands an
-// exhausted listener (EMFILE, ECONNABORTED): Temporary, not Timeout.
+// tempError mimics the transient accept error the kernel hands an
+// fd-exhausted listener: like the real thing it wraps the underlying
+// errno (EMFILE), which is what the accept loop classifies on.
 type tempError struct{}
 
 func (tempError) Error() string   { return "accept: resource temporarily unavailable" }
 func (tempError) Timeout() bool   { return false }
 func (tempError) Temporary() bool { return true }
+func (tempError) Unwrap() error   { return syscall.EMFILE }
 
 // flakyListener injects n transient errors before delivering
 // connections, counting every Accept call so the test can prove the
@@ -77,6 +80,7 @@ type flakyListener struct {
 	mu       sync.Mutex
 	tempLeft int
 	accepts  int
+	errFn    func() error // injected error; nil means tempError{}
 }
 
 func (l *flakyListener) Accept() (net.Conn, error) {
@@ -84,7 +88,11 @@ func (l *flakyListener) Accept() (net.Conn, error) {
 	l.accepts++
 	if l.tempLeft > 0 {
 		l.tempLeft--
+		errFn := l.errFn
 		l.mu.Unlock()
+		if errFn != nil {
+			return nil, errFn()
+		}
 		return nil, tempError{}
 	}
 	l.mu.Unlock()
@@ -118,9 +126,10 @@ func TestServeAcceptTemporaryBackoff(t *testing.T) {
 	if err != nil || sum != 42 {
 		t.Fatalf("call after transient accept errors: %v, %v", sum, err)
 	}
-	// Three injected failures at 1ms, 2ms, 4ms with half-fixed delays:
-	// at least 3.5ms must have elapsed, and Accept ran exactly four
-	// times (three failures + the success) — no tight spin.
+	// Three injected EMFILEs each back off at the 100ms cap (half
+	// fixed, half jittered — at least 50ms apiece), and Accept ran
+	// exactly four times (three failures + the success) — no tight
+	// spin.
 	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
 		t.Fatalf("accept loop recovered in %v; backoff not applied", elapsed)
 	}
